@@ -1,0 +1,250 @@
+// Package repro's top-level benchmarks regenerate each of the paper's
+// evaluation artifacts (Table 1, Figures 7(a)–(d), Figure 8, Figure 9)
+// as testing.B benchmarks, plus micro-benchmarks for the tuner's
+// per-query bookkeeping (the paper's "critical section", lines 1–8 of
+// Figure 6) and the what-if primitives.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmark scale is reduced so a full sweep stays in CPU-minutes;
+// cmd/experiments regenerates the full-scale artifacts.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"onlinetuner/internal/bench"
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/core/singleindex"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/whatif"
+	"onlinetuner/internal/workload"
+)
+
+// benchTPCH is the reduced-scale workload configuration used by the
+// figure benchmarks.
+func benchTPCH() workload.TPCHOptions {
+	o := workload.DefaultTPCH()
+	o.Scale = 0.2
+	o.NumBatches = 6
+	o.DisruptCount = 16
+	return o
+}
+
+// BenchmarkTable1 regenerates Table 1: the five simple-workload
+// schedules with online and sequence-optimal costs.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7a regenerates Figure 7(a): OnlinePT per-batch cost on
+// the TPC-H batch workload.
+func BenchmarkFigure7a(b *testing.B) {
+	o := benchTPCH()
+	for i := 0; i < b.N; i++ {
+		_, series, _, err := bench.Figure7a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, series)
+	}
+}
+
+// BenchmarkFigure7b regenerates Figure 7(b): the three techniques on the
+// same workload.
+func BenchmarkFigure7b(b *testing.B) {
+	o := benchTPCH()
+	for i := 0; i < b.N; i++ {
+		_, series, err := bench.Figure7b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, series)
+	}
+}
+
+// BenchmarkFigure7c regenerates Figure 7(c): OnlinePT with the
+// disruptive update batch.
+func BenchmarkFigure7c(b *testing.B) {
+	o := benchTPCH()
+	for i := 0; i < b.N; i++ {
+		_, series, _, err := bench.Figure7c(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, series)
+	}
+}
+
+// BenchmarkFigure7d regenerates Figure 7(d): all techniques under the
+// disruptive updates.
+func BenchmarkFigure7d(b *testing.B) {
+	o := benchTPCH()
+	for i := 0; i < b.N; i++ {
+		_, series, err := bench.Figure7d(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, series)
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: overall costs across workloads
+// and techniques.
+func BenchmarkFigure8(b *testing.B) {
+	o := benchTPCH()
+	o.NumBatches = 3
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Totals["OnlinePT"], shorten(r.Workload)+"_online")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: OnlinePT per-module overhead.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for name, rows := range data {
+				for _, r := range rows {
+					if r.Module == "Total" {
+						b.ReportMetric(float64(r.Duration.Microseconds()), shorten(name)+"_us_per_query")
+					}
+				}
+			}
+		}
+	}
+}
+
+func reportSeries(b *testing.B, series []bench.Series) {
+	b.Helper()
+	for _, s := range series {
+		b.ReportMetric(s.Total(), shorten(s.Name)+"_cost")
+	}
+}
+
+func shorten(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+		if len(out) >= 12 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// --- micro-benchmarks -----------------------------------------------
+
+// tunedDB builds a loaded database with an attached tuner and a warm
+// request stream.
+func tunedDB(b *testing.B) (*engine.DB, *core.Tuner) {
+	b.Helper()
+	db := engine.Open()
+	db.MustExec("CREATE TABLE R (id INT, a INT, b INT, c INT, d INT, e INT, PRIMARY KEY (id))")
+	for i := 0; i < 3000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO R VALUES (%d, %d, %d, %d, %d, %d)", i, i%1000, i, i, i, i))
+	}
+	if err := db.Analyze("R"); err != nil {
+		b.Fatal(err)
+	}
+	return db, core.Attach(db, core.DefaultOptions())
+}
+
+// BenchmarkTunerPerQuery measures the tuner's whole per-query path
+// (lines 1–21) including query processing.
+func BenchmarkTunerPerQuery(b *testing.B) {
+	db, _ := tunedDB(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Exec("SELECT a, b, c, id FROM R WHERE a < 100"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryNoTuner is the same query without the tuner, isolating
+// the overhead.
+func BenchmarkQueryNoTuner(b *testing.B) {
+	db, _ := tunedDB(b)
+	db.SetObserver(nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Exec("SELECT a, b, c, id FROM R WHERE a < 100"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetCost measures the what-if primitive at the heart of the Δ
+// bookkeeping.
+func BenchmarkGetCost(b *testing.B) {
+	db, _ := tunedDB(b)
+	env := db.WhatIfEnv()
+	req := &whatif.Request{
+		Table: "R", Kind: whatif.KindSeek,
+		RangeCol: "a", RangeSel: 0.1,
+		Required: []string{"a", "b", "c", "id"},
+		Bindings: 1, RowsPerBinding: 300,
+		TableRows: 3000, TablePages: env.TablePages("R"),
+	}
+	config := []*catalog.Index{
+		{Name: "i1", Table: "R", Columns: []string{"id", "a", "b", "c"}},
+		{Name: "i2", Table: "R", Columns: []string{"a", "b", "c", "id"}},
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = whatif.GetCost(env, req, config)
+	}
+}
+
+// BenchmarkOnlineSI measures the constant-time single-index observer.
+func BenchmarkOnlineSI(b *testing.B) {
+	on := singleindex.New(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		on.Observe(float64(i%7), float64(i%5))
+	}
+}
+
+// BenchmarkOptSchedule measures the offline single-index DP.
+func BenchmarkOptSchedule(b *testing.B) {
+	n := 1000
+	c0 := make([]float64, n)
+	c1 := make([]float64, n)
+	for i := range c0 {
+		c0[i] = float64(i % 13)
+		c1[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := singleindex.OptSchedule(c0, c1, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

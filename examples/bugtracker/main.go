@@ -1,0 +1,94 @@
+// Bugtracker reproduces the paper's introductory motivating scenario: a
+// bug-tracking system that is browsed (select-heavy) most days, but has
+// occasional "bug-bash" days that insert large numbers of bugs
+// (update-heavy). A representative-workload offline tool would find no
+// globally useful index — query gains are outweighed by bug-bash update
+// costs — while the online tuner creates indexes for the browsing phases
+// and drops (here: suspends) them for the bashes.
+package main
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+)
+
+const bugsPerBash = 400
+
+func main() {
+	db := engine.Open()
+	db.MustExec(`CREATE TABLE bugs (
+		id INT, product INT, severity INT, status VARCHAR(10),
+		assignee INT, votes INT,
+		PRIMARY KEY (id))`)
+	next := 0
+	fileBug := func() {
+		db.MustExec(fmt.Sprintf("INSERT INTO bugs VALUES (%d, %d, %d, '%s', %d, %d)",
+			next, next%40, next%5, []string{"new", "open", "fixed"}[next%3], next%25, next%100))
+		next++
+	}
+	for i := 0; i < 4000; i++ {
+		fileBug()
+	}
+	if err := db.Analyze("bugs"); err != nil {
+		panic(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.UseSuspend = true // suspended indexes restart cheaply after a bash
+	tuner := core.Attach(db, opts)
+
+	browse := func(day, queries int) float64 {
+		total := 0.0
+		for i := 0; i < queries; i++ {
+			_, info, err := db.Exec(fmt.Sprintf(
+				"SELECT id, severity, votes FROM bugs WHERE product = %d AND status = 'open'", (day+i)%40))
+			if err != nil {
+				panic(err)
+			}
+			total += info.EstCost
+		}
+		return total
+	}
+	bash := func() float64 {
+		total := 0.0
+		for i := 0; i < bugsPerBash; i++ {
+			fileBug()
+		}
+		// Triage sweep: one broad update per bash.
+		for i := 0; i < 30; i++ {
+			_, info, err := db.Exec("UPDATE bugs SET votes = votes + 1, severity = severity + 0 WHERE id >= 0")
+			if err != nil {
+				panic(err)
+			}
+			total += info.EstCost
+		}
+		return total
+	}
+
+	fmt.Println("day  phase    cost      configuration")
+	day := 0
+	report := func(phase string, cost float64) {
+		day++
+		fmt.Printf("%3d  %-7s %9.1f  %v\n", day, phase, cost, db.Configuration())
+	}
+	// A month: browse days with two bug bashes.
+	for week := 0; week < 2; week++ {
+		for d := 0; d < 5; d++ {
+			report("browse", browse(day, 60))
+		}
+		report("bash", bash())
+	}
+	for d := 0; d < 5; d++ {
+		report("browse", browse(day, 60))
+	}
+
+	fmt.Println("\ntuner activity:")
+	for _, ev := range tuner.Events() {
+		fmt.Printf("  q%-5d %s %s\n", ev.AtQuery, ev.Kind, ev.Index)
+	}
+	fmt.Println("\nThe browsing phases run with supporting indexes; each bash evicts")
+	fmt.Println("them (suspend) and the next browsing phase restarts them cheaply —")
+	fmt.Println("a schedule no single static design can match.")
+}

@@ -1,0 +1,76 @@
+// Hosted reproduces the paper's second motivating scenario: a hosting
+// installation running multiple database applications that "come and go,
+// and usually exhibit unexpected spikes in their loads", with a shared
+// pool of storage for physical design. When tenant A spikes, the online
+// tuner builds indexes for A — evicting B's under the shared budget —
+// and reverses the decision when the load shifts to B.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+)
+
+func main() {
+	db := engine.Open()
+	// Two hosted applications: a storefront and an analytics app.
+	db.MustExec(`CREATE TABLE shop_sales (
+		id INT, sku INT, region INT, qty INT, price FLOAT,
+		PRIMARY KEY (id))`)
+	db.MustExec(`CREATE TABLE metrics_events (
+		id INT, host INT, kind INT, value FLOAT, ts INT,
+		PRIMARY KEY (id))`)
+	for i := 0; i < 4000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO shop_sales VALUES (%d, %d, %d, %d, %d.99)",
+			i, i%800, i%12, 1+i%5, 5+i%95))
+		db.MustExec(fmt.Sprintf("INSERT INTO metrics_events VALUES (%d, %d, %d, %d.5, %d)",
+			i, i%50, i%8, i%1000, i))
+	}
+	for _, t := range []string{"shop_sales", "metrics_events"} {
+		if err := db.Analyze(t); err != nil {
+			panic(err)
+		}
+	}
+
+	// Shared budget: enough for roughly one application's indexes.
+	db.Mgr.SetBudget(200_000)
+	tuner := core.Attach(db, core.DefaultOptions())
+
+	shopQuery := func(i int) string {
+		return fmt.Sprintf("SELECT id, qty, price FROM shop_sales WHERE sku = %d", i%800)
+	}
+	metricsQuery := func(i int) string {
+		return fmt.Sprintf("SELECT host, value FROM metrics_events WHERE kind = %d AND ts > %d",
+			i%8, 100+i%500)
+	}
+	spike := func(name string, q func(int) string, n int) {
+		for i := 0; i < n; i++ {
+			if _, _, err := db.Exec(q(i)); err != nil {
+				panic(err)
+			}
+		}
+		var owned []string
+		for _, ix := range db.Configuration() {
+			owned = append(owned, ix.String())
+		}
+		fmt.Printf("%-18s -> config: %s (budget used %d/%d)\n",
+			name, strings.Join(owned, ", "), db.Mgr.UsedBytes(), db.Mgr.Budget())
+	}
+
+	fmt.Println("phase 1: storefront spike")
+	spike("shop spike", shopQuery, 120)
+	fmt.Println("phase 2: analytics spike (shop goes quiet)")
+	spike("metrics spike", metricsQuery, 250)
+	fmt.Println("phase 3: storefront returns")
+	spike("shop spike", shopQuery, 250)
+
+	fmt.Println("\ntuner activity:")
+	for _, ev := range tuner.Events() {
+		fmt.Printf("  q%-5d %s %s\n", ev.AtQuery, ev.Kind, ev.Index)
+	}
+	fmt.Println("\nThe shared storage follows the load: whichever tenant is hot owns")
+	fmt.Println("the index budget, with no DBA deciding when to re-tune.")
+}

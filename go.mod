@@ -1,0 +1,3 @@
+module onlinetuner
+
+go 1.22

@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/workload"
+)
+
+// smallTPCH keeps harness tests fast.
+func smallTPCH() workload.TPCHOptions {
+	o := workload.DefaultTPCH()
+	o.Scale = 0.2
+	o.NumBatches = 8
+	return o
+}
+
+func TestRunOnlineProducesSchedule(t *testing.T) {
+	w := workload.W1()
+	r, err := RunOnline(w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerStatement) != len(w.Statements) {
+		t.Fatalf("per-statement entries = %d", len(r.PerStatement))
+	}
+	if r.Total <= 0 {
+		t.Error("no total cost")
+	}
+	if len(r.Events) == 0 {
+		t.Error("no physical changes on W1")
+	}
+	s := scheduleString(r)
+	if !strings.Contains(s, "C(") {
+		t.Errorf("schedule missing creation: %s", s)
+	}
+	// The schedule must contain an E(...) run with a per-query cost.
+	if !strings.Contains(s, "E(q1)") {
+		t.Errorf("schedule missing runs: %s", s)
+	}
+}
+
+func TestRunNoTuningBaseline(t *testing.T) {
+	w := workload.W1()
+	nt, err := RunNoTuning(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunOnline(w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Total >= nt.Total {
+		t.Errorf("online (%g) should beat no tuning (%g) on W1", on.Total, nt.Total)
+	}
+}
+
+func TestRunOfflineSetAndSeq(t *testing.T) {
+	w := workload.W1()
+	set, err := RunOfflineSet(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunOfflineSeq(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.FinalConfig) == 0 {
+		t.Error("offline-set created nothing")
+	}
+	// Sequence-based knows the future: on W1's phased workload it must
+	// beat the set-based advisor.
+	if seq.Total > set.Total {
+		t.Errorf("seq (%g) worse than set (%g) on phased W1", seq.Total, set.Total)
+	}
+}
+
+// TestPaperOrderingSimple checks the Figure 8 ordering on the simple
+// workloads: Offline-Seq ≤ OnlinePT ≤ NoTuning (with small tolerance for
+// the seq approximation).
+func TestPaperOrderingSimple(t *testing.T) {
+	for _, w := range []*workload.Workload{workload.W1(), workload.W3()} {
+		on, err := RunOnline(w, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := RunOfflineSeq(w, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt, err := RunNoTuning(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Total > on.Total*1.05 {
+			t.Errorf("%s: seq (%g) should not lose to online (%g)", w.Name, seq.Total, on.Total)
+		}
+		if on.Total > nt.Total {
+			t.Errorf("%s: online (%g) worse than no tuning (%g)", w.Name, on.Total, nt.Total)
+		}
+	}
+}
+
+func TestFigure7aShape(t *testing.T) {
+	w, series, on, err := Figure7a(smallTPCH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := series[0].PerBatch
+	if len(pb) != 8 {
+		t.Fatalf("batches = %d", len(pb))
+	}
+	// Cost must decrease from the first to the last batch (learning).
+	if pb[len(pb)-1] >= pb[0] {
+		t.Errorf("per-batch cost did not decrease: first %g last %g", pb[0], pb[len(pb)-1])
+	}
+	if len(on.Events) == 0 {
+		t.Error("no tuning activity")
+	}
+	_ = w
+}
+
+func TestFigure7dDisruptionShape(t *testing.T) {
+	o := smallTPCH()
+	o.NumBatches = 10
+	o.DisruptCount = 24
+	w, series, err := Figure7d(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The disrupted workload has one extra batch (the updates).
+	if len(series[0].PerBatch) != 11 {
+		t.Fatalf("batches = %d, want 11", len(series[0].PerBatch))
+	}
+	// OnlinePT and Offline-Seq must beat Offline-Set on the update batch
+	// region or overall: the set advisor cannot adapt (the paper's
+	// Figure 7(d) claim is about the overall cost).
+	var on, set, seq = series[0], series[1], series[2]
+	if on.Name != "OnlinePT" || set.Name != "Offline-Set" || seq.Name != "Offline-Seq" {
+		t.Fatalf("series order: %v %v %v", on.Name, set.Name, seq.Name)
+	}
+	// At this miniature scale the seq/set gap is small; the full-scale
+	// comparison is EXPERIMENTS.md's job. Here: seq must not LOSE to set
+	// beyond noise.
+	if seq.Total() > set.Total()*1.05 {
+		t.Errorf("offline-seq (%g) should not lose to offline-set (%g) with disruptive updates",
+			seq.Total(), set.Total())
+	}
+	_ = w
+}
+
+func TestFigure8Rows(t *testing.T) {
+	o := smallTPCH()
+	o.NumBatches = 4
+	o.DisruptCount = 16
+	rows, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // TPC-H, TPC-H+updates, five simple workloads
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, tech := range []string{"OnlinePT", "Offline-Set", "Offline-Seq", "NoTuning"} {
+			if r.Totals[tech] <= 0 {
+				t.Errorf("%s: missing %s", r.Workload, tech)
+			}
+		}
+		// On workloads too short to amortize index creations, OnlinePT
+		// can lose to NoTuning, but Theorem 2 bounds the loss at 3× the
+		// optimum (≤ NoTuning here); the long simple workloads must be
+		// strict wins (TestPaperOrderingSimple).
+		if r.Totals["OnlinePT"] > r.Totals["NoTuning"]*3 {
+			t.Errorf("%s: OnlinePT (%g) breaks the competitive bound vs NoTuning (%g)",
+				r.Workload, r.Totals["OnlinePT"], r.Totals["NoTuning"])
+		}
+	}
+	out := FormatFigure8(rows)
+	if !strings.Contains(out, "OnlinePT") || !strings.Contains(out, "TPC-H") {
+		t.Error("format missing columns")
+	}
+}
+
+func TestFigure9Overhead(t *testing.T) {
+	data, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 {
+		t.Fatalf("workloads = %d", len(data))
+	}
+	for name, rows := range data {
+		if len(rows) != 5 {
+			t.Fatalf("%s: rows = %d", name, len(rows))
+		}
+		var total, l1, l28, l918, l18 OverheadRow
+		for _, r := range rows {
+			switch r.Module {
+			case "Total":
+				total = r
+			case "Line 1":
+				l1 = r
+			case "Lines 2-8":
+				l28 = r
+			case "Lines 9-18":
+				l918 = r
+			case "Line 18":
+				l18 = r
+			}
+		}
+		// Structural sanity: merging is a subset of the analysis phase,
+		// and the total dominates each part.
+		if l18.Duration > l918.Duration {
+			t.Errorf("%s: line 18 (%v) exceeds lines 9-18 (%v)", name, l18.Duration, l918.Duration)
+		}
+		for _, part := range []OverheadRow{l1, l28, l918} {
+			if total.Duration < part.Duration {
+				t.Errorf("%s: total (%v) below part %s (%v)", name, total.Duration, part.Module, part.Duration)
+			}
+		}
+		// The paper's headline claim: tuner overhead is a small fraction
+		// of query processing. Our queries run ~1000× faster than a real
+		// server's, so the bar here is generous; EXPERIMENTS.md records
+		// the measured numbers.
+		if total.Fraction > 0.6 {
+			t.Errorf("%s: overhead fraction %.2f too large", name, total.Fraction)
+		}
+	}
+	out := FormatFigure9(data)
+	if !strings.Contains(out, "Line 18") {
+		t.Error("format missing merge row")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	s := Chart("test", []Series{
+		{Name: "a", PerBatch: []float64{1, 2, 3}},
+		{Name: "b", PerBatch: []float64{3, 2}},
+	})
+	if !strings.Contains(s, "total") || !strings.Contains(s, "batch") {
+		t.Errorf("chart malformed:\n%s", s)
+	}
+}
+
+func TestCollapsePairs(t *testing.T) {
+	in := []string{"1E(q1)[1.00]", "1E(q2)[2.00]", "1E(q1)[1.00]", "1E(q2)[2.00]", "C(X)[5]"}
+	out := collapsePairs(in)
+	if len(out) != 2 || out[0] != "2E(q1;q2)[1.00;2.00]" {
+		t.Errorf("collapsed = %v", out)
+	}
+	// Non-collapsible input passes through.
+	in2 := []string{"3E(q1)[1.00]", "C(X)[5]"}
+	if got := collapsePairs(in2); len(got) != 2 {
+		t.Errorf("pass-through = %v", got)
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 runs all five simple workloads")
+	}
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"W1", "W2", "W3", "Cost_online", "Cost_opt", "C("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	o := smallTPCH()
+	o.NumBatches = 2
+	rows, err := Ablation([]*workload.Workload{workload.TPCH(o)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("variants = %d, want 8", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Errorf("%s: no cost", r.Variant)
+		}
+		byName[r.Variant] = r
+	}
+	if _, ok := byName["default"]; !ok {
+		t.Error("default variant missing")
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "no-damping") || !strings.Contains(out, "physical changes") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestAblationNoDampingOscillates(t *testing.T) {
+	// The headline ablation claim: removing the damping rule makes the
+	// one-index-budget interleaved workload thrash.
+	w := workload.W2(workload.BudgetOne4Col, "one-index budget")
+	def, err := RunOnline(w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.DisableDamping = true
+	noDamp, err := RunOnline(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noDamp.Events) <= len(def.Events) {
+		t.Errorf("no-damping should thrash: %d vs %d changes",
+			len(noDamp.Events), len(def.Events))
+	}
+	if noDamp.Total <= def.Total {
+		t.Errorf("no-damping should cost more: %g vs %g", noDamp.Total, def.Total)
+	}
+}
+
+func TestCompetitiveSweep(t *testing.T) {
+	adversarial, random, err := Competitive(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adversarial) != 5 || len(random) != 1 {
+		t.Fatalf("rows = %d/%d", len(adversarial), len(random))
+	}
+	// Ratios increase toward (but never reach) 3 as ε shrinks.
+	prev := 0.0
+	for _, r := range adversarial {
+		if r.Ratio() >= 3 {
+			t.Errorf("%s: ratio %.4f breaks Theorem 2", r.Label, r.Ratio())
+		}
+		if r.Ratio() < prev {
+			t.Errorf("%s: ratio not monotone in ε", r.Label)
+		}
+		prev = r.Ratio()
+	}
+	if last := adversarial[len(adversarial)-1].Ratio(); last < 2.9 {
+		t.Errorf("adversarial limit ratio %.4f should approach 3", last)
+	}
+	if random[0].Ratio() >= 3 {
+		t.Errorf("random worst ratio %.4f breaks the bound", random[0].Ratio())
+	}
+	if !strings.Contains(FormatCompetitive(adversarial, random), "Theorem 2") {
+		t.Error("format incomplete")
+	}
+}
+
+// TestStabilization is the Figure 7(a) property at moderate scale: the
+// tuner's activity and per-batch cost both settle — the last third of
+// the run has fewer physical changes than the first third, and its mean
+// batch cost is below the first third's.
+func TestStabilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale soak")
+	}
+	o := workload.DefaultTPCH()
+	o.Scale = 0.35
+	o.NumBatches = 30
+	w := workload.TPCH(o)
+	on, err := RunOnline(w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := w.Batches(on.PerStatement)
+	third := len(pb) / 3
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	early, late := mean(pb[:third]), mean(pb[len(pb)-third:])
+	if late >= early {
+		t.Errorf("per-batch cost did not settle: early %.1f, late %.1f", early, late)
+	}
+	boundary := int64(len(w.Statements) / 3)
+	earlyChanges, lateChanges := 0, 0
+	for _, ev := range on.Events {
+		if ev.AtQuery <= boundary {
+			earlyChanges++
+		}
+		if ev.AtQuery > 2*boundary {
+			lateChanges++
+		}
+	}
+	if lateChanges > earlyChanges {
+		t.Errorf("activity did not settle: %d early vs %d late changes", earlyChanges, lateChanges)
+	}
+}
+
+// TestOnlineRunsAreDeterministic: identical workloads and options must
+// produce byte-identical schedules — the property that makes every
+// number in EXPERIMENTS.md reproducible.
+func TestOnlineRunsAreDeterministic(t *testing.T) {
+	o := smallTPCH()
+	o.NumBatches = 5
+	run := func() ([]core.Event, float64) {
+		r, err := RunOnline(workload.TPCH(o), core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Events, r.Total
+	}
+	ev1, t1 := run()
+	ev2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("totals differ: %v vs %v", t1, t2)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i].String() != ev2[i].String() || ev1[i].AtQuery != ev2[i].AtQuery {
+			t.Fatalf("event %d differs: %v vs %v", i, ev1[i], ev2[i])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"onlinetuner/internal/core/singleindex"
+)
+
+// CompetitiveRow is one point of the Theorem 2 sweep.
+type CompetitiveRow struct {
+	Label  string
+	Online float64
+	Opt    float64
+}
+
+// Ratio is the competitive ratio at this point.
+func (r CompetitiveRow) Ratio() float64 {
+	if r.Opt <= 0 {
+		return 0
+	}
+	return r.Online / r.Opt
+}
+
+// Competitive empirically verifies Theorem 2. The adversarial sweep
+// replays the proof's worst-case workload — alternating queries where
+// cost(q1,0)=ε+B, cost(q1,1)=ε, cost(q2,0)=ε, cost(q2,1)=ε+B — for
+// shrinking ε/B, and the ratio must approach 3 from below. The random
+// sweep draws workloads with per-query gaps bounded by B (the regime the
+// analysis covers) and reports the worst observed ratio, which must stay
+// under 3 plus an O(B) boundary term.
+func Competitive(pairs int, seeds int) ([]CompetitiveRow, []CompetitiveRow, error) {
+	const B = 10.0
+	var adversarial []CompetitiveRow
+	for _, frac := range []float64{1, 0.5, 0.1, 0.01, 0.001} {
+		eps := B * frac
+		var c0, c1 []float64
+		for i := 0; i < pairs; i++ {
+			c0 = append(c0, eps+B, eps)
+			c1 = append(c1, eps, eps+B)
+		}
+		_, opt, err := singleindex.OptSchedule(c0, c1, B)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, online, err := singleindex.New(B).Run(c0, c1)
+		if err != nil {
+			return nil, nil, err
+		}
+		adversarial = append(adversarial, CompetitiveRow{
+			Label:  fmt.Sprintf("adversarial ε/B=%g", frac),
+			Online: online,
+			Opt:    opt,
+		})
+	}
+
+	var random []CompetitiveRow
+	worst := CompetitiveRow{Label: "random worst"}
+	for seed := 0; seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 50 + r.Intn(400)
+		c0 := make([]float64, n)
+		c1 := make([]float64, n)
+		for i := range c0 {
+			base := r.Float64() * 5
+			gap := (r.Float64()*2 - 1) * B
+			c0[i] = base
+			c1[i] = base
+			if gap > 0 {
+				c0[i] += gap
+			} else {
+				c1[i] -= gap
+			}
+		}
+		_, opt, err := singleindex.OptSchedule(c0, c1, B)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, online, err := singleindex.New(B).Run(c0, c1)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := CompetitiveRow{Label: fmt.Sprintf("random seed %d", seed), Online: online, Opt: opt}
+		if worst.Opt == 0 || row.Ratio() > worst.Ratio() {
+			worst = row
+			worst.Label = fmt.Sprintf("random worst (seed %d of %d)", seed, seeds)
+		}
+		_ = row
+	}
+	random = append(random, worst)
+	return adversarial, random, nil
+}
+
+// FormatCompetitive renders the Theorem 2 sweep.
+func FormatCompetitive(adversarial, random []CompetitiveRow) string {
+	var sb strings.Builder
+	sb.WriteString("Theorem 2: Online-SI competitive ratio (bound: 3)\n")
+	for _, r := range adversarial {
+		fmt.Fprintf(&sb, "  %-26s online=%12.2f opt=%12.2f ratio=%.4f\n",
+			r.Label, r.Online, r.Opt, r.Ratio())
+	}
+	for _, r := range random {
+		fmt.Fprintf(&sb, "  %-26s online=%12.2f opt=%12.2f ratio=%.4f\n",
+			r.Label, r.Online, r.Opt, r.Ratio())
+	}
+	return sb.String()
+}

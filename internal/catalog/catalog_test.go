@@ -1,0 +1,261 @@
+package catalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"onlinetuner/internal/datum"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("R", []Column{
+		{Name: "id", Kind: datum.KInt},
+		{Name: "a", Kind: datum.KInt},
+		{Name: "b", Kind: datum.KInt},
+		{Name: "c", Kind: datum.KInt},
+		{Name: "d", Kind: datum.KInt},
+		{Name: "e", Kind: datum.KInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", []Column{{Name: "a"}}, []string{"a"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTable("t", nil, nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}, {Name: "A"}}, []string{"a"}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}}, []string{"zz"}); err == nil {
+		t.Error("bad primary key accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}}, nil); err == nil {
+		t.Error("missing primary key accepted")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tbl := testTable(t)
+	if tbl.ColumnIndex("A") != 1 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if tbl.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if got := tbl.RowWidth(); got != 48 {
+		t.Errorf("RowWidth = %d, want 48", got)
+	}
+	if got := tbl.ColumnsWidth([]string{"a", "b"}); got != 16 {
+		t.Errorf("ColumnsWidth = %d, want 16", got)
+	}
+}
+
+func ix(cols ...string) *Index {
+	return &Index{Name: strings.Join(cols, "_"), Table: "R", Columns: cols}
+}
+
+func TestUsefulnessLevelDefinition3(t *testing.T) {
+	// Examples straight from the paper.
+	i1 := ix("a", "b", "c")
+	i2 := ix("a", "c")
+	if got := UsefulnessLevel(i1, i2); got != 1 {
+		t.Errorf("level((a,b,c),(a,c)) = %d, want 1", got)
+	}
+	if got := UsefulnessLevel(i2, i1); got != -1 {
+		t.Errorf("level((a,c),(a,b,c)) = %d, want -1", got)
+	}
+	cases := []struct {
+		a, b *Index
+		want int
+	}{
+		{ix("a", "b", "c", "d"), ix("a", "b", "c"), 2},
+		{ix("a", "b", "c"), ix("a", "b", "c"), 2},
+		{ix("b", "a", "c"), ix("a", "c"), 0},
+		{ix("a", "b"), ix("c"), -1},
+		{ix("a", "b", "c"), ix("b", "c"), 0},
+	}
+	for _, tc := range cases {
+		if got := UsefulnessLevel(tc.a, tc.b); got != tc.want {
+			t.Errorf("level(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Cross-table is always -1.
+	other := &Index{Name: "s1", Table: "S", Columns: []string{"a"}}
+	if UsefulnessLevel(ix("a"), other) != -1 {
+		t.Error("cross-table usefulness must be -1")
+	}
+}
+
+func TestUsefulnessLevelProperties(t *testing.T) {
+	cols := []string{"a", "b", "c", "d", "e"}
+	r := rand.New(rand.NewSource(3))
+	randIx := func() *Index {
+		n := 1 + r.Intn(4)
+		perm := r.Perm(len(cols))
+		cs := make([]string, n)
+		for i := 0; i < n; i++ {
+			cs[i] = cols[perm[i]]
+		}
+		return ix(cs...)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randIx(), randIx()
+		l := UsefulnessLevel(a, b)
+		if l < -1 || l > 2 {
+			t.Fatalf("level out of range: %d", l)
+		}
+		// level >= 0 iff containment
+		if (l >= 0) != a.ContainsColumns(b.Columns) {
+			t.Fatalf("containment mismatch: %v %v level %d", a, b, l)
+		}
+		// level 2 iff prefix
+		if (l == 2) != b.IsPrefixOf(a) {
+			t.Fatalf("prefix mismatch: %v %v level %d", a, b, l)
+		}
+		// self level is always 2
+		if UsefulnessLevel(a, a) != 2 {
+			t.Fatalf("self level != 2 for %v", a)
+		}
+	}
+}
+
+func TestMergeLaws(t *testing.T) {
+	i1 := ix("a", "b", "c")
+	i2 := ix("a", "d", "e")
+	m, err := Merge(i1, i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if strings.Join(m.Columns, ",") != strings.Join(want, ",") {
+		t.Errorf("merge columns = %v, want %v", m.Columns, want)
+	}
+	// Merge must preserve i1 as a prefix (level 2) and contain i2 (level >= 0).
+	if UsefulnessLevel(m, i1) != 2 {
+		t.Error("merged index must have level 2 w.r.t. first input")
+	}
+	if UsefulnessLevel(m, i2) < 0 {
+		t.Error("merged index must contain second input")
+	}
+	if _, err := Merge(i1, &Index{Table: "S", Columns: []string{"x"}}); err == nil {
+		t.Error("cross-table merge accepted")
+	}
+}
+
+func TestMergeQuick(t *testing.T) {
+	cols := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pick := func() *Index {
+			n := 1 + r.Intn(5)
+			perm := r.Perm(len(cols))
+			cs := make([]string, n)
+			for i := range cs {
+				cs[i] = cols[perm[i]]
+			}
+			return ix(cs...)
+		}
+		a, b := pick(), pick()
+		m, err := Merge(a, b)
+		if err != nil {
+			return false
+		}
+		return UsefulnessLevel(m, a) == 2 && UsefulnessLevel(m, b) >= 0 &&
+			len(m.Columns) <= len(a.Columns)+len(b.Columns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(ix("a", "b", "c"), ix("a", "b", "c")); got != 1 {
+		t.Errorf("self jaccard = %g", got)
+	}
+	if got := Jaccard(ix("a", "b"), ix("c", "d")); got != 0 {
+		t.Errorf("disjoint jaccard = %g", got)
+	}
+	if got := Jaccard(ix("a", "b", "c"), ix("a", "c")); got != 2.0/3.0 {
+		t.Errorf("jaccard = %g, want 2/3", got)
+	}
+	if got := Jaccard(ix("a"), &Index{Table: "S", Columns: []string{"a"}}); got != 0 {
+		t.Error("cross-table jaccard must be 0")
+	}
+}
+
+func TestCatalogLifecycle(t *testing.T) {
+	c := New()
+	tbl := testTable(t)
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tbl); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	// Primary index should have been auto-created and cover all columns.
+	pk := c.PrimaryIndex("R")
+	if pk == nil || !pk.Primary {
+		t.Fatal("primary index missing")
+	}
+	if pk.LeadingColumn() != "id" || len(pk.Columns) != 6 {
+		t.Errorf("primary index columns = %v", pk.Columns)
+	}
+
+	i2 := &Index{Name: "I2", Table: "R", Columns: []string{"a", "b", "c", "id"}}
+	if err := c.AddIndex(i2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "I2b", Table: "R", Columns: []string{"a", "b", "c", "id"}}); err == nil {
+		t.Error("duplicate column sequence accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "bad", Table: "R", Columns: []string{"zz"}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "bad2", Table: "NoSuch", Columns: []string{"a"}}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if got := len(c.TableIndexes("R")); got != 2 {
+		t.Errorf("TableIndexes = %d, want 2", got)
+	}
+	if c.IndexByID("r(a,b,c,id)") == nil {
+		t.Error("IndexByID failed")
+	}
+	if err := c.DropIndex("R_pk"); err == nil {
+		t.Error("dropping primary index accepted")
+	}
+	if err := c.DropIndex("I2"); err != nil {
+		t.Error(err)
+	}
+	if err := c.DropIndex("I2"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := c.DropTable("R"); err != nil {
+		t.Error(err)
+	}
+	if c.Table("R") != nil || len(c.Indexes()) != 0 {
+		t.Error("DropTable did not clean up")
+	}
+	if err := c.DropTable("R"); err == nil {
+		t.Error("double table drop accepted")
+	}
+}
+
+func TestIndexIDCanonical(t *testing.T) {
+	a := &Index{Name: "X", Table: "R", Columns: []string{"A", "b"}}
+	b := &Index{Name: "Y", Table: "r", Columns: []string{"a", "B"}}
+	if a.ID() != b.ID() {
+		t.Errorf("IDs differ: %s vs %s", a.ID(), b.ID())
+	}
+	if a.String() != "R(A,b)" {
+		t.Errorf("String = %s", a.String())
+	}
+}

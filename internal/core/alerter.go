@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/whatif"
+)
+
+// Alerter is the paper's companion mode (Bruno & Chaudhuri, "To Tune or
+// not to Tune? A Lightweight Physical Design Alerter", VLDB 2006 —
+// reference [6], whose instrumentation Section 2 reuses): it observes
+// the same request stream as OnlinePT and accumulates the same
+// per-candidate evidence, but never changes the physical design.
+// Instead it maintains a LOWER BOUND on how much a comprehensive tuning
+// session would improve the observed workload, and raises an alert when
+// that bound crosses a configurable fraction of the observed cost.
+//
+// The bound is valid because it only counts improvements that are
+// individually realizable: for each candidate index, the accumulated
+// Δ−Δmin is the cost the observed workload would have saved had the
+// index existed (net of nothing — creation cost is subtracted), and the
+// report takes a non-overlapping subset of candidates (greedy by table:
+// at most one candidate per table), so no request's saving is counted
+// twice.
+type Alerter struct {
+	db  *engine.DB
+	env *whatif.Env
+
+	// Threshold is the improvement fraction (savings / observed cost)
+	// that triggers an alert. The paper's alerter uses configurable
+	// thresholds; 0.1 by default.
+	Threshold float64
+
+	tracked      map[string]*IndexStats
+	observedCost float64
+	queries      int64
+	alerts       []Alert
+}
+
+// Alert is one raised recommendation-to-tune event.
+type Alert struct {
+	AtQuery int64
+	// LowerBound is the guaranteed-achievable improvement (cost units)
+	// for the workload observed so far.
+	LowerBound float64
+	// ObservedCost is the total estimated cost of the observed workload.
+	ObservedCost float64
+	// Candidates lists the non-overlapping index set realizing the bound.
+	Candidates []*catalog.Index
+	When       time.Time
+}
+
+// Improvement returns the alert's relative improvement bound.
+func (a Alert) Improvement() float64 {
+	if a.ObservedCost <= 0 {
+		return 0
+	}
+	return a.LowerBound / a.ObservedCost
+}
+
+func (a Alert) String() string {
+	names := make([]string, len(a.Candidates))
+	for i, ix := range a.Candidates {
+		names[i] = ix.String()
+	}
+	return fmt.Sprintf("alert@%d: tuning would save ≥ %.1f (%.1f%% of %.1f) via %s",
+		a.AtQuery, a.LowerBound, a.Improvement()*100, a.ObservedCost, strings.Join(names, ", "))
+}
+
+// NewAlerter builds an alerter over a database. Install it with
+// db.SetObserver (it satisfies engine.Observer), or feed it manually.
+func NewAlerter(db *engine.DB, threshold float64) *Alerter {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	return &Alerter{
+		db:        db,
+		env:       db.WhatIfEnv(),
+		Threshold: threshold,
+		tracked:   make(map[string]*IndexStats),
+	}
+}
+
+// OnExecuted implements engine.Observer.
+func (a *Alerter) OnExecuted(info *engine.QueryInfo) {
+	a.queries++
+	a.observedCost += info.EstCost
+	config := a.db.Configuration()
+	for _, r := range info.Result.Tree.Requests() {
+		if r.Kind == whatif.KindUpdate {
+			// Updates penalize every tracked candidate over the table,
+			// keeping the bound honest for update-heavy workloads.
+			maint := a.env.MaintenancePerIndex(r)
+			for _, st := range a.tracked {
+				if strings.EqualFold(st.Ix.Table, r.Table) {
+					st.Add(LevelU, 0, maint, false)
+				}
+			}
+			continue
+		}
+		best := whatif.GetBestIndex(a.env.Cat, r)
+		if best == nil || best.Primary || a.env.Available(best) {
+			continue
+		}
+		st := a.tracked[best.ID()]
+		if st == nil {
+			st = NewIndexStats(best)
+			a.tracked[best.ID()] = st
+		}
+		o := whatif.GetCost(a.env, r, config)
+		n := whatif.GetCost(a.env, r, append(config, best))
+		st.Add(UsageLevel(r), o, n, false)
+	}
+
+	bound, cands := a.LowerBound()
+	if a.observedCost > 0 && bound/a.observedCost >= a.Threshold {
+		a.alerts = append(a.alerts, Alert{
+			AtQuery:      a.queries,
+			LowerBound:   bound,
+			ObservedCost: a.observedCost,
+			Candidates:   cands,
+			When:         time.Now(),
+		})
+		// Re-arm: evidence already reported is consumed so the next alert
+		// reflects new findings rather than repeating this one.
+		for _, st := range a.tracked {
+			st.OnDropped()
+		}
+	}
+}
+
+// LowerBound returns the current guaranteed improvement and the
+// candidate set realizing it: for each table, the single candidate with
+// the largest net evidence (Δ−Δmin minus its creation cost), summed over
+// tables. One candidate per table guarantees no double counting of a
+// request's savings.
+func (a *Alerter) LowerBound() (float64, []*catalog.Index) {
+	bestPerTable := map[string]*IndexStats{}
+	netOf := func(st *IndexStats) float64 {
+		return st.Delta() - st.DeltaMin - whatif.BuildCost(a.env, st.Ix)
+	}
+	for _, st := range a.tracked {
+		key := strings.ToLower(st.Ix.Table)
+		if cur := bestPerTable[key]; cur == nil || netOf(st) > netOf(cur) {
+			bestPerTable[key] = st
+		}
+	}
+	var total float64
+	var cands []*catalog.Index
+	for _, st := range bestPerTable {
+		if net := netOf(st); net > 0 {
+			total += net
+			cands = append(cands, st.Ix)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID() < cands[j].ID() })
+	return total, cands
+}
+
+// Alerts returns the raised alerts.
+func (a *Alerter) Alerts() []Alert { return a.alerts }
+
+// ObservedCost returns the total estimated cost observed so far.
+func (a *Alerter) ObservedCost() float64 { return a.observedCost }

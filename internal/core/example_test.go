@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+)
+
+// Example demonstrates the one-call integration: open a database, attach
+// the tuner, run a workload, and read the physical changes it made.
+func Example() {
+	db := engine.Open()
+	db.MustExec("CREATE TABLE t (id INT, k INT, v INT, PRIMARY KEY (id))")
+	for i := 0; i < 4000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, %d)", i, i%400, i))
+	}
+	if err := db.Analyze("t"); err != nil {
+		panic(err)
+	}
+	tuner := core.Attach(db, core.DefaultOptions())
+
+	for i := 0; i < 30; i++ {
+		db.MustExec("SELECT v FROM t WHERE k = 7")
+	}
+	for _, ev := range tuner.Events() {
+		fmt.Println(ev.Kind, ev.Index)
+	}
+	// Output:
+	// create t(k,v)
+}
+
+// ExampleNewAlerter shows the observe-only deployment: the alerter never
+// touches the physical design, it only reports guaranteed improvements.
+func ExampleNewAlerter() {
+	db := engine.Open()
+	db.MustExec("CREATE TABLE t (id INT, k INT, v INT, PRIMARY KEY (id))")
+	for i := 0; i < 4000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, %d)", i, i%400, i))
+	}
+	if err := db.Analyze("t"); err != nil {
+		panic(err)
+	}
+	alerter := core.NewAlerter(db, 0.2)
+	db.SetObserver(alerter)
+
+	for i := 0; i < 60; i++ {
+		db.MustExec("SELECT v FROM t WHERE k = 7")
+	}
+	fmt.Println("alerts:", len(alerter.Alerts()) > 0)
+	fmt.Println("indexes created:", len(db.Configuration()))
+	// Output:
+	// alerts: true
+	// indexes created: 0
+}

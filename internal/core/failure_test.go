@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/storage"
+)
+
+// TestTunerSurvivesBudgetShrink injects a budget shrink mid-run: the
+// tuner's creation attempts start failing, and it must neither wedge nor
+// leave dangling catalog entries.
+func TestTunerSurvivesBudgetShrink(t *testing.T) {
+	db := paperDB(t, 3000)
+	tn := Attach(db, DefaultOptions())
+	runN(t, db, q1, 30)
+	// Shrink the budget below anything creatable.
+	db.Mgr.SetBudget(64)
+	runN(t, db, q1, 80)
+	runN(t, db, q2, 80)
+	// No secondary index can exist under a 64-byte budget unless it was
+	// created before the shrink (grandfathered); verify catalog/storage
+	// agreement either way.
+	for _, ix := range db.Cat.Indexes() {
+		if ix.Primary {
+			continue
+		}
+		if db.Mgr.Index(ix.ID()) == nil {
+			t.Errorf("catalog index %v has no physical structure", ix)
+		}
+	}
+	_ = tn
+}
+
+// TestTunerCatalogStorageConsistency replays a mixed workload and checks
+// the invariant that every catalog secondary has a physical structure
+// and vice versa.
+func TestTunerCatalogStorageConsistency(t *testing.T) {
+	db := paperDB(t, 2000)
+	opts := DefaultOptions()
+	opts.CooldownQueries = 1 // maximize physical-change frequency
+	tn := Attach(db, opts)
+	for i := 0; i < 150; i++ {
+		switch i % 5 {
+		case 0, 1:
+			runN(t, db, q1, 1)
+		case 2:
+			runN(t, db, q2, 1)
+		case 3:
+			db.MustExec(fmt.Sprintf("SELECT b, c FROM R WHERE a = %d", i%1000))
+		default:
+			db.MustExec("UPDATE R SET e = e + 1 WHERE a < 50")
+		}
+	}
+	for _, ix := range db.Cat.Indexes() {
+		if ix.Primary {
+			continue
+		}
+		pi := db.Mgr.Index(ix.ID())
+		if pi == nil {
+			t.Errorf("catalog secondary %v missing from storage", ix)
+			continue
+		}
+		if pi.State == storage.StateActive && pi.Tree.Len() != db.Mgr.Heap("R").Len() {
+			t.Errorf("index %v has %d entries, heap has %d", ix, pi.Tree.Len(), db.Mgr.Heap("R").Len())
+		}
+	}
+	// Queries still return correct results after all the churn.
+	rs := db.MustExec(q1)
+	want := 0
+	h := db.Mgr.Heap("R")
+	_ = h
+	rs2 := db.MustExec("SELECT COUNT(*) FROM R WHERE a < 100")
+	want = int(rs2.Rows[0][0].Int())
+	if len(rs.Rows) != want {
+		t.Errorf("q1 rows = %d, COUNT says %d", len(rs.Rows), want)
+	}
+	_ = tn
+}
+
+// TestManualCreateOverBudgetFails verifies manual intervention respects
+// the budget and leaves no partial state.
+func TestManualCreateOverBudgetFails(t *testing.T) {
+	db := paperDB(t, 2000)
+	tn := Attach(db, DefaultOptions())
+	db.Mgr.SetBudget(100)
+	ix := &catalog.Index{Name: "too_big", Table: "R", Columns: []string{"a", "b", "c"}}
+	if err := tn.ManualCreate(ix); err == nil {
+		t.Fatal("over-budget manual create accepted")
+	}
+	if db.Cat.Index("too_big") != nil {
+		t.Error("failed manual create left a catalog entry")
+	}
+	if db.Mgr.Index(ix.ID()) != nil {
+		t.Error("failed manual create left a physical structure")
+	}
+}
+
+// TestAsyncAbortLeavesCleanState: an aborted asynchronous build must
+// leave the candidate recreatable and the physical layer untouched.
+func TestAsyncAbortLeavesCleanState(t *testing.T) {
+	db := paperDB(t, 3000)
+	opts := DefaultOptions()
+	opts.Async = true
+	tn := Attach(db, opts)
+	// Accumulate evidence until a build starts.
+	started := false
+	for i := 0; i < 400 && !started; i++ {
+		runN(t, db, q1, 1)
+		started = tn.pending != nil
+	}
+	if !started {
+		t.Skip("no async build started at this scale")
+	}
+	pendingIx := tn.pending.st.Ix
+	// Update burst to force the abort.
+	for i := 0; i < 120 && tn.pending != nil; i++ {
+		db.MustExec("UPDATE R SET b = b + 1, c = c + 1, d = d + 1, e = e + 1 WHERE id >= 0")
+	}
+	if tn.pending != nil {
+		t.Skip("build completed before the abort could trigger")
+	}
+	aborted := false
+	for _, ev := range tn.Events() {
+		if ev.Kind == EvAbort {
+			aborted = true
+		}
+	}
+	if !aborted {
+		return // completed normally; also a clean state
+	}
+	// The aborted index must not exist physically or in the catalog.
+	if db.Mgr.Index(pendingIx.ID()) != nil {
+		t.Error("aborted build left a physical structure")
+	}
+	st := tn.Stats(pendingIx.ID())
+	if st != nil && st.Creating {
+		t.Error("aborted candidate still marked Creating")
+	}
+}
+
+// TestSuspendedIndexExcludedFromPlansButRestored exercises the full
+// suspend → query → restart → query cycle for result correctness.
+func TestSuspendedIndexExcludedFromPlansButRestored(t *testing.T) {
+	db := paperDB(t, 2000)
+	tn := Attach(db, DefaultOptions())
+	ix := &catalog.Index{Name: "sus", Table: "R", Columns: []string{"a", "b", "c", "id"}}
+	if err := tn.ManualCreate(ix); err != nil {
+		t.Fatal(err)
+	}
+	// Suspend manually, bypassing the tuner: detach it first, or its
+	// bookkeeping (which no longer matches the physical state) would
+	// drop the index behind the test's back.
+	db.SetObserver(nil)
+	baseline := len(db.MustExec(q1).Rows)
+	if err := db.Mgr.SuspendIndex(ix.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// DML while suspended.
+	db.MustExec("INSERT INTO R VALUES (90001, 50, 1, 2, 3, 4)")
+	got := len(db.MustExec(q1).Rows)
+	if got != baseline+1 {
+		t.Fatalf("suspended phase rows = %d, want %d", got, baseline+1)
+	}
+	if _, err := db.Mgr.RestartIndex(ix.ID()); err != nil {
+		t.Fatal(err)
+	}
+	got = len(db.MustExec(q1).Rows)
+	if got != baseline+1 {
+		t.Fatalf("post-restart rows = %d, want %d (index missed the insert?)", got, baseline+1)
+	}
+}

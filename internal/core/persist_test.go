@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := paperDB(t, 3000)
+	tn := Attach(db, DefaultOptions())
+	runN(t, db, q1, 60)
+	var buf bytes.Buffer
+	if err := tn.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": same physical database, fresh tuner.
+	db.SetObserver(nil)
+	tn2 := NewTuner(db, DefaultOptions())
+	if err := tn2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	db.SetObserver(tn2)
+
+	// Evidence survived: the restored tuner's report shows the same
+	// configuration members and non-zero candidate evidence.
+	r1 := tn.Report(0)
+	r2 := tn2.Report(0)
+	if len(r2.Config) != len(r1.Config) {
+		t.Fatalf("config entries %d != %d after restore", len(r2.Config), len(r1.Config))
+	}
+	if r2.Queries != r1.Queries {
+		t.Errorf("query counter %d != %d", r2.Queries, r1.Queries)
+	}
+	for i := range r1.Config {
+		if r1.Config[i].Index.ID() != r2.Config[i].Index.ID() {
+			t.Errorf("config member %d differs", i)
+		}
+	}
+}
+
+func TestLoadStateDemotesLostIndexes(t *testing.T) {
+	db := paperDB(t, 3000)
+	tn := Attach(db, DefaultOptions())
+	runN(t, db, q1, 60)
+	if len(db.Configuration()) == 0 {
+		t.Fatal("no configuration to lose")
+	}
+	var buf bytes.Buffer
+	if err := tn.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate losing the physical indexes across the restart (e.g. a
+	// rebuilt replica): drop them all behind the snapshot's back.
+	db.SetObserver(nil)
+	for _, ix := range db.Configuration() {
+		if err := db.DropIndex(ix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn2 := NewTuner(db, DefaultOptions())
+	if err := tn2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	db.SetObserver(tn2)
+	r := tn2.Report(0)
+	if len(r.Config) != 0 {
+		t.Fatalf("lost indexes still reported in configuration: %v", r.Config)
+	}
+	// The demoted candidate carries its evidence, so re-creation happens
+	// quickly once the workload resumes.
+	runN(t, db, q1, 25)
+	recreated := false
+	for _, ev := range tn2.Events() {
+		if ev.Kind == EvCreate {
+			recreated = true
+		}
+	}
+	if !recreated {
+		t.Error("demoted candidate never re-created despite retained evidence")
+	}
+}
+
+func TestLoadStateGuards(t *testing.T) {
+	db := paperDB(t, 500)
+	tn := Attach(db, DefaultOptions())
+	runN(t, db, q1, 3)
+	// Loading after observation is rejected.
+	if err := tn.LoadState(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("load after observation accepted")
+	}
+	fresh := NewTuner(db, DefaultOptions())
+	if err := fresh.LoadState(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := fresh.LoadState(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Entries for dropped tables are skipped silently.
+	snapshot := `{"version":1,"queries":5,"tracked":[
+		{"name":"x","table":"NoSuchTable","columns":["a"],"o":[1,0,0,0],"n":[0,0,0,0]}]}`
+	if err := fresh.LoadState(strings.NewReader(snapshot)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Candidates()) != 0 {
+		t.Error("entry for missing table retained")
+	}
+}

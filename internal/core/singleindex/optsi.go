@@ -1,0 +1,141 @@
+package singleindex
+
+// This file implements Opt-SI exactly as the paper's Figure 2 presents
+// it: a case analysis over the future behavior of Δ(i,n) (Figure 3),
+// appending sub-schedules to the optimal prefix. OptSchedule (the
+// dynamic program in singleindex.go) computes the same optimum; the two
+// are cross-checked by property tests, discharging Theorem 1
+// empirically for this implementation.
+//
+// Δ values follow Definition 1: Δ(i0,i1) = Σ_{i=i0..i1} (c0_i − c1_i),
+// the cumulative benefit of having the index over that sub-sequence.
+
+// OptSICase computes the optimal schedule with Figure 2's case analysis.
+// The schedule starts in configuration s0 = 0 (index absent), matching
+// OptSchedule's convention.
+func OptSICase(c0, c1 []float64, B float64) (schedule []bool, total float64, err error) {
+	n := len(c0)
+	if n != len(c1) {
+		return nil, 0, errLenMismatch(len(c0), len(c1))
+	}
+	schedule = make([]bool, n)
+	// delta[j] = Δ(i+1, j) computed lazily from prefix sums: pre[j] =
+	// Δ(1, j) with pre[0] = 0, so Δ(a, b) = pre[b] − pre[a−1].
+	pre := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		pre[i+1] = pre[i] + (c0[i] - c1[i])
+	}
+	delta := func(a, b int) float64 { return pre[b] - pre[a-1] } // 1-based, inclusive
+
+	s := false // s_i: current configuration
+	i := 0     // 0-based: queries 1..i are scheduled
+	for i < n {
+		if !s {
+			// Cases A1, A2, A3 (Figure 3): find the first j > i where
+			// Δ(i+1, j) either drops below 0 (A1: stay at 0 up to j) or
+			// exceeds B without having gone below 0 (A2: run 1 from i+1
+			// to j, creating the index). If neither happens, A3: stay at
+			// 0 to the end.
+			j, kind := scanForward(delta, i, n, B)
+			switch kind {
+			case caseA1:
+				for k := i; k < j; k++ {
+					schedule[k] = false
+				}
+				i = j
+			case caseA2:
+				for k := i; k < j; k++ {
+					schedule[k] = true
+				}
+				s = true
+				i = j
+			default: // A3
+				for k := i; k < n; k++ {
+					schedule[k] = false
+				}
+				i = n
+			}
+		} else {
+			// Cases B1, B2, B3 are symmetric: with the index present,
+			// find the first j where Δ(i+1, j) exceeds 0 (B1: keep the
+			// index to j) or drops below −B without having exceeded 0
+			// (B2: drop it for i+1..j). Otherwise B3: the benefit never
+			// recovers; drop for the rest.
+			j, kind := scanBackwardCases(delta, i, n, B)
+			switch kind {
+			case caseB1:
+				for k := i; k < j; k++ {
+					schedule[k] = true
+				}
+				i = j
+			case caseB2:
+				for k := i; k < j; k++ {
+					schedule[k] = false
+				}
+				s = false
+				i = j
+			default: // B3
+				for k := i; k < n; k++ {
+					schedule[k] = false
+				}
+				i = n
+			}
+		}
+	}
+	total, err = ScheduleCost(c0, c1, B, schedule)
+	return schedule, total, err
+}
+
+type caseKind int
+
+const (
+	caseA1 caseKind = iota
+	caseA2
+	caseA3
+	caseB1
+	caseB2
+	caseB3
+)
+
+// scanForward resolves the s=0 cases: walking j from i+1, the first
+// threshold Δ(i+1,j) crosses decides the case (below 0 → A1; above B
+// → A2; end of workload → A3).
+func scanForward(delta func(a, b int) float64, i, n int, B float64) (int, caseKind) {
+	for j := i + 1; j <= n; j++ {
+		d := delta(i+1, j)
+		if d < 0 {
+			return j, caseA1
+		}
+		if d > B {
+			return j, caseA2
+		}
+	}
+	return n, caseA3
+}
+
+// scanBackwardCases resolves the s=1 cases symmetrically: above 0 → B1
+// (keep); below −B → B2 (drop, then reconsider); end → B3 (drop to the
+// end — with no future benefit recovery, keeping the index pays nothing
+// and dropping is free).
+func scanBackwardCases(delta func(a, b int) float64, i, n int, B float64) (int, caseKind) {
+	for j := i + 1; j <= n; j++ {
+		d := delta(i+1, j)
+		if d > 0 {
+			return j, caseB1
+		}
+		if d < -B {
+			return j, caseB2
+		}
+	}
+	return n, caseB3
+}
+
+func errLenMismatch(a, b int) error {
+	return lenMismatchError{a: a, b: b}
+}
+
+type lenMismatchError struct{ a, b int }
+
+func (e lenMismatchError) Error() string {
+	return "singleindex: cost slices differ in length"
+}

@@ -1,0 +1,115 @@
+package singleindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOptSICaseMatchesDP is the empirical discharge of Theorem 1: the
+// Figure 2 case analysis produces schedules with the same cost as the
+// exact dynamic program, over random workloads.
+func TestOptSICaseMatchesDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(80)
+		c0 := make([]float64, n)
+		c1 := make([]float64, n)
+		for i := range c0 {
+			c0[i] = float64(r.Intn(20))
+			c1[i] = float64(r.Intn(20))
+		}
+		B := 0.5 + float64(r.Intn(30))
+		_, dp, err := OptSchedule(c0, c1, B)
+		if err != nil {
+			return false
+		}
+		_, fig2, err := OptSICase(c0, c1, B)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dp-fig2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptSICaseKnownSchedules(t *testing.T) {
+	B := 4.0
+	// Steady benefit: create early, keep forever.
+	c0 := []float64{5, 5, 5, 5, 5, 5}
+	c1 := []float64{1, 1, 1, 1, 1, 1}
+	sched, total, err := OptSICase(c0, c1, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sched {
+		if !s {
+			t.Fatalf("query %d should run with the index: %v", i, sched)
+		}
+	}
+	want := B + 6*1
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total = %g, want %g", total, want)
+	}
+
+	// Benefit then penalty: create for the first phase, drop for the
+	// second.
+	c0 = []float64{5, 5, 5, 1, 1, 1}
+	c1 = []float64{1, 1, 1, 5, 5, 5}
+	sched, _, err = OptSICase(c0, c1, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched[0] || !sched[2] || sched[3] || sched[5] {
+		t.Errorf("phase schedule = %v", sched)
+	}
+
+	// Never worth it.
+	c0 = []float64{1, 1, 1}
+	c1 = []float64{0.5, 0.5, 0.5}
+	sched, total, err = OptSICase(c0, c1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sched {
+		if s {
+			t.Errorf("index should never be created: %v", sched)
+		}
+	}
+	if total != 3 {
+		t.Errorf("total = %g", total)
+	}
+}
+
+func TestOptSICaseAdvancesEveryIteration(t *testing.T) {
+	// Theorem 1's progress argument: pathological flat inputs must still
+	// terminate with a complete schedule.
+	for _, vals := range [][2]float64{{1, 1}, {0, 0}, {2, 1}, {1, 2}} {
+		n := 50
+		c0 := make([]float64, n)
+		c1 := make([]float64, n)
+		for i := range c0 {
+			c0[i], c1[i] = vals[0], vals[1]
+		}
+		sched, _, err := OptSICase(c0, c1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sched) != n {
+			t.Fatalf("incomplete schedule for %v", vals)
+		}
+	}
+}
+
+func TestOptSICaseErrors(t *testing.T) {
+	if _, _, err := OptSICase([]float64{1}, nil, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	sched, total, err := OptSICase(nil, nil, 1)
+	if err != nil || len(sched) != 0 || total != 0 {
+		t.Error("empty workload should be trivial")
+	}
+}

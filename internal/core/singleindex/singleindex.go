@@ -1,0 +1,188 @@
+// Package singleindex implements Section 3.1 of the paper: the
+// single-index online physical tuning problem. OptSchedule computes the
+// optimal configuration schedule for a known workload (the paper's
+// Opt-SI, Figure 2 — realized here through the equivalent
+// dynamic-programming formulation the paper cites as the "simpler way"
+// [2], which the Figure 2 case analysis provably matches). OnlineSI is
+// the three-competitive online algorithm of Figure 4.
+package singleindex
+
+import "fmt"
+
+// Action is a physical design decision emitted by OnlineSI.
+type Action int
+
+// Possible actions after observing one query.
+const (
+	None Action = iota
+	Create
+	Drop
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Create:
+		return "create"
+	case Drop:
+		return "drop"
+	}
+	return "?"
+}
+
+// OnlineSI is the online algorithm of Figure 4. It observes, for each
+// executed query, the query's cost without the index (c0) and with it
+// (c1), and decides transitions after accumulating enough evidence: it
+// creates the index once Δ − Δmin ≥ B and drops it once Δmax − Δ ≥ B.
+// Only a constant amount of state is kept per index.
+type OnlineSI struct {
+	// B is the index creation cost B_I.
+	B float64
+	// Present reports the current configuration (true = index exists).
+	Present bool
+
+	delta    float64
+	deltaMin float64
+	deltaMax float64
+}
+
+// New returns an OnlineSI starting without the index.
+func New(buildCost float64) *OnlineSI {
+	return &OnlineSI{B: buildCost}
+}
+
+// Delta returns the accumulated Δ value.
+func (o *OnlineSI) Delta() float64 { return o.delta }
+
+// DeltaMin returns the tracked minimum of Δ since the last drop.
+func (o *OnlineSI) DeltaMin() float64 { return o.deltaMin }
+
+// DeltaMax returns the tracked maximum of Δ since the last creation.
+func (o *OnlineSI) DeltaMax() float64 { return o.deltaMax }
+
+// Observe processes one executed query, given its cost under both
+// configurations, and returns the transition to apply (the caller
+// performs the physical change). This is exactly Figure 4.
+func (o *OnlineSI) Observe(c0, c1 float64) Action {
+	delta := c0 - c1
+	o.delta += delta
+	if o.delta < o.deltaMin {
+		o.deltaMin = o.delta
+	}
+	if o.delta > o.deltaMax {
+		o.deltaMax = o.delta
+	}
+	if !o.Present && o.delta-o.deltaMin >= o.B {
+		o.deltaMax = o.delta
+		o.Present = true
+		return Create
+	}
+	if o.Present && o.deltaMax-o.delta >= o.B {
+		o.deltaMin = o.delta
+		o.Present = false
+		return Drop
+	}
+	return None
+}
+
+// Run replays a whole workload through OnlineSI and returns the
+// resulting schedule (s_i = configuration in which query i executes,
+// after the transition decision of query i-1) and its total cost
+// including index creations. Transitions are applied before the next
+// query, mirroring the paper's synchronous evaluation mode.
+func (o *OnlineSI) Run(c0, c1 []float64) (schedule []bool, total float64, err error) {
+	if len(c0) != len(c1) {
+		return nil, 0, fmt.Errorf("singleindex: cost slices differ in length: %d vs %d", len(c0), len(c1))
+	}
+	schedule = make([]bool, len(c0))
+	for i := range c0 {
+		schedule[i] = o.Present
+		if o.Present {
+			total += c1[i]
+		} else {
+			total += c0[i]
+		}
+		if a := o.Observe(c0[i], c1[i]); a == Create {
+			total += o.B
+		}
+	}
+	return schedule, total, nil
+}
+
+// OptSchedule computes the optimal configuration schedule (Opt-SI) for a
+// fully known workload: query i costs c0[i] without the index and c1[i]
+// with it, creating the index costs B (dropping is free), and the
+// schedule starts without the index. It returns the optimal schedule
+// (s[i] = true when query i runs with the index) and its total cost.
+func OptSchedule(c0, c1 []float64, B float64) (schedule []bool, total float64, err error) {
+	n := len(c0)
+	if n != len(c1) {
+		return nil, 0, fmt.Errorf("singleindex: cost slices differ in length: %d vs %d", n, len(c1))
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	const inf = 1e300
+	// dp[s] = minimal cost of a prefix ending in state s.
+	dp0, dp1 := 0.0, B // creating up-front is allowed
+	// choice[i][s] records the predecessor state for backtracking.
+	choice := make([][2]int8, n)
+	for i := 0; i < n; i++ {
+		n0, n1 := inf, inf
+		var ch [2]int8
+		// Arrive in state 0: stay 0, or drop from 1 (free).
+		if dp0 <= dp1 {
+			n0, ch[0] = dp0, 0
+		} else {
+			n0, ch[0] = dp1, 1
+		}
+		n0 += c0[i]
+		// Arrive in state 1: stay 1, or create from 0 paying B.
+		if dp1 <= dp0+B {
+			n1, ch[1] = dp1, 1
+		} else {
+			n1, ch[1] = dp0+B, 0
+		}
+		n1 += c1[i]
+		dp0, dp1 = n0, n1
+		choice[i] = ch
+	}
+	// Backtrack.
+	schedule = make([]bool, n)
+	state := int8(0)
+	if dp1 < dp0 {
+		state = 1
+		total = dp1
+	} else {
+		total = dp0
+	}
+	for i := n - 1; i >= 0; i-- {
+		schedule[i] = state == 1
+		state = choice[i][state]
+	}
+	return schedule, total, nil
+}
+
+// ScheduleCost evaluates an arbitrary schedule's total cost under the
+// same model as OptSchedule (start without the index; each 0→1
+// transition pays B; drops are free).
+func ScheduleCost(c0, c1 []float64, B float64, schedule []bool) (float64, error) {
+	if len(schedule) != len(c0) || len(c0) != len(c1) {
+		return 0, fmt.Errorf("singleindex: length mismatch")
+	}
+	total := 0.0
+	prev := false
+	for i, s := range schedule {
+		if s && !prev {
+			total += B
+		}
+		if s {
+			total += c1[i]
+		} else {
+			total += c0[i]
+		}
+		prev = s
+	}
+	return total, nil
+}

@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScanCostsGrowWithSize(t *testing.T) {
+	m := DefaultModel()
+	small := m.HeapScan(10, 1000, 1)
+	big := m.HeapScan(100, 10000, 1)
+	if big <= small {
+		t.Errorf("bigger scan should cost more: %g vs %g", big, small)
+	}
+	if m.HeapScan(10, 1000, 3) <= m.HeapScan(10, 1000, 1) {
+		t.Error("more predicates should cost more")
+	}
+}
+
+func TestSeekVsScan(t *testing.T) {
+	m := DefaultModel()
+	// A selective seek must beat a full scan on a large table.
+	scan := m.HeapScan(1000, 100000, 1)
+	seek := m.IndexSeek(1000, 3, 100)
+	if seek >= scan {
+		t.Errorf("selective seek (%g) should beat scan (%g)", seek, scan)
+	}
+	// An unselective "seek" touching all pages should not.
+	allSeek := m.IndexSeek(1000, 1000, 100000)
+	if allSeek < scan*0.9 {
+		t.Errorf("full-range seek (%g) should not massively beat scan (%g)", allSeek, scan)
+	}
+}
+
+func TestSeeksCap(t *testing.T) {
+	m := DefaultModel()
+	// Millions of repeated seeks are capped near a sequential pass.
+	many := m.Seeks(1e6, 100, 1, 1)
+	uncapped := 1e6 * m.IndexSeek(100, 1, 1)
+	if many >= uncapped {
+		t.Error("seek cap not applied")
+	}
+	if m.Seeks(0, 100, 1, 1) != 0 {
+		t.Error("zero seeks should be free")
+	}
+	// Monotone in n.
+	if m.Seeks(10, 100, 1, 1) > m.Seeks(100, 100, 1, 1) {
+		t.Error("Seeks should be monotone in n")
+	}
+}
+
+func TestRIDLookupsCap(t *testing.T) {
+	m := DefaultModel()
+	if m.RIDLookups(10, 1000) != 10*m.RandPage {
+		t.Error("small lookup count should be linear")
+	}
+	// Looking up every row should cost at most ~a scan.
+	capped := m.RIDLookups(100000, 1000)
+	if capped > 1000*m.SeqPage+100000*m.CPUTuple+1 {
+		t.Errorf("RID lookup cap not applied: %g", capped)
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	m := DefaultModel()
+	if m.Sort(0) != 0 || m.Sort(1) != 0 {
+		t.Error("trivial sorts should be free")
+	}
+	if m.Sort(1000) <= m.Sort(100) {
+		t.Error("sort should grow with rows")
+	}
+}
+
+func TestBuildIndexSortAsymmetry(t *testing.T) {
+	m := DefaultModel()
+	withSort := m.BuildIndex(100, 10000, 50, true)
+	noSort := m.BuildIndex(100, 10000, 50, false)
+	if withSort <= noSort {
+		t.Error("sorted build should cost more")
+	}
+	// The asymmetry should be substantial (paper: 8.96 vs 1.33).
+	if withSort/noSort < 1.3 {
+		t.Errorf("sort asymmetry too small: %g vs %g", withSort, noSort)
+	}
+}
+
+func TestRestartCheaperThanBuild(t *testing.T) {
+	m := DefaultModel()
+	build := m.BuildIndex(100, 10000, 50, true)
+	restart := m.RestartIndex(100) // few pending ops
+	if restart >= build {
+		t.Errorf("restart (%g) should be cheaper than rebuild (%g)", restart, build)
+	}
+}
+
+func TestNonNegativeQuick(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b, c uint16) bool {
+		p, r, n := float64(a), float64(b), float64(c)
+		return m.HeapScan(p, r, 2) >= 0 &&
+			m.IndexSeek(p+1, minf(p, 5), r) >= 0 &&
+			m.Seeks(n, p+1, 1, 1) >= 0 &&
+			m.RIDLookups(n, p) >= 0 &&
+			m.Sort(r) >= 0 &&
+			m.HashJoin(r, n) >= 0 &&
+			m.BuildIndex(p, r, p/2, true) >= 0 &&
+			m.DMLBase(n, p) >= 0 &&
+			m.IndexMaintenance(n) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package datum
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KNull: "NULL", KInt: "INT", KFloat: "FLOAT",
+		KString: "VARCHAR", KDate: "DATE", KBool: "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	tests := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewFloat(2), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(-100), -1},
+		{NewInt(-100), Null, 1},
+		{Null, Null, 0},
+		{NewDate(10), NewDate(20), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(5), NewInt(5), 0}, // numeric cross-kind
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		da, db := NewInt(a), NewInt(b)
+		return da.Compare(db) == -db.Compare(da)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randDatum(r *rand.Rand) Datum {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(r.Intn(20) - 10))
+	case 2:
+		return NewFloat(float64(r.Intn(20)-10) / 2)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(5))))
+	default:
+		return NewDate(int64(r.Intn(10)))
+	}
+}
+
+// TestCompareTotalOrder checks transitivity/consistency by sorting random
+// datum slices and verifying the result is totally ordered.
+func TestCompareTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		ds := make([]Datum, 30)
+		for i := range ds {
+			ds[i] = randDatum(r)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Compare(ds[j]) < 0 })
+		for i := 1; i < len(ds); i++ {
+			if ds[i-1].Compare(ds[i]) > 0 {
+				t.Fatalf("iter %d: not sorted at %d: %v > %v", iter, i, ds[i-1], ds[i])
+			}
+		}
+	}
+}
+
+func TestHashEqualImpliesEqualHash(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randDatum(r), randDatum(r)
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatalf("equal datums with different hashes: %v, %v", a, b)
+		}
+	}
+	// Cross-kind numeric equality must collide.
+	if NewInt(5).Hash() != NewFloat(5).Hash() {
+		t.Error("NewInt(5) and NewFloat(5) should hash equally")
+	}
+}
+
+func TestArith(t *testing.T) {
+	mustI := func(d Datum, err error) int64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Int()
+	}
+	mustF := func(d Datum, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Float()
+	}
+	if got := mustI(NewInt(3).Add(NewInt(4))); got != 7 {
+		t.Errorf("3+4 = %d", got)
+	}
+	if got := mustI(NewInt(10).Div(NewInt(3))); got != 3 {
+		t.Errorf("10/3 = %d", got)
+	}
+	if got := mustF(NewFloat(1).Div(NewInt(4))); got != 0.25 {
+		t.Errorf("1.0/4 = %g", got)
+	}
+	if got := mustI(NewInt(5).Mul(NewInt(6))); got != 30 {
+		t.Errorf("5*6 = %d", got)
+	}
+	if got := mustI(NewInt(5).Sub(NewInt(6))); got != -1 {
+		t.Errorf("5-6 = %d", got)
+	}
+	if _, err := NewInt(1).Div(NewInt(0)); err == nil {
+		t.Error("integer division by zero should error")
+	}
+	if _, err := NewFloat(1).Div(NewFloat(0)); err == nil {
+		t.Error("float division by zero should error")
+	}
+	if d, err := Null.Add(NewInt(1)); err != nil || !d.IsNull() {
+		t.Errorf("NULL+1 = (%v, %v), want NULL", d, err)
+	}
+	if _, err := NewString("x").Add(NewInt(1)); err == nil {
+		t.Error("string arithmetic should error")
+	}
+}
+
+func TestNaNOrdering(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if nan.Compare(NewFloat(0)) != -1 {
+		t.Error("NaN should sort below numbers")
+	}
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN should compare equal to itself")
+	}
+}
+
+func TestRowCompareAndClone(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("y")}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("row comparison broken")
+	}
+	short := Row{NewInt(1)}
+	if short.Compare(a) != -1 {
+		t.Error("shorter prefix row should sort first")
+	}
+	c := a.Clone()
+	c[0] = NewInt(99)
+	if a[0].Int() != 1 {
+		t.Error("Clone did not copy")
+	}
+}
+
+func TestRowHashConsistency(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("x")}
+	if a.Hash() != b.Hash() {
+		t.Error("equal rows must hash equally")
+	}
+	c := Row{NewString("x"), NewInt(1)}
+	if a.Hash() == c.Hash() {
+		t.Error("order should influence row hash (almost surely)")
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if NewInt(1).Width() != 8 || Null.Width() != 1 || NewString("abc").Width() != 5 {
+		t.Error("unexpected widths")
+	}
+	r := Row{NewInt(1), NewString("abc")}
+	if r.Width() != 13 {
+		t.Errorf("row width = %d, want 13", r.Width())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewString("hi"), "'hi'"},
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Str() on int should panic")
+		}
+	}()
+	_ = NewInt(1).Str()
+}

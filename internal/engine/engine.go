@@ -1,0 +1,241 @@
+// Package engine is the database facade: it wires the SQL front end, the
+// catalog, statistics, storage, optimizer and executor into a single DB
+// handle, and exposes the hook point the online tuner attaches to. One
+// Exec call is one "query arrival" in the paper's model: the statement is
+// optimized (capturing its AND/OR request tree), executed, and reported
+// to the observer.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/executor"
+	"onlinetuner/internal/optimizer"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/stats"
+	"onlinetuner/internal/storage"
+	"onlinetuner/internal/whatif"
+)
+
+// QueryInfo describes one optimized-and-executed statement.
+type QueryInfo struct {
+	SQL    string
+	Stmt   sql.Statement
+	Result *optimizer.Result // nil for DDL
+	// EstCost is the optimizer's estimated cost of the executed plan under
+	// the configuration it ran in — the c_i^{s_i} of the paper's cost model.
+	EstCost float64
+}
+
+// Observer is notified after every non-DDL statement execution. The
+// online tuner implements this.
+type Observer interface {
+	OnExecuted(info *QueryInfo)
+}
+
+// DB is an open database instance.
+type DB struct {
+	Cat   *catalog.Catalog
+	Mgr   *storage.Manager
+	Stats *stats.Store
+	Env   *whatif.Env
+	Opt   *optimizer.Optimizer
+	Exe   *executor.Executor
+
+	observer Observer
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	cat := catalog.New()
+	mgr := storage.NewManager(cat)
+	st := stats.NewStore()
+	env := whatif.NewEnv(cat, st, mgr)
+	return &DB{
+		Cat:   cat,
+		Mgr:   mgr,
+		Stats: st,
+		Env:   env,
+		Opt:   optimizer.New(env),
+		Exe:   executor.New(cat, mgr),
+	}
+}
+
+// SetObserver installs the post-execution observer (the online tuner).
+func (db *DB) SetObserver(o Observer) { db.observer = o }
+
+// Exec parses, plans and runs one statement.
+func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.ExecStmt(text, stmt)
+}
+
+// ExecStmt runs an already-parsed statement (callers that replay
+// workloads avoid re-parsing).
+func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return db.execCreateTable(s)
+	case *sql.CreateIndex:
+		return db.execCreateIndex(s)
+	case *sql.DropIndex:
+		return db.execDropIndex(s)
+	case *sql.Explain:
+		return db.execExplain(s)
+	}
+	res, err := db.Opt.Optimize(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := db.Exe.Run(res.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &QueryInfo{SQL: text, Stmt: stmt, Result: res, EstCost: res.Cost}
+	if db.observer != nil {
+		db.observer.OnExecuted(info)
+	}
+	return rs, info, nil
+}
+
+// MustExec runs a statement and panics on error; for tests and examples.
+func (db *DB) MustExec(text string) *executor.ResultSet {
+	rs, _, err := db.Exec(text)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %s: %v", text, err))
+	}
+	return rs
+}
+
+// Query is Exec for read statements, returning only the result set.
+func (db *DB) Query(text string) (*executor.ResultSet, error) {
+	rs, _, err := db.Exec(text)
+	return rs, err
+}
+
+func (db *DB) execCreateTable(s *sql.CreateTable) (*executor.ResultSet, *QueryInfo, error) {
+	cols := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Kind: c.Kind}
+	}
+	t, err := catalog.NewTable(s.Table, cols, s.PrimaryKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.Cat.AddTable(t); err != nil {
+		return nil, nil, err
+	}
+	if err := db.Mgr.CreateTable(s.Table); err != nil {
+		return nil, nil, err
+	}
+	return &executor.ResultSet{}, &QueryInfo{SQL: s.String(), Stmt: s}, nil
+}
+
+func (db *DB) execCreateIndex(s *sql.CreateIndex) (*executor.ResultSet, *QueryInfo, error) {
+	ix := &catalog.Index{Name: s.Name, Table: s.Table, Columns: s.Columns}
+	if err := db.CreateIndex(ix); err != nil {
+		return nil, nil, err
+	}
+	return &executor.ResultSet{}, &QueryInfo{SQL: s.String(), Stmt: s}, nil
+}
+
+func (db *DB) execDropIndex(s *sql.DropIndex) (*executor.ResultSet, *QueryInfo, error) {
+	ix := db.Cat.Index(s.Name)
+	if ix == nil {
+		return nil, nil, fmt.Errorf("engine: index %s does not exist", s.Name)
+	}
+	if err := db.DropIndex(ix); err != nil {
+		return nil, nil, err
+	}
+	return &executor.ResultSet{}, &QueryInfo{SQL: s.String(), Stmt: s}, nil
+}
+
+// execExplain optimizes the wrapped statement and returns its rendered
+// plan as a single-column result set, without executing it. EXPLAIN is
+// not observed by the tuner: it does not represent workload.
+func (db *DB) execExplain(s *sql.Explain) (*executor.ResultSet, *QueryInfo, error) {
+	res, err := db.Opt.Optimize(s.Stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &executor.ResultSet{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(res.Plan), "\n"), "\n") {
+		rs.Rows = append(rs.Rows, datum.Row{datum.NewString(line)})
+	}
+	return rs, &QueryInfo{SQL: s.String(), Stmt: s, Result: res, EstCost: res.Cost}, nil
+}
+
+// CreateIndex registers and materializes a secondary index, returning an
+// error when the catalog rejects it or the storage budget is exceeded.
+func (db *DB) CreateIndex(ix *catalog.Index) error {
+	if err := db.Cat.AddIndex(ix); err != nil {
+		return err
+	}
+	if _, err := db.Mgr.BuildIndex(ix); err != nil {
+		// Roll the catalog entry back so the failed index is not left
+		// dangling.
+		_ = db.Cat.DropIndex(ix.Name)
+		return err
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index from storage and catalog.
+func (db *DB) DropIndex(ix *catalog.Index) error {
+	if err := db.Mgr.DropIndex(ix.ID()); err != nil {
+		return err
+	}
+	return db.Cat.DropIndex(ix.Name)
+}
+
+// Analyze builds statistics for every column of a table from its current
+// contents.
+func (db *DB) Analyze(table string) error {
+	t := db.Cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %s", table)
+	}
+	h := db.Mgr.Heap(table)
+	if h == nil {
+		return fmt.Errorf("engine: table %s not materialized", table)
+	}
+	cols := make([][]datum.Datum, len(t.Columns))
+	for i := range cols {
+		cols[i] = make([]datum.Datum, 0, h.Len())
+	}
+	h.Scan(func(_ storage.RID, r datum.Row) bool {
+		for i := range t.Columns {
+			cols[i] = append(cols[i], r[i])
+		}
+		return true
+	})
+	for i, c := range t.Columns {
+		db.Stats.BuildColumn(table, c.Name, cols[i], stats.DefaultBuckets)
+	}
+	return nil
+}
+
+// Configuration returns the currently active secondary indexes — the
+// paper's physical configuration s.
+func (db *DB) Configuration() []*catalog.Index {
+	var out []*catalog.Index
+	for _, ix := range db.Cat.Indexes() {
+		if ix.Primary {
+			continue
+		}
+		if pi := db.Mgr.Index(ix.ID()); pi != nil && pi.State == storage.StateActive {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// WhatIfEnv exposes the environment for tuner components.
+func (db *DB) WhatIfEnv() *whatif.Env { return db.Env }

@@ -1,0 +1,849 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/storage"
+)
+
+// Executor runs physical plans against a storage manager.
+type Executor struct {
+	cat *catalog.Catalog
+	mgr *storage.Manager
+}
+
+// New returns an executor.
+func New(cat *catalog.Catalog, mgr *storage.Manager) *Executor {
+	return &Executor{cat: cat, mgr: mgr}
+}
+
+// ResultSet is the materialized output of a statement.
+type ResultSet struct {
+	Columns  []string
+	Rows     []datum.Row
+	Affected int // rows changed by DML
+}
+
+// Run executes a plan and returns its result set.
+func (e *Executor) Run(p plan.Node) (*ResultSet, error) {
+	switch n := p.(type) {
+	case *plan.InsertNode:
+		return e.runInsert(n)
+	case *plan.UpdateNode:
+		return e.runUpdate(n)
+	case *plan.DeleteNode:
+		return e.runDelete(n)
+	}
+	rows, err := e.exec(p)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: schemaColumns(p.Schema()), Rows: rows}, nil
+}
+
+// exec evaluates a read-only operator subtree.
+func (e *Executor) exec(p plan.Node) ([]datum.Row, error) {
+	switch n := p.(type) {
+	case *plan.SeqScan:
+		return e.seqScan(n)
+	case *plan.IndexScan:
+		return e.indexScan(n)
+	case *plan.IndexSeek:
+		return e.indexSeek(n)
+	case *plan.Filter:
+		return e.filter(n)
+	case *plan.Project:
+		return e.project(n)
+	case *plan.Sort:
+		return e.sortNode(n)
+	case *plan.Limit:
+		return e.limit(n)
+	case *plan.Distinct:
+		return e.distinct(n)
+	case *plan.HashJoin:
+		return e.hashJoin(n)
+	case *plan.MergeJoin:
+		return e.mergeJoin(n)
+	case *plan.CrossJoin:
+		return e.crossJoin(n)
+	case *plan.INLJoin:
+		return e.inlJoin(n)
+	case *plan.HashAgg:
+		return e.hashAgg(n)
+	}
+	return nil, fmt.Errorf("executor: unsupported node %T", p)
+}
+
+func (e *Executor) seqScan(n *plan.SeqScan) ([]datum.Row, error) {
+	h := e.mgr.Heap(n.Table)
+	if h == nil {
+		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
+	}
+	pred, err := compilePreds(n.Preds, n.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	var scanErr error
+	h.Scan(func(_ storage.RID, r datum.Row) bool {
+		ok, err := pred(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
+	pi := e.mgr.Index(n.Index.ID())
+	if pi == nil || pi.State != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	}
+	pred, err := compilePreds(n.Preds, n.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	for it := pi.Tree.Scan(); it.Valid(); it.Next() {
+		row := it.Entry().Key
+		ok, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
+	pi := e.mgr.Index(n.Index.ID())
+	if pi == nil || pi.State != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	}
+	h := e.mgr.Heap(n.Index.Table)
+	pred, err := compilePreds(n.Preds, n.Schema())
+	if err != nil {
+		return nil, err
+	}
+	lo := append(datum.Row(nil), n.EqVals...)
+	hi := append(datum.Row(nil), n.EqVals...)
+	loInc, hiInc := true, true
+	if n.Lo != nil {
+		lo = append(lo, *n.Lo)
+		loInc = n.LoInc
+	}
+	if n.Hi != nil {
+		hi = append(hi, *n.Hi)
+		hiInc = n.HiInc
+	}
+	var it *storage.Iterator
+	switch {
+	case len(lo) == 0 && len(hi) == 0:
+		it = pi.Tree.Scan()
+	case len(lo) == 0:
+		it = pi.Tree.Seek(datum.Row{datum.Null}, true, hi, hiInc)
+	default:
+		if len(hi) == 0 {
+			it = pi.Tree.Seek(lo, loInc, nil, false)
+		} else {
+			it = pi.Tree.Seek(lo, loInc, hi, hiInc)
+		}
+	}
+	var out []datum.Row
+	for ; it.Valid(); it.Next() {
+		ent := it.Entry()
+		var row datum.Row
+		if n.Fetch || n.Index.Primary {
+			row = h.Get(ent.RID)
+			if row == nil {
+				return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
+			}
+		} else {
+			row = ent.Key
+		}
+		ok, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) filter(n *plan.Filter) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := compilePreds(n.Preds, n.Child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	for _, r := range in {
+		ok, err := pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) project(n *plan.Project) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]evalFunc, len(n.Exprs))
+	for i, ex := range n.Exprs {
+		f, err := compile(ex, n.Child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	out := make([]datum.Row, 0, len(in))
+	for _, r := range in {
+		row := make(datum.Row, len(fns))
+		for i, f := range fns {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (e *Executor) sortNode(n *plan.Sort) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]evalFunc, len(n.Keys))
+	for i, k := range n.Keys {
+		f, err := compile(k.Expr, n.Child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	type keyed struct {
+		row  datum.Row
+		keys datum.Row
+	}
+	ks := make([]keyed, len(in))
+	for i, r := range in {
+		keys := make(datum.Row, len(fns))
+		for j, f := range fns {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{row: r, keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range fns {
+			c := ks[a].keys[j].Compare(ks[b].keys[j])
+			if n.Keys[j].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	out := make([]datum.Row, len(ks))
+	for i := range ks {
+		out[i] = ks[i].row
+	}
+	return out, nil
+}
+
+func (e *Executor) limit(n *plan.Limit) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(in)) > n.N {
+		in = in[:n.N]
+	}
+	return in, nil
+}
+
+func (e *Executor) distinct(n *plan.Distinct) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []datum.Row
+	for _, r := range in {
+		k := rowKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// rowKey builds a collision-free grouping key.
+func rowKey(r datum.Row) string {
+	var sb strings.Builder
+	for _, d := range r {
+		sb.WriteString(d.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func (e *Executor) hashJoin(n *plan.HashJoin) ([]datum.Row, error) {
+	left, err := e.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	lf := make([]evalFunc, len(n.LeftKeys))
+	rf := make([]evalFunc, len(n.RightKeys))
+	for i := range n.LeftKeys {
+		if lf[i], err = compile(n.LeftKeys[i], n.Left.Schema()); err != nil {
+			return nil, err
+		}
+		if rf[i], err = compile(n.RightKeys[i], n.Right.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	table := make(map[string][]datum.Row, len(right))
+	for _, r := range right {
+		k, null, err := keyOf(r, rf)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		table[k] = append(table[k], r)
+	}
+	var out []datum.Row
+	for _, l := range left {
+		k, null, err := keyOf(l, lf)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		for _, r := range table[k] {
+			combined := make(datum.Row, 0, len(l)+len(r))
+			combined = append(combined, l...)
+			combined = append(combined, r...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+func keyOf(r datum.Row, fns []evalFunc) (string, bool, error) {
+	key := make(datum.Row, len(fns))
+	for i, f := range fns {
+		v, err := f(r)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		key[i] = v
+	}
+	return rowKey(key), false, nil
+}
+
+// mergeJoin sorts both inputs by their join keys (defensively, even when
+// the optimizer believes an input is pre-ordered) and merges them with
+// group-wise matching so duplicate keys produce the full cross product
+// of their groups. Rows with NULL keys never match, as in every join.
+func (e *Executor) mergeJoin(n *plan.MergeJoin) ([]datum.Row, error) {
+	left, err := e.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	lKeyed, err := sortByKeys(left, n.LeftKeys, n.Left.Schema())
+	if err != nil {
+		return nil, err
+	}
+	rKeyed, err := sortByKeys(right, n.RightKeys, n.Right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	i, j := 0, 0
+	for i < len(lKeyed) && j < len(rKeyed) {
+		c := lKeyed[i].key.Compare(rKeyed[j].key)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find both groups of equal keys and emit their product.
+			iEnd := i + 1
+			for iEnd < len(lKeyed) && lKeyed[iEnd].key.Compare(lKeyed[i].key) == 0 {
+				iEnd++
+			}
+			jEnd := j + 1
+			for jEnd < len(rKeyed) && rKeyed[jEnd].key.Compare(rKeyed[j].key) == 0 {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					combined := make(datum.Row, 0, len(lKeyed[a].row)+len(rKeyed[b].row))
+					combined = append(combined, lKeyed[a].row...)
+					combined = append(combined, rKeyed[b].row...)
+					out = append(out, combined)
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out, nil
+}
+
+type keyedRow struct {
+	row datum.Row
+	key datum.Row
+}
+
+// sortByKeys evaluates the join keys for each row, drops NULL-keyed rows
+// (they can never match), and sorts by key.
+func sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keyedRow, error) {
+	fns := make([]evalFunc, len(keys))
+	for i, k := range keys {
+		f, err := compile(k, schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	out := make([]keyedRow, 0, len(rows))
+	for _, r := range rows {
+		key := make(datum.Row, len(fns))
+		null := false
+		for i, f := range fns {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			key[i] = v
+		}
+		if null {
+			continue
+		}
+		out = append(out, keyedRow{row: r, key: key})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].key.Compare(out[b].key) < 0 })
+	return out, nil
+}
+
+func (e *Executor) crossJoin(n *plan.CrossJoin) ([]datum.Row, error) {
+	left, err := e.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	for _, l := range left {
+		for _, r := range right {
+			combined := make(datum.Row, 0, len(l)+len(r))
+			combined = append(combined, l...)
+			combined = append(combined, r...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
+	outer, err := e.exec(n.Outer)
+	if err != nil {
+		return nil, err
+	}
+	pi := e.mgr.Index(n.Index.ID())
+	if pi == nil || pi.State != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	}
+	h := e.mgr.Heap(n.Index.Table)
+	keyFns := make([]evalFunc, len(n.OuterKeys))
+	for i, k := range n.OuterKeys {
+		if keyFns[i], err = compile(k, n.Outer.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	pred, err := compilePreds(n.Preds, n.Schema())
+	if err != nil {
+		return nil, err
+	}
+	fetch := n.Fetch || n.Index.Primary
+	var out []datum.Row
+	for _, orow := range outer {
+		key := make(datum.Row, len(keyFns))
+		null := false
+		for i, f := range keyFns {
+			v, err := f(orow)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			key[i] = v
+		}
+		if null {
+			continue
+		}
+		for it := pi.Tree.Seek(key, true, key, true); it.Valid(); it.Next() {
+			ent := it.Entry()
+			var irow datum.Row
+			if fetch {
+				irow = h.Get(ent.RID)
+				if irow == nil {
+					return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
+				}
+			} else {
+				irow = ent.Key
+			}
+			combined := make(datum.Row, 0, len(orow)+len(irow))
+			combined = append(combined, orow...)
+			combined = append(combined, irow...)
+			ok, err := pred(combined)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, combined)
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   datum.Datum
+	max   datum.Datum
+	first datum.Datum
+	has   bool
+}
+
+func (a *aggState) add(v datum.Datum) {
+	if !a.has {
+		a.first = v
+		a.min, a.max = v, v
+		a.isInt = v.Kind() == datum.KInt
+		a.has = true
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch v.Kind() {
+	case datum.KInt:
+		a.sumI += v.Int()
+		a.sum += float64(v.Int())
+	case datum.KFloat, datum.KDate, datum.KBool:
+		a.isInt = false
+		a.sum += v.Float()
+	}
+	if v.Compare(a.min) < 0 || a.min.IsNull() {
+		a.min = v
+	}
+	if v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(fn string) datum.Datum {
+	switch fn {
+	case "COUNT":
+		return datum.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return datum.Null
+		}
+		if a.isInt {
+			return datum.NewInt(a.sumI)
+		}
+		return datum.NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return datum.Null
+		}
+		return datum.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if !a.has {
+			return datum.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.has {
+			return datum.Null
+		}
+		return a.max
+	case "FIRST":
+		if !a.has {
+			return datum.Null
+		}
+		return a.first
+	}
+	return datum.Null
+}
+
+func (e *Executor) hashAgg(n *plan.HashAgg) ([]datum.Row, error) {
+	in, err := e.exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.Child.Schema()
+	groupFns := make([]evalFunc, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		if groupFns[i], err = compile(g, schema); err != nil {
+			return nil, err
+		}
+	}
+	argFns := make([]evalFunc, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			continue
+		}
+		if argFns[i], err = compile(a.Arg, schema); err != nil {
+			return nil, err
+		}
+	}
+	type group struct {
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range in {
+		gkey := make(datum.Row, len(groupFns))
+		for i, f := range groupFns {
+			v, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			gkey[i] = v
+		}
+		k := rowKey(gkey)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{states: make([]*aggState, len(n.Aggs))}
+			for i := range g.states {
+				g.states[i] = &aggState{}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, a := range n.Aggs {
+			if a.Star {
+				g.states[i].add(datum.NewInt(1))
+				continue
+			}
+			v, err := argFns[i](r)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i].add(v)
+		}
+	}
+	// A global aggregate over zero rows still yields one row.
+	if len(groups) == 0 && len(n.GroupBy) == 0 {
+		row := make(datum.Row, len(n.Aggs))
+		empty := &aggState{}
+		for i, a := range n.Aggs {
+			row[i] = empty.result(a.Func)
+		}
+		return []datum.Row{row}, nil
+	}
+	out := make([]datum.Row, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		row := make(datum.Row, len(n.Aggs))
+		for i, a := range n.Aggs {
+			fn := a.Func
+			if a.Star {
+				fn = "COUNT"
+			}
+			row[i] = g.states[i].result(fn)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (e *Executor) runInsert(n *plan.InsertNode) (*ResultSet, error) {
+	rows := n.Literals
+	if n.Source != nil {
+		src, err := e.exec(n.Source)
+		if err != nil {
+			return nil, err
+		}
+		rows = src
+	}
+	t := e.cat.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Columns) {
+			return nil, fmt.Errorf("executor: INSERT arity %d != %d for %s", len(r), len(t.Columns), n.Table)
+		}
+		if _, _, err := e.mgr.Insert(n.Table, r.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return &ResultSet{Affected: len(rows)}, nil
+}
+
+func (e *Executor) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
+	t := e.cat.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
+	}
+	h := e.mgr.Heap(n.Table)
+	if h == nil {
+		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
+	}
+	schema := plan.TableSchema(t, "")
+	pred, err := compilePreds(n.Where, schema)
+	if err != nil {
+		return nil, err
+	}
+	setFns := make([]evalFunc, len(n.Set))
+	setOrds := make([]int, len(n.Set))
+	for i, a := range n.Set {
+		ord := t.ColumnIndex(a.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("executor: unknown column %s", a.Column)
+		}
+		setOrds[i] = ord
+		if setFns[i], err = compile(a.Value, schema); err != nil {
+			return nil, err
+		}
+	}
+	// Collect matches first: mutating while scanning would be unsound.
+	type match struct {
+		rid storage.RID
+		row datum.Row
+	}
+	var matches []match
+	var scanErr error
+	h.Scan(func(rid storage.RID, r datum.Row) bool {
+		ok, err := pred(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			matches = append(matches, match{rid: rid, row: r})
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, mt := range matches {
+		newRow := mt.row.Clone()
+		for i, f := range setFns {
+			v, err := f(mt.row)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setOrds[i]] = v
+		}
+		if _, err := e.mgr.Update(n.Table, mt.rid, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &ResultSet{Affected: len(matches)}, nil
+}
+
+func (e *Executor) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
+	t := e.cat.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
+	}
+	h := e.mgr.Heap(n.Table)
+	if h == nil {
+		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
+	}
+	pred, err := compilePreds(n.Where, plan.TableSchema(t, ""))
+	if err != nil {
+		return nil, err
+	}
+	var rids []storage.RID
+	var scanErr error
+	h.Scan(func(rid storage.RID, r datum.Row) bool {
+		ok, err := pred(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, rid := range rids {
+		if _, err := e.mgr.Delete(n.Table, rid); err != nil {
+			return nil, err
+		}
+	}
+	return &ResultSet{Affected: len(rids)}, nil
+}
+
+var _ = sql.Statement(nil)

@@ -1,0 +1,234 @@
+// Package executor evaluates physical plans against the storage engine.
+// It is a materializing executor: each operator produces its full result
+// set. That is sufficient for the workload scales the experiments run
+// at, and keeps the operators easy to verify.
+package executor
+
+import (
+	"fmt"
+	"strings"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+)
+
+// evalFunc evaluates a compiled expression over an input row.
+type evalFunc func(datum.Row) (datum.Datum, error)
+
+// compile binds an expression against a schema, resolving column
+// references to row slots.
+func compile(e sql.Expr, schema []plan.ColRef) (evalFunc, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		v := x.Value
+		return func(datum.Row) (datum.Datum, error) { return v, nil }, nil
+
+	case *sql.ColumnRef:
+		slot, err := lookup(schema, x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		return func(r datum.Row) (datum.Datum, error) {
+			if slot >= len(r) {
+				return datum.Null, fmt.Errorf("executor: row too short for slot %d", slot)
+			}
+			return r[slot], nil
+		}, nil
+
+	case *sql.BinaryExpr:
+		left, err := compile(x.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compile(x.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		switch op {
+		case "AND", "OR":
+			isAnd := op == "AND"
+			return func(r datum.Row) (datum.Datum, error) {
+				l, err := left(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				lb := truthy(l)
+				if isAnd && !lb {
+					return datum.NewBool(false), nil
+				}
+				if !isAnd && lb {
+					return datum.NewBool(true), nil
+				}
+				rv, err := right(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				return datum.NewBool(truthy(rv)), nil
+			}, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return func(r datum.Row) (datum.Datum, error) {
+				l, err := left(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				rv, err := right(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				if l.IsNull() || rv.IsNull() {
+					return datum.NewBool(false), nil // SQL UNKNOWN ⇒ filtered out
+				}
+				c := l.Compare(rv)
+				var b bool
+				switch op {
+				case "=":
+					b = c == 0
+				case "<>":
+					b = c != 0
+				case "<":
+					b = c < 0
+				case "<=":
+					b = c <= 0
+				case ">":
+					b = c > 0
+				case ">=":
+					b = c >= 0
+				}
+				return datum.NewBool(b), nil
+			}, nil
+		case "+", "-", "*", "/":
+			return func(r datum.Row) (datum.Datum, error) {
+				l, err := left(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				rv, err := right(r)
+				if err != nil {
+					return datum.Null, err
+				}
+				switch op {
+				case "+":
+					return l.Add(rv)
+				case "-":
+					return l.Sub(rv)
+				case "*":
+					return l.Mul(rv)
+				default:
+					return l.Div(rv)
+				}
+			}, nil
+		}
+		return nil, fmt.Errorf("executor: unsupported operator %q", op)
+
+	case *sql.NotExpr:
+		inner, err := compile(x.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(r datum.Row) (datum.Datum, error) {
+			v, err := inner(r)
+			if err != nil {
+				return datum.Null, err
+			}
+			return datum.NewBool(!truthy(v)), nil
+		}, nil
+
+	case *sql.IsNullExpr:
+		inner, err := compile(x.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(r datum.Row) (datum.Datum, error) {
+			v, err := inner(r)
+			if err != nil {
+				return datum.Null, err
+			}
+			return datum.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *sql.FuncExpr:
+		return nil, fmt.Errorf("executor: aggregate %s outside aggregation context", x.Name)
+	}
+	return nil, fmt.Errorf("executor: unsupported expression %T", e)
+}
+
+// lookup finds the slot of a column reference in a schema.
+func lookup(schema []plan.ColRef, table, column string) (int, error) {
+	found := -1
+	for i, c := range schema {
+		if c.Matches(table, column) {
+			if found >= 0 {
+				// Prefer an exact qualified match; ambiguity otherwise.
+				return 0, fmt.Errorf("executor: ambiguous column %s.%s", table, column)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("executor: column %s not in schema %v", refString(table, column), schema)
+	}
+	return found, nil
+}
+
+func refString(table, column string) string {
+	if table != "" {
+		return table + "." + column
+	}
+	return column
+}
+
+// truthy converts a datum to a boolean filter decision (NULL ⇒ false).
+func truthy(d datum.Datum) bool {
+	switch d.Kind() {
+	case datum.KBool:
+		return d.Bool()
+	case datum.KNull:
+		return false
+	case datum.KInt, datum.KDate:
+		return d.Int() != 0
+	case datum.KFloat:
+		return d.Float() != 0
+	case datum.KString:
+		return d.Str() != ""
+	}
+	return false
+}
+
+// compilePreds compiles a conjunction of predicates into one filter.
+func compilePreds(preds []sql.Expr, schema []plan.ColRef) (func(datum.Row) (bool, error), error) {
+	fns := make([]evalFunc, len(preds))
+	for i, p := range preds {
+		f, err := compile(p, schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(r datum.Row) (bool, error) {
+		for _, f := range fns {
+			v, err := f(r)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}, nil
+}
+
+// schemaColumns renders output column names.
+func schemaColumns(schema []plan.ColRef) []string {
+	out := make([]string, len(schema))
+	for i, c := range schema {
+		out[i] = c.Column
+		if out[i] == "" {
+			out[i] = strings.ToLower(c.String())
+		}
+	}
+	return out
+}

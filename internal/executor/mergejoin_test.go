@@ -1,0 +1,108 @@
+package executor
+
+import (
+	"sort"
+	"testing"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+)
+
+// buildMJ constructs a MergeJoin of R with itself on column a.
+func buildMJ(t *testing.T, rows int) (*Executor, *plan.MergeJoin) {
+	t.Helper()
+	cat, _, ex, _ := fixture(t, rows, false)
+	l := &plan.SeqScan{Table: "R", Alias: "l"}
+	l.Out = plan.TableSchema(cat.Table("R"), "l")
+	r := &plan.SeqScan{Table: "R", Alias: "r"}
+	r.Out = plan.TableSchema(cat.Table("R"), "r")
+	mj := &plan.MergeJoin{
+		Left: l, Right: r,
+		LeftKeys:  []sql.Expr{&sql.ColumnRef{Table: "l", Column: "a"}},
+		RightKeys: []sql.Expr{&sql.ColumnRef{Table: "r", Column: "a"}},
+	}
+	mj.Out = append(append([]plan.ColRef(nil), l.Out...), r.Out...)
+	return ex, mj
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	ex, mj := buildMJ(t, 50)
+	mjRows, err := ex.exec(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj := &plan.HashJoin{Left: mj.Left, Right: mj.Right, LeftKeys: mj.LeftKeys, RightKeys: mj.RightKeys}
+	hj.Out = mj.Out
+	hjRows, err := ex.exec(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mjRows) != len(hjRows) {
+		t.Fatalf("merge join %d rows, hash join %d", len(mjRows), len(hjRows))
+	}
+	// Same multiset of rows.
+	key := func(r datum.Row) string { return rowKey(r) }
+	a := make([]string, len(mjRows))
+	b := make([]string, len(hjRows))
+	for i := range mjRows {
+		a[i] = key(mjRows[i])
+		b[i] = key(hjRows[i])
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row multisets differ at %d", i)
+		}
+	}
+}
+
+func TestMergeJoinDuplicateGroups(t *testing.T) {
+	// 50 rows with a = i%10: each key has 5 rows on both sides → 10 keys
+	// × 25 pairs = 250.
+	ex, mj := buildMJ(t, 50)
+	rows, err := ex.exec(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 250 {
+		t.Fatalf("rows = %d, want 250", len(rows))
+	}
+}
+
+func TestMergeJoinNullKeysDropped(t *testing.T) {
+	cat, mgr, ex, _ := fixture(t, 5, false)
+	if _, _, err := mgr.Insert("R", datum.Row{datum.NewInt(100), datum.Null, datum.NewInt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	l := &plan.SeqScan{Table: "R", Alias: "l"}
+	l.Out = plan.TableSchema(cat.Table("R"), "l")
+	r := &plan.SeqScan{Table: "R", Alias: "r"}
+	r.Out = plan.TableSchema(cat.Table("R"), "r")
+	mj := &plan.MergeJoin{
+		Left: l, Right: r,
+		LeftKeys:  []sql.Expr{&sql.ColumnRef{Table: "l", Column: "a"}},
+		RightKeys: []sql.Expr{&sql.ColumnRef{Table: "r", Column: "a"}},
+	}
+	mj.Out = append(append([]plan.ColRef(nil), l.Out...), r.Out...)
+	rows, err := ex.exec(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 distinct non-null keys self-join → 5 pairs; NULL row matches none.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+}
+
+func TestMergeJoinEmptySides(t *testing.T) {
+	ex, mj := buildMJ(t, 0)
+	rows, err := ex.exec(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatal("empty join should be empty")
+	}
+}

@@ -1,0 +1,369 @@
+package optimizer
+
+import (
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/whatif"
+)
+
+// accessPath is the chosen physical access for one table plus the
+// requests captured while the alternatives were generated.
+type accessPath struct {
+	node  plan.Node
+	cost  float64
+	rows  float64
+	order []string // output order (table-column names), empty if none
+	// requests captured for this access (scan request, plus a seek
+	// request when sargable predicates exist).
+	requests []*whatif.Request
+}
+
+// selEq returns the selectivity of column = val, preferring the
+// histogram.
+func (o *Optimizer) selEq(table, col string, val datum.Datum) float64 {
+	if cs := o.env.Stats.Get(table, col); cs != nil && cs.Hist != nil && cs.Rows > 0 {
+		s := cs.Hist.SelectivityEq(val)
+		if s <= 0 {
+			s = 0.5 / float64(maxI64(cs.Rows, 1))
+		}
+		return s
+	}
+	return o.env.SelectivityEq(table, col)
+}
+
+// rangeBounds aggregates the lows/highs on one column into bounds.
+type rangeBounds struct {
+	col          string
+	lo, hi       *datum.Datum
+	loInc, hiInc bool
+	sel          float64
+	exprs        []sql.Expr
+}
+
+// analyzeRanges merges range predicates per column and estimates their
+// selectivity.
+func (o *Optimizer) analyzeRanges(bt *boundTable) map[string]*rangeBounds {
+	out := map[string]*rangeBounds{}
+	get := func(col string) *rangeBounds {
+		key := strings.ToLower(col)
+		rb, ok := out[key]
+		if !ok {
+			rb = &rangeBounds{col: col, sel: 1}
+			out[key] = rb
+		}
+		return rb
+	}
+	for _, p := range bt.lows {
+		rb := get(p.col)
+		v := p.val
+		inc := p.op == ">="
+		if rb.lo == nil || v.Compare(*rb.lo) > 0 {
+			rb.lo, rb.loInc = &v, inc
+		}
+		rb.exprs = append(rb.exprs, p.expr)
+	}
+	for _, p := range bt.highs {
+		rb := get(p.col)
+		v := p.val
+		inc := p.op == "<="
+		if rb.hi == nil || v.Compare(*rb.hi) < 0 {
+			rb.hi, rb.hiInc = &v, inc
+		}
+		rb.exprs = append(rb.exprs, p.expr)
+	}
+	for _, rb := range out {
+		if cs := o.env.Stats.Get(bt.ref.Table, rb.col); cs != nil && cs.Hist != nil {
+			rb.sel = cs.Hist.SelectivityRange(rb.lo, rb.hi, rb.loInc, rb.hiInc)
+			if rb.sel <= 0 {
+				rb.sel = 0.5 / float64(maxI64(cs.Rows, 1))
+			}
+		} else {
+			rb.sel = whatif.DefaultRangeSel
+			if rb.lo != nil && rb.hi != nil {
+				rb.sel = whatif.DefaultRangeSel / 2
+			}
+		}
+	}
+	return out
+}
+
+// tableSel returns the combined selectivity of all of the table's
+// predicates, and per-piece info for access planning.
+func (o *Optimizer) tableSel(bt *boundTable, ranges map[string]*rangeBounds) float64 {
+	sel := 1.0
+	for _, p := range bt.eqs {
+		sel *= o.selEq(bt.ref.Table, p.col, p.val)
+	}
+	for _, rb := range ranges {
+		sel *= rb.sel
+	}
+	// Residuals: a flat guess each.
+	for range bt.resid {
+		sel *= 0.5
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	return sel
+}
+
+// allPreds returns every single-table predicate expression of bt.
+func allPreds(bt *boundTable) []sql.Expr {
+	var out []sql.Expr
+	for _, p := range bt.eqs {
+		out = append(out, p.expr)
+	}
+	for _, p := range bt.lows {
+		out = append(out, p.expr)
+	}
+	for _, p := range bt.highs {
+		out = append(out, p.expr)
+	}
+	out = append(out, bt.resid...)
+	return out
+}
+
+// chooseAccess picks the cheapest access path for a table and captures
+// the scan/seek requests.
+func (o *Optimizer) chooseAccess(bt *boundTable, sortCols []string) *accessPath {
+	table := bt.ref.Table
+	alias := bt.name()
+	rows := o.env.TableRows(table)
+	pages := o.env.TablePages(table)
+	ranges := o.analyzeRanges(bt)
+	outSel := o.tableSel(bt, ranges)
+	outRows := rows * outSel
+	if outRows < 1 && rows > 0 {
+		outRows = 1
+	}
+	npreds := len(allPreds(bt))
+
+	// Baseline: heap scan.
+	best := &accessPath{
+		cost: o.env.Model.HeapScan(pages, rows, npreds),
+		rows: outRows,
+	}
+	scan := &plan.SeqScan{Table: table, Alias: alias, Preds: allPreds(bt)}
+	scan.Out = plan.TableSchema(bt.tbl, alias)
+	scan.Cost = best.cost
+	scan.Rows = outRows
+	best.node = scan
+	bestIndexID := ""
+
+	// Index alternatives. The primary participates too: it can seek on
+	// its key prefix (a full primary scan is the SeqScan baseline).
+	for _, pi := range o.env.Mgr.TableIndexes(table) {
+		ix := pi.Def
+		if !o.env.Available(ix) {
+			continue
+		}
+		cand, candCost := o.indexAccess(bt, ix, ranges, outRows, npreds)
+		if cand != nil && candCost < best.cost {
+			best.node = cand
+			best.cost = candCost
+			bestIndexID = ix.ID()
+			best.order = orderFrom(cand)
+		}
+	}
+
+	// Charge a sort if an order is required and not produced. (The caller
+	// decides whether to place a Sort node; this keeps the access cost
+	// comparable across alternatives.)
+
+	// Capture requests (Section 2.1). Scan request: required columns in
+	// no particular order.
+	scanReq := &whatif.Request{
+		Table:          table,
+		Kind:           whatif.KindScan,
+		Required:       append([]string(nil), bt.required...),
+		SortCols:       append([]string(nil), sortCols...),
+		Bindings:       1,
+		RowsPerBinding: outRows,
+		ResidualPreds:  npreds,
+		TableRows:      rows,
+		TablePages:     pages,
+		CurrentCost:    best.cost,
+		CurrentIndexID: bestIndexID,
+		Implemented:    bestIndexID == "" || true,
+	}
+	best.requests = append(best.requests, scanReq)
+
+	// Seek request when sargable predicates exist.
+	if len(bt.eqs) > 0 || len(ranges) > 0 {
+		seekReq := &whatif.Request{
+			Table:          table,
+			Kind:           whatif.KindSeek,
+			Required:       append([]string(nil), bt.required...),
+			SortCols:       append([]string(nil), sortCols...),
+			Bindings:       1,
+			RowsPerBinding: outRows,
+			TableRows:      rows,
+			TablePages:     pages,
+			CurrentCost:    best.cost,
+			CurrentIndexID: bestIndexID,
+		}
+		seen := map[string]bool{}
+		for _, p := range bt.eqs {
+			key := strings.ToLower(p.col)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			seekReq.EqCols = append(seekReq.EqCols, p.col)
+			seekReq.EqSels = append(seekReq.EqSels, o.selEq(table, p.col, p.val))
+		}
+		// Pick the most selective range column not already equality-bound.
+		var bestRB *rangeBounds
+		for _, rb := range ranges {
+			if seen[strings.ToLower(rb.col)] {
+				continue
+			}
+			if bestRB == nil || rb.sel < bestRB.sel {
+				bestRB = rb
+			}
+		}
+		if bestRB != nil {
+			seekReq.RangeCol = bestRB.col
+			seekReq.RangeSel = bestRB.sel
+		}
+		seekReq.ResidualPreds = npreds - len(seekReq.EqCols)
+		if seekReq.RangeCol != "" {
+			seekReq.ResidualPreds -= len(bestRB.exprs)
+			if seekReq.ResidualPreds < 0 {
+				seekReq.ResidualPreds = 0
+			}
+		}
+		best.requests = append(best.requests, seekReq)
+	}
+	return best
+}
+
+// indexAccess builds the best plan node using ix for this table, or nil.
+func (o *Optimizer) indexAccess(bt *boundTable, ix *catalog.Index, ranges map[string]*rangeBounds, outRows float64, npreds int) (plan.Node, float64) {
+	table := bt.ref.Table
+	alias := bt.name()
+	rows := o.env.TableRows(table)
+	tablePages := o.env.TablePages(table)
+	ixPages := o.env.IndexPages(ix)
+
+	// Consume leading equality columns in index order.
+	var eqVals []datum.Datum
+	consumed := map[string]bool{}
+	sel := 1.0
+	pos := 0
+	for ; pos < len(ix.Columns); pos++ {
+		col := ix.Columns[pos]
+		p := findEq(bt.eqs, col)
+		if p == nil {
+			break
+		}
+		eqVals = append(eqVals, p.val)
+		consumed[strings.ToLower(col)] = true
+		sel *= o.selEq(table, col, p.val)
+	}
+	// Range on the next column.
+	var rb *rangeBounds
+	if pos < len(ix.Columns) {
+		if r, ok := ranges[strings.ToLower(ix.Columns[pos])]; ok {
+			rb = r
+			sel *= rb.sel
+			for _, e := range rb.exprs {
+				_ = e
+			}
+			consumed[strings.ToLower(rb.col)] = true
+		}
+	}
+
+	covering := ix.ContainsColumns(bt.required)
+	m := o.env.Model
+
+	if len(eqVals) == 0 && rb == nil {
+		// Pure scan of the index: only useful when covering and narrower
+		// than the heap. A primary scan IS the SeqScan baseline.
+		if !covering || ix.Primary {
+			return nil, 0
+		}
+		c := m.IndexScan(ixPages, rows, npreds)
+		n := &plan.IndexScan{Index: ix, Alias: alias, Preds: allPreds(bt)}
+		n.Out = plan.IndexSchema(ix, alias)
+		n.Cost = c
+		n.Rows = outRows
+		return n, c
+	}
+
+	matchRows := rows * sel
+	matchPages := ixPages * sel
+	if matchPages < 1 {
+		matchPages = 1
+	}
+	c := m.IndexSeek(ixPages, matchPages, matchRows)
+	if !covering {
+		c += m.RIDLookups(matchRows, tablePages)
+	}
+	// Residual predicates (not consumed by the seek).
+	var resid []sql.Expr
+	for _, p := range bt.eqs {
+		if !consumed[strings.ToLower(p.col)] {
+			resid = append(resid, p.expr)
+		}
+	}
+	for _, p := range bt.lows {
+		if rb == nil || !strings.EqualFold(p.col, rb.col) {
+			resid = append(resid, p.expr)
+		}
+	}
+	for _, p := range bt.highs {
+		if rb == nil || !strings.EqualFold(p.col, rb.col) {
+			resid = append(resid, p.expr)
+		}
+	}
+	resid = append(resid, bt.resid...)
+	c += matchRows * float64(len(resid)) * m.CPUPred
+
+	n := &plan.IndexSeek{Index: ix, Alias: alias, EqVals: eqVals, Fetch: !covering && !ix.Primary, Preds: resid}
+	if rb != nil {
+		n.Lo, n.Hi, n.LoInc, n.HiInc = rb.lo, rb.hi, rb.loInc, rb.hiInc
+	}
+	if covering && !ix.Primary {
+		n.Out = plan.IndexSchema(ix, alias)
+	} else {
+		// Primary seeks (and non-covering fetches) produce full table rows.
+		n.Out = plan.TableSchema(bt.tbl, alias)
+	}
+	n.Cost = c
+	n.Rows = outRows
+	return n, c
+}
+
+// orderFrom reports the column order a node's output is sorted by.
+func orderFrom(n plan.Node) []string {
+	switch x := n.(type) {
+	case *plan.IndexScan:
+		return x.Index.Columns
+	case *plan.IndexSeek:
+		if len(x.EqVals) < len(x.Index.Columns) {
+			return x.Index.Columns[len(x.EqVals):]
+		}
+	}
+	return nil
+}
+
+func findEq(eqs []sargPred, col string) *sargPred {
+	for i := range eqs {
+		if strings.EqualFold(eqs[i].col, col) {
+			return &eqs[i]
+		}
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

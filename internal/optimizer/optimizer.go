@@ -1,0 +1,779 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/whatif"
+)
+
+// Optimizer plans statements against the current physical configuration.
+type Optimizer struct {
+	env *whatif.Env
+}
+
+// New returns an optimizer over the given what-if environment (catalog,
+// statistics, storage and cost model).
+func New(env *whatif.Env) *Optimizer { return &Optimizer{env: env} }
+
+// Result is an optimized statement: the physical plan, its estimated
+// cost/cardinality, and the AND/OR request tree captured during
+// optimization (Section 2.1).
+type Result struct {
+	Plan plan.Node
+	Tree *whatif.Node
+	Cost float64
+	Rows float64
+}
+
+// Requests returns all requests in the result's tree.
+func (r *Result) Requests() []*whatif.Request { return r.Tree.Requests() }
+
+// Optimize plans any supported statement.
+func (o *Optimizer) Optimize(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return o.planSelect(s)
+	case *sql.Insert:
+		return o.planInsert(s)
+	case *sql.Update:
+		return o.planUpdate(s)
+	case *sql.Delete:
+		return o.planDelete(s)
+	}
+	return nil, fmt.Errorf("optimizer: unsupported statement %T", stmt)
+}
+
+// joinState tracks the greedy join enumeration.
+type joinState struct {
+	node   plan.Node
+	cost   float64
+	rows   float64
+	joined map[int]bool
+	order  []plan.ColRef // current output order
+}
+
+func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
+	bq, err := bind(o.env.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column-name sort hints for single-table queries feed the requests.
+	var sortCols []string
+	if len(bq.tables) == 1 && len(sel.GroupBy) == 0 {
+		for _, oi := range sel.OrderBy {
+			cr, ok := oi.Expr.(*sql.ColumnRef)
+			if !ok || oi.Desc {
+				sortCols = nil
+				break
+			}
+			sortCols = append(sortCols, cr.Column)
+		}
+	}
+
+	// Access paths for every table.
+	paths := make([]*accessPath, len(bq.tables))
+	for i, bt := range bq.tables {
+		var sc []string
+		if len(bq.tables) == 1 {
+			sc = sortCols
+		}
+		paths[i] = o.chooseAccess(bt, sc)
+	}
+
+	// Per-table OR groups of requests.
+	orGroups := make([]*whatif.Node, len(bq.tables))
+	for i, p := range paths {
+		var leaves []*whatif.Node
+		for _, r := range p.requests {
+			leaves = append(leaves, whatif.NewLeaf(r))
+		}
+		orGroups[i] = whatif.NewOr(leaves...)
+	}
+
+	// Greedy left-deep join order: start from the cheapest access, then
+	// repeatedly add the joinable table with the lowest incremental cost.
+	st := &joinState{joined: map[int]bool{}}
+	start := 0
+	for i := 1; i < len(paths); i++ {
+		if paths[i].cost+paths[i].rows < paths[start].cost+paths[start].rows {
+			start = i
+		}
+	}
+	st.node = paths[start].node
+	st.cost = paths[start].cost
+	st.rows = paths[start].rows
+	st.joined[start] = true
+	for _, c := range paths[start].order {
+		st.order = append(st.order, plan.ColRef{Table: bq.tables[start].name(), Column: c})
+	}
+
+	for len(st.joined) < len(bq.tables) {
+		bestIdx, bestJoin := -1, (*joinChoice)(nil)
+		for j := range bq.tables {
+			if st.joined[j] {
+				continue
+			}
+			jc := o.joinChoiceFor(bq, st, j, paths[j])
+			if bestJoin == nil || jc.cost < bestJoin.cost {
+				bestIdx, bestJoin = j, jc
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("optimizer: join enumeration stuck")
+		}
+		// Record the INLJ-alternative request for the joined table under
+		// its OR group (the paper's ρ2).
+		if bestJoin.inljRequest != nil {
+			orGroups[bestIdx].Children = append(orGroups[bestIdx].Children, whatif.NewLeaf(bestJoin.inljRequest))
+		}
+		st.node = bestJoin.node
+		st.cost = bestJoin.cost
+		st.rows = bestJoin.rows
+		st.order = bestJoin.order
+		st.joined[bestIdx] = true
+	}
+
+	// Multi-table residual predicates.
+	if len(bq.resid) > 0 {
+		rows := st.rows * math.Pow(0.5, float64(len(bq.resid)))
+		f := &plan.Filter{Child: st.node, Preds: bq.resid}
+		f.Out = st.node.Schema()
+		f.Cost = st.cost + st.rows*float64(len(bq.resid))*o.env.Model.CPUPred
+		f.Rows = rows
+		st.node = f
+		st.cost = f.Cost
+		st.rows = rows
+	}
+
+	if err := o.finishSelect(bq, st); err != nil {
+		return nil, err
+	}
+
+	var groups []*whatif.Node
+	for _, g := range orGroups {
+		groups = append(groups, g)
+	}
+	tree := whatif.NewAnd(groups...)
+	return &Result{Plan: st.node, Tree: tree, Cost: st.cost, Rows: st.rows}, nil
+}
+
+// joinChoice is one evaluated way to join the next table.
+type joinChoice struct {
+	node        plan.Node
+	cost        float64
+	rows        float64
+	order       []plan.ColRef
+	inljRequest *whatif.Request
+}
+
+// distinctOf estimates a column's distinct count.
+func (o *Optimizer) distinctOf(table, col string) float64 {
+	if cs := o.env.Stats.Get(table, col); cs != nil && cs.Distinct > 0 {
+		return float64(cs.Distinct)
+	}
+	return math.Max(1, math.Sqrt(o.env.TableRows(table)))
+}
+
+// joinChoiceFor evaluates hash join vs index-nested-loop join (vs cross
+// join when no predicate connects) for adding table j to the current
+// state, and captures the INLJ request.
+func (o *Optimizer) joinChoiceFor(bq *boundQuery, st *joinState, j int, path *accessPath) *joinChoice {
+	bt := bq.tables[j]
+	m := o.env.Model
+
+	// Collect join predicates connecting the joined set to j.
+	var outerKeys, innerKeys []sql.Expr
+	var innerCols []string
+	jsel := 1.0
+	for _, jp := range bq.joins {
+		var oi, oc, ic string
+		switch {
+		case st.joined[jp.lt] && jp.rt == j:
+			oi, oc, ic = bq.tables[jp.lt].name(), jp.lc, jp.rc
+		case st.joined[jp.rt] && jp.lt == j:
+			oi, oc, ic = bq.tables[jp.rt].name(), jp.rc, jp.lc
+		default:
+			continue
+		}
+		outerKeys = append(outerKeys, &sql.ColumnRef{Table: oi, Column: oc})
+		innerKeys = append(innerKeys, &sql.ColumnRef{Table: bt.name(), Column: ic})
+		innerCols = append(innerCols, ic)
+		jsel *= 1 / math.Max(1, math.Max(o.distinctOf(bt.ref.Table, ic), o.distinctOf(bq.tables[indexOfOther(bq, jp, j)].ref.Table, oc)))
+	}
+
+	outSchema := append(append([]plan.ColRef(nil), st.node.Schema()...), plan.TableSchema(bt.tbl, bt.name())...)
+
+	if len(outerKeys) == 0 {
+		// Cross join fallback.
+		rows := st.rows * path.rows
+		n := &plan.CrossJoin{Left: st.node, Right: path.node}
+		n.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), path.node.Schema()...)
+		n.Cost = st.cost + path.cost + rows*m.CPUTuple
+		n.Rows = rows
+		return &joinChoice{node: n, cost: n.Cost, rows: rows}
+	}
+
+	rowsOut := st.rows * path.rows * jsel
+	if rowsOut < 1 {
+		rowsOut = 1
+	}
+
+	// Hash join: build on the new table's access, probe with the current
+	// result (preserving its order).
+	hj := &plan.HashJoin{Left: st.node, Right: path.node, LeftKeys: outerKeys, RightKeys: innerKeys}
+	hj.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), path.node.Schema()...)
+	hjCost := st.cost + path.cost + m.HashJoin(path.rows, st.rows)
+	hj.Cost = hjCost
+	hj.Rows = rowsOut
+	best := &joinChoice{node: hj, cost: hjCost, rows: rowsOut, order: st.order}
+
+	// INLJ: seek an index of j on the join column(s) for each outer row.
+	table := bt.ref.Table
+	tableRows := o.env.TableRows(table)
+	tablePages := o.env.TablePages(table)
+	var bestINLJ *joinChoice
+	var bestINLJIndexID string
+	for _, pi := range o.env.Mgr.TableIndexes(table) {
+		ix := pi.Def
+		if !o.env.Available(ix) {
+			continue
+		}
+		// The index must lead with join columns (consume a prefix). The
+		// seek keys are built in the INDEX's column order — the join
+		// predicates may list the columns differently, and a misaligned
+		// composite seek key would silently match the wrong rows.
+		var seekKeys []sql.Expr
+		usedPred := make([]bool, len(innerCols))
+		sel := 1.0
+		for _, col := range ix.Columns {
+			k := indexOfFoldStr(innerCols, col)
+			if k < 0 || usedPred[k] || len(seekKeys) >= len(innerCols) {
+				break
+			}
+			usedPred[k] = true
+			seekKeys = append(seekKeys, outerKeys[k])
+			sel *= 1 / math.Max(1, o.distinctOf(table, col))
+		}
+		consumed := len(seekKeys)
+		if consumed == 0 {
+			continue
+		}
+		// Join predicates not consumed by the seek are evaluated post-join.
+		var joinResid []sql.Expr
+		for k := range innerCols {
+			if !usedPred[k] {
+				joinResid = append(joinResid, &sql.BinaryExpr{Op: "=", Left: outerKeys[k], Right: innerKeys[k]})
+			}
+		}
+		matchRows := tableRows * sel
+		covering := ix.Primary || ix.ContainsColumns(bt.required)
+		pages := o.env.IndexPages(ix)
+		c := st.cost + m.Seeks(st.rows, pages, math.Max(1, pages*sel), matchRows)
+		if !covering {
+			c += m.RIDLookups(st.rows*matchRows, tablePages)
+		}
+		preds := allPreds(bt)
+		c += st.rows * matchRows * float64(len(preds)) * m.CPUPred
+		if bestINLJ == nil || c < bestINLJ.cost {
+			inlj := &plan.INLJoin{
+				Outer:     st.node,
+				Index:     ix,
+				Alias:     bt.name(),
+				OuterKeys: seekKeys,
+				Fetch:     !covering && !ix.Primary,
+				Preds:     append(append([]sql.Expr(nil), preds...), joinResid...),
+			}
+			if covering && !ix.Primary {
+				inlj.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), plan.IndexSchema(ix, bt.name())...)
+			} else {
+				inlj.Out = outSchema
+			}
+			inlj.Cost = c
+			inlj.Rows = rowsOut
+			bestINLJ = &joinChoice{node: inlj, cost: c, rows: rowsOut, order: st.order}
+			bestINLJIndexID = ix.ID()
+		}
+	}
+
+	// Merge join: worthwhile when one or both inputs already arrive in
+	// join-key order (otherwise the explicit sorts usually lose to the
+	// hash join).
+	leftSorted := orderPrefixMatches(st.order, outerKeys)
+	rightSorted := pathOrderMatches(path.order, innerCols, bt.name())
+	mjCost := st.cost + path.cost + m.MergeJoinExtra(st.rows, path.rows)
+	if !leftSorted {
+		mjCost += m.Sort(st.rows)
+	}
+	if !rightSorted {
+		mjCost += m.Sort(path.rows)
+	}
+	if mjCost < best.cost {
+		mj := &plan.MergeJoin{
+			Left: st.node, Right: path.node,
+			LeftKeys: outerKeys, RightKeys: innerKeys,
+			LeftSorted: leftSorted, RightSorted: rightSorted,
+		}
+		mj.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), path.node.Schema()...)
+		mj.Cost = mjCost
+		mj.Rows = rowsOut
+		// Output arrives in join-key order.
+		var order []plan.ColRef
+		for _, k := range outerKeys {
+			if cr, ok := k.(*sql.ColumnRef); ok {
+				order = append(order, plan.ColRef{Table: cr.Table, Column: cr.Column})
+			}
+		}
+		best = &joinChoice{node: mj, cost: mjCost, rows: rowsOut, order: order}
+	}
+
+	chosen := best
+	chosenID := ""
+	if bestINLJ != nil && bestINLJ.cost < best.cost {
+		chosen = bestINLJ
+		chosenID = bestINLJIndexID
+	}
+
+	// Capture the INLJ request (the paper's ρ2): the inner side could be
+	// served by a seek with Bindings = outer cardinality.
+	if len(innerCols) > 0 && tableRows > 0 {
+		req := &whatif.Request{
+			Table:          table,
+			Kind:           whatif.KindSeek,
+			Bindings:       math.Max(1, st.rows),
+			Required:       append([]string(nil), bt.required...),
+			ResidualPreds:  len(allPreds(bt)),
+			TableRows:      tableRows,
+			TablePages:     tablePages,
+			CurrentCost:    chosen.cost - st.cost,
+			CurrentIndexID: chosenID,
+			Implemented:    chosenID != "",
+		}
+		for _, c := range innerCols {
+			req.EqCols = append(req.EqCols, c)
+			req.EqSels = append(req.EqSels, 1/math.Max(1, o.distinctOf(table, c)))
+		}
+		req.RowsPerBinding = math.Max(1, tableRows*jsel)
+		chosen.inljRequest = req
+	}
+	return chosen
+}
+
+// orderPrefixMatches reports whether the current output order starts
+// with the given key expressions (all plain column references).
+func orderPrefixMatches(order []plan.ColRef, keys []sql.Expr) bool {
+	if len(keys) == 0 || len(order) < len(keys) {
+		return false
+	}
+	for i, k := range keys {
+		cr, ok := k.(*sql.ColumnRef)
+		if !ok || !order[i].Matches(cr.Table, cr.Column) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathOrderMatches reports whether a table access's output order starts
+// with the inner join columns.
+func pathOrderMatches(order []string, innerCols []string, alias string) bool {
+	_ = alias
+	if len(innerCols) == 0 || len(order) < len(innerCols) {
+		return false
+	}
+	for i, c := range innerCols {
+		if !strings.EqualFold(order[i], c) {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOfOther(bq *boundQuery, jp joinPred, j int) int {
+	if jp.lt == j {
+		return jp.rt
+	}
+	return jp.lt
+}
+
+// finishSelect places aggregation, distinct, sort, limit and projection.
+func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState) error {
+	sel := bq.sel
+	m := o.env.Model
+
+	names := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
+		switch {
+		case it.Star:
+			names[i] = "*"
+		case it.Alias != "":
+			names[i] = it.Alias
+		default:
+			names[i] = it.Expr.String()
+		}
+	}
+
+	aggregated := bq.hasAggs || len(sel.GroupBy) > 0
+	if aggregated {
+		// HashAgg evaluates the whole select list: aggregates accumulate,
+		// scalars evaluate on each group's first row.
+		agg := &plan.HashAgg{Child: st.node, GroupBy: sel.GroupBy}
+		for i, it := range sel.Items {
+			if it.Star {
+				return fmt.Errorf("optimizer: SELECT * cannot be combined with aggregates")
+			}
+			spec := plan.AggSpec{Name: names[i]}
+			if fe, ok := it.Expr.(*sql.FuncExpr); ok {
+				spec.Func = fe.Name
+				spec.Arg = fe.Arg
+				spec.Star = fe.Star
+			} else {
+				spec.Func = "FIRST"
+				spec.Arg = it.Expr
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+		}
+		groups := st.rows
+		if len(sel.GroupBy) == 0 {
+			groups = 1
+		} else {
+			g := 1.0
+			for _, ge := range sel.GroupBy {
+				if cr, ok := ge.(*sql.ColumnRef); ok {
+					ti, col, err := bq.resolve(cr)
+					if err == nil {
+						g *= o.distinctOf(bq.tables[ti].ref.Table, col)
+						continue
+					}
+				}
+				g *= 10
+			}
+			groups = math.Min(g, st.rows)
+		}
+		schema := make([]plan.ColRef, len(agg.Aggs))
+		for i := range agg.Aggs {
+			schema[i] = plan.ColRef{Column: agg.Aggs[i].Name}
+		}
+		agg.Out = schema
+		agg.Cost = st.cost + st.rows*m.HashTup
+		agg.Rows = math.Max(1, groups)
+		st.node = agg
+		st.cost = agg.Cost
+		st.rows = agg.Rows
+		st.order = nil // hash aggregation destroys any input order
+	}
+
+	// Projection before Sort when aggregating (sort keys reference output
+	// names); otherwise Sort below Project so order keys can use any
+	// column.
+	projected := false
+	project := func() {
+		if projected {
+			return
+		}
+		projected = true
+		if len(sel.Items) == 1 && sel.Items[0].Star {
+			return // SELECT *: pass rows through
+		}
+		if aggregated {
+			return // HashAgg already produced the select list
+		}
+		var exprs []sql.Expr
+		var outNames []string
+		var schema []plan.ColRef
+		for i, it := range sel.Items {
+			if it.Star {
+				for _, cr := range st.node.Schema() {
+					exprs = append(exprs, &sql.ColumnRef{Table: cr.Table, Column: cr.Column})
+					outNames = append(outNames, cr.Column)
+					schema = append(schema, cr)
+				}
+				continue
+			}
+			exprs = append(exprs, it.Expr)
+			outNames = append(outNames, names[i])
+			schema = append(schema, plan.ColRef{Column: names[i]})
+		}
+		p := &plan.Project{Child: st.node, Exprs: exprs, Names: outNames}
+		p.Out = schema
+		p.Cost = st.cost + st.rows*m.CPUTuple
+		p.Rows = st.rows
+		st.node = p
+		st.cost = p.Cost
+	}
+
+	// DISTINCT applies to the projected rows, so project first.
+	if sel.Distinct {
+		project()
+		d := &plan.Distinct{Child: st.node}
+		d.Out = st.node.Schema()
+		d.Cost = st.cost + st.rows*m.HashTup
+		d.Rows = math.Max(1, st.rows/2)
+		st.node = d
+		st.cost = d.Cost
+		st.rows = d.Rows
+		st.order = nil
+	}
+
+	if len(sel.OrderBy) > 0 {
+		// Rewrite alias references in ORDER BY to their select expressions
+		// (pre-projection sorting), unless the select list has already
+		// been produced (aggregation or DISTINCT), in which case sort keys
+		// reference the output's names.
+		keys := make([]plan.SortKey, len(sel.OrderBy))
+		for i, oi := range sel.OrderBy {
+			e := oi.Expr
+			if !aggregated && !projected {
+				if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
+					for j, it := range sel.Items {
+						if strings.EqualFold(it.Alias, cr.Column) && !it.Star {
+							e = sel.Items[j].Expr
+						}
+					}
+				}
+			}
+			keys[i] = plan.SortKey{Expr: e, Desc: oi.Desc}
+		}
+		if !orderSatisfiedBy(st.order, keys) {
+			if aggregated {
+				project() // no-op for agg, kept for symmetry
+			}
+			s := &plan.Sort{Child: st.node, Keys: keys}
+			s.Out = st.node.Schema()
+			s.Cost = st.cost + m.Sort(st.rows)
+			s.Rows = st.rows
+			st.node = s
+			st.cost = s.Cost
+		}
+	}
+
+	project()
+
+	if sel.Limit >= 0 {
+		l := &plan.Limit{Child: st.node, N: sel.Limit}
+		l.Out = st.node.Schema()
+		l.Cost = st.cost
+		l.Rows = math.Min(st.rows, float64(sel.Limit))
+		st.node = l
+		st.rows = l.Rows
+	}
+	return nil
+}
+
+// orderSatisfiedBy reports whether the current physical order satisfies
+// the sort keys (ascending column references only).
+func orderSatisfiedBy(order []plan.ColRef, keys []plan.SortKey) bool {
+	if len(keys) > len(order) {
+		return false
+	}
+	for i, k := range keys {
+		if k.Desc {
+			return false
+		}
+		cr, ok := k.Expr.(*sql.ColumnRef)
+		if !ok || !order[i].Matches(cr.Table, cr.Column) {
+			return false
+		}
+	}
+	return true
+}
+
+// planInsert plans INSERT ... VALUES and INSERT ... SELECT.
+func (o *Optimizer) planInsert(ins *sql.Insert) (*Result, error) {
+	t := o.env.Cat.Table(ins.Table)
+	if t == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %s", ins.Table)
+	}
+	node := &plan.InsertNode{Table: t.Name}
+	var cost, rows float64
+	var tree *whatif.Node
+
+	if ins.Query != nil {
+		sub, err := o.planSelect(ins.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Plan.Schema()) != len(t.Columns) && len(ins.Columns) == 0 {
+			return nil, fmt.Errorf("optimizer: INSERT SELECT arity mismatch for %s", t.Name)
+		}
+		node.Source = sub.Plan
+		rows = sub.Rows
+		cost = sub.Cost
+		tree = sub.Tree
+	} else {
+		ncols := len(t.Columns)
+		if len(ins.Columns) > 0 {
+			ncols = len(ins.Columns)
+		}
+		for _, r := range ins.Rows {
+			if len(r) != ncols {
+				return nil, fmt.Errorf("optimizer: INSERT arity mismatch for %s", t.Name)
+			}
+			row, err := o.literalRow(t, ins.Columns, r)
+			if err != nil {
+				return nil, err
+			}
+			node.Literals = append(node.Literals, row)
+		}
+		rows = float64(len(node.Literals))
+	}
+
+	upReq := o.updateRequest(t, rows)
+	cost += o.dmlCost(t, rows, upReq.UpdateTouchedIndexes)
+	node.Cost = cost
+	node.Rows = rows
+	leaf := whatif.NewLeaf(upReq)
+	if tree != nil {
+		tree = whatif.NewAnd(tree, leaf)
+	} else {
+		tree = whatif.NewAnd(leaf)
+	}
+	return &Result{Plan: node, Tree: tree, Cost: cost, Rows: rows}, nil
+}
+
+// literalRow evaluates constant insert expressions into a full table row
+// (missing columns become NULL).
+func (o *Optimizer) literalRow(t *catalog.Table, cols []string, exprs []sql.Expr) (datum.Row, error) {
+	row := make(datum.Row, len(t.Columns))
+	for i := range row {
+		row[i] = datum.Null
+	}
+	for i, e := range exprs {
+		lit, ok := e.(*sql.Literal)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: INSERT values must be literals, got %s", e)
+		}
+		ord := i
+		if len(cols) > 0 {
+			ord = t.ColumnIndex(cols[i])
+			if ord < 0 {
+				return nil, fmt.Errorf("optimizer: unknown column %s in INSERT", cols[i])
+			}
+		}
+		if ord >= len(row) {
+			return nil, fmt.Errorf("optimizer: too many values in INSERT")
+		}
+		row[ord] = lit.Value
+	}
+	return row, nil
+}
+
+// updateRequest builds the update-shell request for a DML statement.
+func (o *Optimizer) updateRequest(t *catalog.Table, rows float64) *whatif.Request {
+	touched := 0
+	for _, pi := range o.env.Mgr.TableIndexes(t.Name) {
+		if !pi.Def.Primary && o.env.Available(pi.Def) {
+			touched++
+		}
+	}
+	return &whatif.Request{
+		Table:                t.Name,
+		Kind:                 whatif.KindUpdate,
+		UpdateRows:           rows,
+		UpdateTouchedIndexes: touched,
+		TableRows:            o.env.TableRows(t.Name),
+		TablePages:           o.env.TablePages(t.Name),
+		Bindings:             1,
+		Implemented:          true,
+	}
+}
+
+// dmlCost is the estimated write cost: base DML work plus maintenance of
+// every active secondary index.
+func (o *Optimizer) dmlCost(t *catalog.Table, rows float64, touched int) float64 {
+	m := o.env.Model
+	return m.DMLBase(rows, o.env.TablePages(t.Name)) + float64(touched)*m.IndexMaintenance(rows)
+}
+
+// planUpdate plans an UPDATE: the WHERE side is costed (and captured as
+// requests) like a select; execution locates rows by scan.
+func (o *Optimizer) planUpdate(up *sql.Update) (*Result, error) {
+	t := o.env.Cat.Table(up.Table)
+	if t == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %s", up.Table)
+	}
+	locCost, locRows, orNode, err := o.locate(t, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range up.Set {
+		if t.ColumnIndex(a.Column) < 0 {
+			return nil, fmt.Errorf("optimizer: unknown column %s in UPDATE %s", a.Column, t.Name)
+		}
+	}
+	node := &plan.UpdateNode{Table: t.Name, Set: up.Set, Where: splitConjuncts(up.Where)}
+	upReq := o.updateRequest(t, locRows)
+	cost := locCost + o.dmlCost(t, locRows, upReq.UpdateTouchedIndexes)
+	node.Cost = cost
+	node.Rows = locRows
+	children := []*whatif.Node{whatif.NewLeaf(upReq)}
+	if orNode != nil {
+		children = append(children, orNode)
+	}
+	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows}, nil
+}
+
+// planDelete plans a DELETE.
+func (o *Optimizer) planDelete(del *sql.Delete) (*Result, error) {
+	t := o.env.Cat.Table(del.Table)
+	if t == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %s", del.Table)
+	}
+	locCost, locRows, orNode, err := o.locate(t, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	node := &plan.DeleteNode{Table: t.Name, Where: splitConjuncts(del.Where)}
+	upReq := o.updateRequest(t, locRows)
+	cost := locCost + o.dmlCost(t, locRows, upReq.UpdateTouchedIndexes)
+	node.Cost = cost
+	node.Rows = locRows
+	children := []*whatif.Node{whatif.NewLeaf(upReq)}
+	if orNode != nil {
+		children = append(children, orNode)
+	}
+	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows}, nil
+}
+
+// locate costs the row-location side of an UPDATE/DELETE and captures its
+// requests.
+func (o *Optimizer) locate(t *catalog.Table, where sql.Expr) (float64, float64, *whatif.Node, error) {
+	pseudo := &sql.Select{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  sql.TableRef{Table: t.Name},
+		Where: where,
+		Limit: -1,
+	}
+	bq, err := bind(o.env.Cat, pseudo)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	path := o.chooseAccess(bq.tables[0], nil)
+	var leaves []*whatif.Node
+	for _, r := range path.requests {
+		leaves = append(leaves, whatif.NewLeaf(r))
+	}
+	return path.cost, path.rows, whatif.NewOr(leaves...), nil
+}
+
+func indexOfFoldStr(ss []string, s string) int {
+	for i, x := range ss {
+		if strings.EqualFold(x, s) {
+			return i
+		}
+	}
+	return -1
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,351 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"onlinetuner/internal/datum"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// Expr is any scalar or boolean expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value datum.Datum
+}
+
+func (*Literal) expr() {}
+
+func (l *Literal) String() string { return l.Value.String() }
+
+// BinaryExpr is an arithmetic, comparison or boolean binary operation.
+// Op is one of + - * / = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+func (*NotExpr) expr() {}
+
+func (n *NotExpr) String() string { return "NOT " + n.Inner.String() }
+
+// IsNullExpr tests for NULL (or NOT NULL).
+type IsNullExpr struct {
+	Inner Expr
+	Not   bool
+}
+
+func (*IsNullExpr) expr() {}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return e.Inner.String() + " IS NOT NULL"
+	}
+	return e.Inner.String() + " IS NULL"
+}
+
+// FuncExpr is an aggregate function application. Star is true for
+// COUNT(*).
+type FuncExpr struct {
+	Name string // COUNT, SUM, AVG, MIN, MAX (upper-case)
+	Arg  Expr   // nil when Star
+	Star bool
+}
+
+func (*FuncExpr) expr() {}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	return f.Name + "(" + f.Arg.String() + ")"
+}
+
+// SelectItem is one projection in a SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional
+	Star  bool   // SELECT *
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the reference name: alias if present, else the table.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an explicit INNER JOIN with its ON condition.
+type JoinClause struct {
+	Right TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// Select is a SELECT statement. FROM is a first table plus zero or more
+// explicit joins; comma-separated FROM lists are normalized into joins
+// with the join predicate left in WHERE.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr // nil if absent
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 if absent
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From.String())
+	for _, j := range s.Joins {
+		sb.WriteString(" JOIN " + j.Right.String() + " ON " + j.On.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return sb.String()
+}
+
+// Insert is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
+type Insert struct {
+	Table   string
+	Columns []string // optional explicit column list
+	Rows    [][]Expr // literal rows; nil when Query is set
+	Query   *Select  // INSERT ... SELECT
+}
+
+func (*Insert) stmt() {}
+
+func (i *Insert) String() string {
+	s := "INSERT INTO " + i.Table
+	if len(i.Columns) > 0 {
+		s += " (" + strings.Join(i.Columns, ", ") + ")"
+	}
+	if i.Query != nil {
+		return s + " " + i.Query.String()
+	}
+	s += " VALUES "
+	for r, row := range i.Rows {
+		if r > 0 {
+			s += ", "
+		}
+		s += "("
+		for c, e := range row {
+			if c > 0 {
+				s += ", "
+			}
+			s += e.String()
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*Update) stmt() {}
+
+func (u *Update) String() string {
+	s := "UPDATE " + u.Table + " SET "
+	for i, a := range u.Set {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.Column + " = " + a.Value.String()
+	}
+	if u.Where != nil {
+		s += " WHERE " + u.Where.String()
+	}
+	return s
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+func (d *Delete) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind datum.Kind
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table      string
+	Columns    []ColumnDef
+	PrimaryKey []string
+}
+
+func (*CreateTable) stmt() {}
+
+func (c *CreateTable) String() string {
+	var parts []string
+	for _, col := range c.Columns {
+		parts = append(parts, col.Name+" "+col.Kind.String())
+	}
+	parts = append(parts, "PRIMARY KEY ("+strings.Join(c.PrimaryKey, ", ")+")")
+	return "CREATE TABLE " + c.Table + " (" + strings.Join(parts, ", ") + ")"
+}
+
+// CreateIndex is a CREATE INDEX statement.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+func (*CreateIndex) stmt() {}
+
+func (c *CreateIndex) String() string {
+	return "CREATE INDEX " + c.Name + " ON " + c.Table + " (" + strings.Join(c.Columns, ", ") + ")"
+}
+
+// DropIndex is a DROP INDEX statement.
+type DropIndex struct {
+	Name string
+}
+
+func (*DropIndex) stmt() {}
+
+func (d *DropIndex) String() string { return "DROP INDEX " + d.Name }
+
+// Explain wraps a statement whose physical plan should be rendered
+// instead of executed.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmt() {}
+
+func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }

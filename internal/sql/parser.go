@@ -1,0 +1,831 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"onlinetuner/internal/datum"
+)
+
+// Parse parses a single SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().Kind == TSymbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TEOF {
+		return nil, p.errorf("unexpected trailing token %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (at position %d in %q)", fmt.Sprintf(format, args...), p.peek().Pos, truncate(p.src))
+}
+
+func truncate(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.Kind == TSymbol && t.Text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return p.errorf("expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind != TIdent {
+		return "", p.errorf("expected identifier, got %s", t)
+	}
+	p.next()
+	return t.Text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TKeyword {
+		return nil, p.errorf("expected statement keyword, got %s", t)
+	}
+	switch t.Text {
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	}
+	return nil, p.errorf("unsupported statement %s", t)
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.keyword("DISTINCT")
+
+	for {
+		if p.symbol("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.keyword("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.peek().Kind == TIdent {
+				item.Alias = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.symbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	// Comma-separated FROM items become joins with ON TRUE; their join
+	// predicates stay in WHERE and the optimizer recovers them.
+	for p.symbol(",") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Right: tr, On: &Literal{Value: datum.NewBool(true)}})
+	}
+	for {
+		if p.keyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.keyword("JOIN") {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Right: tr, On: on})
+	}
+
+	if p.keyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TInt {
+			return nil, p.errorf("expected integer after LIMIT, got %s", t)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT value %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.keyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.peek().Kind == TIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.symbol("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().Kind == TKeyword && p.peek().Text == "SELECT" {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+		return ins, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Column: col, Value: val})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if p.keyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.keyword("TABLE") {
+		return p.parseCreateTable()
+	}
+	if p.keyword("INDEX") {
+		return p.parseCreateIndex()
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Table: table}
+	for {
+		if p.keyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, c)
+				if !p.symbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: name, Kind: kind})
+		}
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(ct.PrimaryKey) == 0 {
+		return nil, p.errorf("CREATE TABLE %s requires a PRIMARY KEY clause", table)
+	}
+	return ct, nil
+}
+
+func (p *parser) parseType() (datum.Kind, error) {
+	t := p.peek()
+	if t.Kind != TKeyword {
+		return 0, p.errorf("expected type, got %s", t)
+	}
+	p.next()
+	var k datum.Kind
+	switch t.Text {
+	case "INT":
+		k = datum.KInt
+	case "FLOAT":
+		k = datum.KFloat
+	case "VARCHAR":
+		k = datum.KString
+		// Optional (n) length, accepted and ignored.
+		if p.symbol("(") {
+			if p.peek().Kind != TInt {
+				return 0, p.errorf("expected length in VARCHAR(n)")
+			}
+			p.next()
+			if err := p.expectSymbol(")"); err != nil {
+				return 0, err
+			}
+		}
+	case "DATE":
+		k = datum.KDate
+	case "BOOL":
+		k = datum.KBool
+	default:
+		return 0, p.errorf("unsupported type %s", t.Text)
+	}
+	return k, nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Columns = append(ci.Columns, c)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndex{Name: name}, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr ((=|<>|<|<=|>|>=) addExpr
+//	          | BETWEEN addExpr AND addExpr
+//	          | IN (lit, ...) | IS [NOT] NULL)?
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/) unary)*
+//	unary    := primary | - primary
+//	primary  := literal | funcCall | columnRef | ( orExpr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TSymbol {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.Text, Left: left, Right: right}, nil
+		}
+	}
+	if t.Kind == TKeyword {
+		switch t.Text {
+		case "BETWEEN":
+			p.next()
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{
+				Op:    "AND",
+				Left:  &BinaryExpr{Op: ">=", Left: left, Right: lo},
+				Right: &BinaryExpr{Op: "<=", Left: left, Right: hi},
+			}, nil
+		case "IN":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var or Expr
+			for {
+				v, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				eq := &BinaryExpr{Op: "=", Left: left, Right: v}
+				if or == nil {
+					or = eq
+				} else {
+					or = &BinaryExpr{Op: "OR", Left: or, Right: eq}
+				}
+				if !p.symbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return or, nil
+		case "IS":
+			p.next()
+			not := p.keyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNullExpr{Inner: left, Not: not}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.symbol("-") {
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*Literal); ok {
+			switch lit.Value.Kind() {
+			case datum.KInt:
+				return &Literal{Value: datum.NewInt(-lit.Value.Int())}, nil
+			case datum.KFloat:
+				return &Literal{Value: datum.NewFloat(-lit.Value.Float())}, nil
+			}
+		}
+		return &BinaryExpr{Op: "-", Left: &Literal{Value: datum.NewInt(0)}, Right: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.Text)
+		}
+		return &Literal{Value: datum.NewInt(v)}, nil
+	case TFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.Text)
+		}
+		return &Literal{Value: datum.NewFloat(v)}, nil
+	case TString:
+		p.next()
+		return &Literal{Value: datum.NewString(t.Text)}, nil
+	case TKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: datum.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: datum.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: datum.NewBool(false)}, nil
+		case "DATE":
+			// DATE 'YYYY-MM-DD'
+			p.next()
+			lt := p.peek()
+			if lt.Kind != TString {
+				return nil, p.errorf("expected date string after DATE")
+			}
+			p.next()
+			d, err := ParseDate(lt.Text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return &Literal{Value: d}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			f := &FuncExpr{Name: t.Text}
+			if p.symbol("*") {
+				if t.Text != "COUNT" {
+					return nil, p.errorf("%s(*) is not valid", t.Text)
+				}
+				f.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				f.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TIdent:
+		p.next()
+		if p.symbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	case TSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}
+
+// ParseDate converts 'YYYY-MM-DD' into a date datum (days since epoch).
+func ParseDate(s string) (datum.Datum, error) {
+	t, err := time.Parse("2006-01-02", strings.TrimSpace(s))
+	if err != nil {
+		return datum.Null, fmt.Errorf("sql: bad date %q: %v", s, err)
+	}
+	return datum.NewDate(t.Unix() / 86400), nil
+}

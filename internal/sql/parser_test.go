@@ -1,0 +1,287 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/datum"
+)
+
+func mustParse(t *testing.T, q string) Statement {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b FROM R WHERE a <= 10 AND b <> 'x''y' -- comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TEOF {
+			break
+		}
+		texts = append(texts, tk.Text)
+	}
+	want := "SELECT a , b FROM R WHERE a <= 10 AND b <> x'y"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, q := range []string{"SELECT 'unterminated", "SELECT @", "a ! b"} {
+		if _, err := Lex(q); err == nil {
+			t.Errorf("Lex(%q) should fail", q)
+		}
+	}
+	// != is accepted as <>.
+	toks, err := Lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "<>" {
+		t.Errorf("!= should lex as <>, got %q", toks[1].Text)
+	}
+}
+
+func TestParseSelectPaperQueries(t *testing.T) {
+	// The three queries from Section 4.1 of the paper.
+	q1 := mustParse(t, "SELECT a,b,c,id FROM R WHERE a<100").(*Select)
+	if len(q1.Items) != 4 || q1.From.Table != "R" {
+		t.Errorf("q1 = %v", q1)
+	}
+	be, ok := q1.Where.(*BinaryExpr)
+	if !ok || be.Op != "<" {
+		t.Fatalf("q1 where = %v", q1.Where)
+	}
+	q2 := mustParse(t, "SELECT a,d,e,id FROM R WHERE a<100").(*Select)
+	if q2.String() != "SELECT a, d, e, id FROM R WHERE (a < 100)" {
+		t.Errorf("q2 round trip = %q", q2.String())
+	}
+	q3 := mustParse(t, "INSERT INTO R SELECT * FROM S").(*Insert)
+	if q3.Table != "R" || q3.Query == nil || !q3.Query.Items[0].Star {
+		t.Errorf("q3 = %v", q3)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := mustParse(t, "SELECT S.b FROM R,S WHERE R.x=S.y AND R.a=5 AND S.y=8").(*Select)
+	if s.From.Table != "R" || len(s.Joins) != 1 || s.Joins[0].Right.Table != "S" {
+		t.Fatalf("from/joins = %v %v", s.From, s.Joins)
+	}
+	// Explicit JOIN ... ON.
+	s2 := mustParse(t, "SELECT r.a FROM R r JOIN S s ON r.x = s.y WHERE s.b > 3").(*Select)
+	if s2.From.Alias != "r" || s2.Joins[0].Right.Alias != "s" {
+		t.Errorf("aliases = %v %v", s2.From, s2.Joins[0].Right)
+	}
+	on, ok := s2.Joins[0].On.(*BinaryExpr)
+	if !ok || on.Op != "=" {
+		t.Errorf("on = %v", s2.Joins[0].On)
+	}
+	// INNER JOIN spelled out.
+	s3 := mustParse(t, "SELECT a FROM R INNER JOIN S ON R.x = S.y").(*Select)
+	if len(s3.Joins) != 1 {
+		t.Error("inner join not parsed")
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	s := mustParse(t, `SELECT a, COUNT(*), SUM(b) AS total FROM R
+		WHERE b BETWEEN 5 AND 10 GROUP BY a ORDER BY a DESC, total LIMIT 7`).(*Select)
+	if len(s.GroupBy) != 1 || len(s.OrderBy) != 2 || s.Limit != 7 {
+		t.Fatalf("group/order/limit = %v %v %d", s.GroupBy, s.OrderBy, s.Limit)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Error("order directions wrong")
+	}
+	// BETWEEN desugars to >= AND <=.
+	w := s.Where.(*BinaryExpr)
+	if w.Op != "AND" {
+		t.Fatalf("where = %v", s.Where)
+	}
+	if w.Left.(*BinaryExpr).Op != ">=" || w.Right.(*BinaryExpr).Op != "<=" {
+		t.Error("BETWEEN desugaring wrong")
+	}
+	if s.Items[2].Alias != "total" {
+		t.Error("alias lost")
+	}
+}
+
+func TestParseInDesugarsToOr(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM R WHERE a IN (1, 2, 3)").(*Select)
+	or1, ok := s.Where.(*BinaryExpr)
+	if !ok || or1.Op != "OR" {
+		t.Fatalf("where = %v", s.Where)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO R (id, a) VALUES (1, 2), (3, 4)").(*Insert)
+	if len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %v", ins)
+	}
+	up := mustParse(t, "UPDATE R SET a = a + 1, b = 0 WHERE id = 5").(*Update)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Errorf("update = %v", up)
+	}
+	del := mustParse(t, "DELETE FROM R WHERE a > 10").(*Delete)
+	if del.Table != "R" || del.Where == nil {
+		t.Errorf("delete = %v", del)
+	}
+	del2 := mustParse(t, "DELETE FROM R").(*Delete)
+	if del2.Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE R (id INT, a INT, name VARCHAR(32), price FLOAT,
+		d DATE, ok BOOL, PRIMARY KEY (id))`).(*CreateTable)
+	if len(ct.Columns) != 6 || len(ct.PrimaryKey) != 1 {
+		t.Fatalf("create table = %v", ct)
+	}
+	kinds := []datum.Kind{datum.KInt, datum.KInt, datum.KString, datum.KFloat, datum.KDate, datum.KBool}
+	for i, k := range kinds {
+		if ct.Columns[i].Kind != k {
+			t.Errorf("column %d kind = %v, want %v", i, ct.Columns[i].Kind, k)
+		}
+	}
+	if _, err := Parse("CREATE TABLE T (a INT)"); err == nil {
+		t.Error("missing primary key accepted")
+	}
+	ci := mustParse(t, "CREATE INDEX I2 ON R (a, b, c, id)").(*CreateIndex)
+	if ci.Name != "I2" || len(ci.Columns) != 4 {
+		t.Errorf("create index = %v", ci)
+	}
+	di := mustParse(t, "DROP INDEX I2").(*DropIndex)
+	if di.Name != "I2" {
+		t.Errorf("drop index = %v", di)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM R WHERE a + 2 * 3 = 7 OR a < 1 AND b > 2").(*Select)
+	// OR is the root.
+	or, ok := s.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("root = %v", s.Where)
+	}
+	// Left: a + (2*3) = 7.
+	eq := or.Left.(*BinaryExpr)
+	if eq.Op != "=" {
+		t.Fatalf("left = %v", or.Left)
+	}
+	add := eq.Left.(*BinaryExpr)
+	if add.Op != "+" || add.Right.(*BinaryExpr).Op != "*" {
+		t.Error("arithmetic precedence wrong")
+	}
+	// Right: AND binds tighter than OR.
+	if or.Right.(*BinaryExpr).Op != "AND" {
+		t.Error("AND/OR precedence wrong")
+	}
+}
+
+func TestParseNegativeAndNull(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM R WHERE a = -5 AND b IS NOT NULL AND c IS NULL").(*Select)
+	and1 := s.Where.(*BinaryExpr)
+	isNull := and1.Right.(*IsNullExpr)
+	if isNull.Not {
+		t.Error("IS NULL parsed as NOT NULL")
+	}
+	// -5 folds to a literal.
+	eq := and1.Left.(*BinaryExpr).Left.(*BinaryExpr)
+	lit, ok := eq.Right.(*Literal)
+	if !ok || lit.Value.Int() != -5 {
+		t.Errorf("negative literal = %v", eq.Right)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM R WHERE d >= DATE '1995-01-01'").(*Select)
+	lit := s.Where.(*BinaryExpr).Right.(*Literal)
+	if lit.Value.Kind() != datum.KDate {
+		t.Fatalf("kind = %v", lit.Value.Kind())
+	}
+	// 1995-01-01 is 9131 days after 1970-01-01.
+	if lit.Value.Int() != 9131 {
+		t.Errorf("days = %d, want 9131", lit.Value.Int())
+	}
+	if _, err := Parse("SELECT a FROM R WHERE d > DATE 'nope'"); err == nil {
+		t.Error("bad date accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM R",
+		"SELECT FROM R",
+		"SELECT a FROM",
+		"SELECT a FROM R WHERE",
+		"INSERT INTO",
+		"UPDATE R SET",
+		"SELECT a FROM R LIMIT x",
+		"SELECT SUM(*) FROM R",
+		"SELECT a FROM R GROUP",
+		"SELECT a FROM R extra nonsense --",
+		"CREATE VIEW v",
+		"DROP TABLE R",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT a FROM R;")
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT DISTINCT a, b FROM R WHERE (a < 100) ORDER BY a LIMIT 5",
+		"INSERT INTO R VALUES (1, 'x')",
+		"UPDATE R SET a = 1 WHERE (b = 2)",
+		"DELETE FROM R WHERE (a > 10)",
+		"DROP INDEX foo",
+	}
+	for _, q := range queries {
+		s := mustParse(t, q)
+		s2 := mustParse(t, s.String())
+		if s.String() != s2.String() {
+			t.Errorf("round trip diverged:\n  %q\n  %q", s.String(), s2.String())
+		}
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	e, ok := mustParse(t, "EXPLAIN SELECT a FROM R WHERE a < 5").(*Explain)
+	if !ok {
+		t.Fatal("not an Explain")
+	}
+	if _, ok := e.Stmt.(*Select); !ok {
+		t.Fatalf("inner = %T", e.Stmt)
+	}
+	if e.String() != "EXPLAIN SELECT a FROM R WHERE (a < 5)" {
+		t.Errorf("String = %q", e.String())
+	}
+	// EXPLAIN wraps DML too.
+	if _, ok := mustParse(t, "EXPLAIN DELETE FROM R").(*Explain); !ok {
+		t.Error("EXPLAIN DELETE not parsed")
+	}
+	// Nested EXPLAIN parses (the engine handles only the outer layer,
+	// but the grammar is uniform).
+	if _, ok := mustParse(t, "EXPLAIN EXPLAIN SELECT a FROM R").(*Explain); !ok {
+		t.Error("nested EXPLAIN not parsed")
+	}
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Error("bare EXPLAIN accepted")
+	}
+}

@@ -1,0 +1,291 @@
+// Package stats implements the statistics subsystem: equi-depth
+// histograms with per-bucket distinct counts, column statistics, and the
+// selectivity estimation interface consumed by the optimizer's cost
+// model. It also implements the asynchronous statistics-creation policy
+// of Section 3.3 of the paper ("supporting statistics"): statistics for
+// an index's key column are built once the accumulated evidence for that
+// index crosses a fraction of its creation cost.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"onlinetuner/internal/datum"
+)
+
+// DefaultBuckets is the histogram resolution used when statistics are
+// built without an explicit bucket count.
+const DefaultBuckets = 32
+
+// Bucket is one equi-depth histogram bucket: values in (lower, upper]
+// except the first bucket, which is [lower, upper].
+type Bucket struct {
+	Upper    datum.Datum
+	Count    int64 // rows in the bucket
+	Distinct int64 // distinct values in the bucket
+}
+
+// Histogram is an equi-depth histogram over one column.
+type Histogram struct {
+	Lower     datum.Datum // minimum value
+	Buckets   []Bucket
+	Rows      int64 // total non-null rows
+	Nulls     int64
+	DistinctN int64 // total distinct non-null values
+}
+
+// Build constructs an equi-depth histogram with up to maxBuckets buckets
+// from a sample of column values. NULLs are counted separately.
+func Build(values []datum.Datum, maxBuckets int) *Histogram {
+	if maxBuckets <= 0 {
+		maxBuckets = DefaultBuckets
+	}
+	h := &Histogram{}
+	nonNull := make([]datum.Datum, 0, len(values))
+	for _, v := range values {
+		if v.IsNull() {
+			h.Nulls++
+			continue
+		}
+		nonNull = append(nonNull, v)
+	}
+	h.Rows = int64(len(nonNull))
+	if h.Rows == 0 {
+		return h
+	}
+	sort.Slice(nonNull, func(i, j int) bool { return nonNull[i].Compare(nonNull[j]) < 0 })
+	h.Lower = nonNull[0]
+
+	perBucket := (len(nonNull) + maxBuckets - 1) / maxBuckets
+	if perBucket == 0 {
+		perBucket = 1
+	}
+	i := 0
+	for i < len(nonNull) {
+		end := i + perBucket
+		if end > len(nonNull) {
+			end = len(nonNull)
+		}
+		// Extend the bucket so it ends on a value boundary: all copies of a
+		// value land in one bucket, which keeps equality estimates sane.
+		for end < len(nonNull) && nonNull[end].Equal(nonNull[end-1]) {
+			end++
+		}
+		b := Bucket{Upper: nonNull[end-1], Count: int64(end - i)}
+		d := int64(1)
+		for k := i + 1; k < end; k++ {
+			if !nonNull[k].Equal(nonNull[k-1]) {
+				d++
+			}
+		}
+		b.Distinct = d
+		h.DistinctN += d
+		h.Buckets = append(h.Buckets, b)
+		i = end
+	}
+	return h
+}
+
+// SelectivityEq estimates the fraction of rows equal to v.
+func (h *Histogram) SelectivityEq(v datum.Datum) float64 {
+	total := h.Rows + h.Nulls
+	if total == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return float64(h.Nulls) / float64(total)
+	}
+	b := h.find(v)
+	if b == nil {
+		return 0
+	}
+	if b.Distinct == 0 {
+		return 0
+	}
+	return float64(b.Count) / float64(b.Distinct) / float64(total)
+}
+
+// SelectivityLt estimates the fraction of rows strictly less than v
+// (NULLs never qualify).
+func (h *Histogram) SelectivityLt(v datum.Datum) float64 {
+	total := h.Rows + h.Nulls
+	if total == 0 || h.Rows == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0
+	}
+	if v.Compare(h.Lower) <= 0 {
+		return 0
+	}
+	var below int64
+	lower := h.Lower
+	for _, b := range h.Buckets {
+		if v.Compare(b.Upper) > 0 {
+			below += b.Count
+			lower = b.Upper
+			continue
+		}
+		// v falls inside this bucket: linear interpolation for numerics,
+		// half the bucket otherwise.
+		below += int64(float64(b.Count) * fraction(lower, b.Upper, v))
+		break
+	}
+	return clamp01(float64(below) / float64(total))
+}
+
+// SelectivityRange estimates the fraction of rows in the half-open or
+// closed interval defined by lo/hi; nil bounds mean unbounded. loInc and
+// hiInc control bound inclusivity.
+func (h *Histogram) SelectivityRange(lo, hi *datum.Datum, loInc, hiInc bool) float64 {
+	total := h.Rows + h.Nulls
+	if total == 0 {
+		return 0
+	}
+	s := float64(h.Rows) / float64(total) // non-null fraction
+	if hi != nil {
+		shi := h.SelectivityLt(*hi)
+		if hiInc {
+			shi += h.SelectivityEq(*hi)
+		}
+		s = minf(s, shi)
+	}
+	if lo != nil {
+		slo := h.SelectivityLt(*lo)
+		if !loInc {
+			slo += h.SelectivityEq(*lo)
+		}
+		s -= slo
+	}
+	return clamp01(s)
+}
+
+// find returns the bucket that would contain v, or nil if out of range.
+func (h *Histogram) find(v datum.Datum) *Bucket {
+	if len(h.Buckets) == 0 {
+		return nil
+	}
+	if v.Compare(h.Lower) < 0 {
+		return nil
+	}
+	lo, hi := 0, len(h.Buckets)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Compare(h.Buckets[mid].Upper) <= 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if v.Compare(h.Buckets[lo].Upper) > 0 {
+		return nil
+	}
+	return &h.Buckets[lo]
+}
+
+// fraction estimates where v sits between lo and hi in [0,1].
+func fraction(lo, hi, v datum.Datum) float64 {
+	if lo.Kind() == datum.KString || hi.Kind() == datum.KString || v.Kind() == datum.KString {
+		return 0.5
+	}
+	l, u, x := lo.Float(), hi.Float(), v.Float()
+	if u <= l {
+		return 0.5
+	}
+	return clamp01((x - l) / (u - l))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ColumnStats bundles per-column statistics.
+type ColumnStats struct {
+	Hist     *Histogram
+	Distinct int64
+	Rows     int64
+}
+
+// Store is the thread-safe statistics registry keyed by "table.column"
+// (lowercase). It records which statistics exist so the tuner's
+// asynchronous statistics policy can decide when to build new ones.
+type Store struct {
+	mu    sync.RWMutex
+	cols  map[string]*ColumnStats
+	built int64 // number of Build operations, for observability
+}
+
+// NewStore returns an empty statistics store.
+func NewStore() *Store {
+	return &Store{cols: make(map[string]*ColumnStats)}
+}
+
+func key(table, column string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(column)
+}
+
+// Set installs statistics for table.column.
+func (s *Store) Set(table, column string, cs *ColumnStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cols[key(table, column)] = cs
+	s.built++
+}
+
+// Get returns the statistics for table.column, or nil.
+func (s *Store) Get(table, column string) *ColumnStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cols[key(table, column)]
+}
+
+// Has reports whether statistics exist for table.column.
+func (s *Store) Has(table, column string) bool {
+	return s.Get(table, column) != nil
+}
+
+// Drop removes the statistics for table.column.
+func (s *Store) Drop(table, column string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cols, key(table, column))
+}
+
+// BuildCount returns the number of statistics builds performed, used by
+// tests and the overhead report.
+func (s *Store) BuildCount() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.built
+}
+
+// BuildColumn computes statistics from a column's values and installs
+// them.
+func (s *Store) BuildColumn(table, column string, values []datum.Datum, buckets int) *ColumnStats {
+	h := Build(values, buckets)
+	cs := &ColumnStats{Hist: h, Distinct: h.DistinctN, Rows: h.Rows + h.Nulls}
+	s.Set(table, column, cs)
+	return cs
+}
+
+// String renders a short histogram summary for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{rows=%d nulls=%d distinct=%d buckets=%d}",
+		h.Rows, h.Nulls, h.DistinctN, len(h.Buckets))
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onlinetuner/internal/datum"
+)
+
+func ints(vals ...int64) []datum.Datum {
+	out := make([]datum.Datum, len(vals))
+	for i, v := range vals {
+		out[i] = datum.NewInt(v)
+	}
+	return out
+}
+
+func seq(n int) []datum.Datum {
+	out := make([]datum.Datum, n)
+	for i := range out {
+		out[i] = datum.NewInt(int64(i))
+	}
+	return out
+}
+
+func TestBuildEmpty(t *testing.T) {
+	h := Build(nil, 8)
+	if h.Rows != 0 || len(h.Buckets) != 0 {
+		t.Error("empty histogram should have no rows/buckets")
+	}
+	if h.SelectivityEq(datum.NewInt(1)) != 0 {
+		t.Error("empty histogram eq selectivity should be 0")
+	}
+	if h.SelectivityLt(datum.NewInt(1)) != 0 {
+		t.Error("empty histogram lt selectivity should be 0")
+	}
+}
+
+func TestBuildCountsAndDistinct(t *testing.T) {
+	vals := append(ints(1, 1, 1, 2, 3, 3), datum.Null, datum.Null)
+	h := Build(vals, 4)
+	if h.Rows != 6 || h.Nulls != 2 {
+		t.Errorf("rows=%d nulls=%d", h.Rows, h.Nulls)
+	}
+	if h.DistinctN != 3 {
+		t.Errorf("distinct=%d, want 3", h.DistinctN)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Errorf("bucket counts sum to %d, want 6", total)
+	}
+}
+
+func TestEquiDepthApprox(t *testing.T) {
+	h := Build(seq(1000), 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(h.Buckets))
+	}
+	for i, b := range h.Buckets {
+		if b.Count != 100 {
+			t.Errorf("bucket %d count = %d, want 100", i, b.Count)
+		}
+	}
+}
+
+func TestSelectivityEqUniform(t *testing.T) {
+	h := Build(seq(1000), 10)
+	got := h.SelectivityEq(datum.NewInt(500))
+	if math.Abs(got-0.001) > 0.0005 {
+		t.Errorf("eq selectivity = %g, want ~0.001", got)
+	}
+	if h.SelectivityEq(datum.NewInt(-5)) != 0 {
+		t.Error("below-range eq should be 0")
+	}
+	if h.SelectivityEq(datum.NewInt(5000)) != 0 {
+		t.Error("above-range eq should be 0")
+	}
+}
+
+func TestSelectivityEqNull(t *testing.T) {
+	vals := append(seq(90), make([]datum.Datum, 10)...)
+	for i := 90; i < 100; i++ {
+		vals[i] = datum.Null
+	}
+	h := Build(vals, 8)
+	if got := h.SelectivityEq(datum.Null); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("null selectivity = %g, want 0.1", got)
+	}
+}
+
+func TestSelectivityLt(t *testing.T) {
+	h := Build(seq(1000), 10)
+	cases := []struct {
+		v    int64
+		want float64
+		tol  float64
+	}{
+		{0, 0, 0},
+		{-10, 0, 0},
+		{100, 0.1, 0.02},
+		{500, 0.5, 0.02},
+		{999, 0.999, 0.02},
+		{5000, 1.0, 0.001},
+	}
+	for _, tc := range cases {
+		got := h.SelectivityLt(datum.NewInt(tc.v))
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("SelectivityLt(%d) = %g, want %g±%g", tc.v, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	h := Build(seq(1000), 16)
+	lo, hi := datum.NewInt(100), datum.NewInt(300)
+	got := h.SelectivityRange(&lo, &hi, true, false)
+	if math.Abs(got-0.2) > 0.03 {
+		t.Errorf("range selectivity = %g, want ~0.2", got)
+	}
+	// Unbounded below.
+	got = h.SelectivityRange(nil, &hi, true, false)
+	if math.Abs(got-0.3) > 0.03 {
+		t.Errorf("(-inf,300) = %g, want ~0.3", got)
+	}
+	// Unbounded above.
+	got = h.SelectivityRange(&lo, nil, true, false)
+	if math.Abs(got-0.9) > 0.03 {
+		t.Errorf("[100,inf) = %g, want ~0.9", got)
+	}
+	// Degenerate: hi < lo.
+	lo2, hi2 := datum.NewInt(500), datum.NewInt(100)
+	if got := h.SelectivityRange(&lo2, &hi2, true, true); got != 0 {
+		t.Errorf("inverted range = %g, want 0", got)
+	}
+}
+
+// Property: selectivities are within [0,1] and SelectivityLt is monotone.
+func TestSelectivityBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		vals := make([]datum.Datum, n)
+		for i := range vals {
+			vals[i] = datum.NewInt(int64(r.Intn(50)))
+		}
+		h := Build(vals, 1+r.Intn(12))
+		prev := -1.0
+		for v := int64(-5); v <= 55; v += 3 {
+			s := h.SelectivityLt(datum.NewInt(v))
+			if s < 0 || s > 1 || s+1e-12 < prev {
+				return false
+			}
+			prev = s
+			e := h.SelectivityEq(datum.NewInt(v))
+			if e < 0 || e > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an exact-match histogram reproduces per-value frequencies well
+// when each value gets its own bucket.
+func TestExactHistogram(t *testing.T) {
+	vals := ints(1, 1, 1, 1, 2, 2, 3, 3, 3, 10)
+	h := Build(vals, 100)
+	if got := h.SelectivityEq(datum.NewInt(1)); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("sel(=1) = %g, want 0.4", got)
+	}
+	if got := h.SelectivityEq(datum.NewInt(10)); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("sel(=10) = %g, want 0.1", got)
+	}
+}
+
+func TestValueBoundaryBuckets(t *testing.T) {
+	// 500 copies of one value must land in a single bucket even with a
+	// small per-bucket target, keeping equality estimates correct.
+	vals := make([]datum.Datum, 0, 600)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, datum.NewInt(7))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, datum.NewInt(int64(100+i)))
+	}
+	h := Build(vals, 10)
+	if got := h.SelectivityEq(datum.NewInt(7)); math.Abs(got-500.0/600) > 0.01 {
+		t.Errorf("sel(=7) = %g, want ~0.83", got)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if s.Has("r", "a") {
+		t.Error("empty store claims stats")
+	}
+	cs := s.BuildColumn("R", "A", seq(100), 8)
+	if cs.Rows != 100 || cs.Distinct != 100 {
+		t.Errorf("cs = %+v", cs)
+	}
+	if !s.Has("r", "a") || s.Get("R", "a") != cs {
+		t.Error("case-insensitive store lookup failed")
+	}
+	if s.BuildCount() != 1 {
+		t.Error("build count wrong")
+	}
+	s.Drop("r", "A")
+	if s.Has("R", "a") {
+		t.Error("drop failed")
+	}
+}
+
+func TestStringHist(t *testing.T) {
+	vals := []datum.Datum{datum.NewString("a"), datum.NewString("b"), datum.NewString("b"), datum.NewString("z")}
+	h := Build(vals, 4)
+	if got := h.SelectivityEq(datum.NewString("b")); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("sel(='b') = %g, want 0.5", got)
+	}
+	lt := h.SelectivityLt(datum.NewString("z"))
+	if lt <= 0 || lt > 1 {
+		t.Errorf("sel(<'z') = %g", lt)
+	}
+}

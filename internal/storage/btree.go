@@ -1,0 +1,410 @@
+// Package storage implements the physical storage engine: paged heap
+// files, composite-key B+-trees, and a storage manager that tracks a
+// global space budget, builds and drops index structures, and supports
+// the suspend/restart index states used by the online tuner (Section 3.3
+// of the paper). The engine is in-memory, but every structure carries an
+// explicit 8 KB-page accounting model so that index sizes, storage
+// constraints, and I/O-based cost estimates behave like an on-disk
+// system.
+package storage
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/datum"
+)
+
+// Fanout is the maximum number of entries per B+-tree node. It is chosen
+// small enough to exercise multi-level trees in tests while keeping the
+// in-memory representation compact.
+const Fanout = 64
+
+// RID identifies a heap row. RIDs are stable for the lifetime of a row.
+type RID int64
+
+// Entry is one B+-tree leaf entry: a composite key and the RID of the
+// indexed heap row. Duplicate keys are allowed; (Key, RID) pairs are
+// unique.
+type Entry struct {
+	Key datum.Row
+	RID RID
+}
+
+// compareEntry orders entries by key, breaking ties by RID so the tree
+// holds a strict total order.
+func compareEntry(a, b Entry) int {
+	if c := a.Key.Compare(b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.RID < b.RID:
+		return -1
+	case a.RID > b.RID:
+		return 1
+	}
+	return 0
+}
+
+type node struct {
+	leaf     bool
+	entries  []Entry // leaf payload
+	keys     []Entry // internal separators: keys[i] is the smallest entry of children[i+1]
+	children []*node
+	next     *node // leaf sibling chain
+}
+
+// BTree is an in-memory B+-tree over composite datum keys with duplicate
+// support. It is not safe for concurrent mutation.
+type BTree struct {
+	root   *node
+	height int
+	count  int
+	// keyBytes tracks total key payload bytes for page accounting.
+	keyBytes int64
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &node{leaf: true}, height: 1}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.count }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *BTree) Height() int { return t.height }
+
+// KeyBytes returns the accounted key payload bytes.
+func (t *BTree) KeyBytes() int64 { return t.keyBytes }
+
+// Insert adds an entry. Inserting an exact duplicate (same key and RID)
+// is an error: index maintenance must never double-insert a row.
+func (t *BTree) Insert(e Entry) error {
+	newChild, sep, err := t.insert(t.root, e)
+	if err != nil {
+		return err
+	}
+	if newChild != nil {
+		root := &node{
+			leaf:     false,
+			keys:     []Entry{sep},
+			children: []*node{t.root, newChild},
+		}
+		t.root = root
+		t.height++
+	}
+	t.count++
+	t.keyBytes += int64(e.Key.Width()) + 8
+	return nil
+}
+
+// insert descends into n; on split it returns the new right sibling and
+// its separator entry.
+func (t *BTree) insert(n *node, e Entry) (*node, Entry, error) {
+	if n.leaf {
+		pos, found := findEntry(n.entries, e)
+		if found {
+			return nil, Entry{}, fmt.Errorf("storage: duplicate btree entry %v rid=%d", e.Key, e.RID)
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = e
+		if len(n.entries) > Fanout {
+			return t.splitLeaf(n)
+		}
+		return nil, Entry{}, nil
+	}
+	ci := childIndex(n.keys, e)
+	newChild, sep, err := t.insert(n.children[ci], e)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	if newChild == nil {
+		return nil, Entry{}, nil
+	}
+	n.keys = append(n.keys, Entry{})
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.children) > Fanout {
+		return t.splitInternal(n)
+	}
+	return nil, Entry{}, nil
+}
+
+func (t *BTree) splitLeaf(n *node) (*node, Entry, error) {
+	mid := len(n.entries) / 2
+	right := &node{leaf: true, next: n.next}
+	right.entries = append(right.entries, n.entries[mid:]...)
+	n.entries = n.entries[:mid:mid]
+	n.next = right
+	return right, right.entries[0], nil
+}
+
+func (t *BTree) splitInternal(n *node) (*node, Entry, error) {
+	midKey := len(n.keys) / 2
+	sep := n.keys[midKey]
+	right := &node{leaf: false}
+	right.keys = append(right.keys, n.keys[midKey+1:]...)
+	right.children = append(right.children, n.children[midKey+1:]...)
+	n.keys = n.keys[:midKey:midKey]
+	n.children = n.children[: midKey+1 : midKey+1]
+	return right, sep, nil
+}
+
+// findEntry returns the insertion position of e in sorted entries and
+// whether an exact (key, rid) match exists.
+func findEntry(entries []Entry, e Entry) (int, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntry(entries[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(entries) && compareEntry(entries[lo], e) == 0
+	return lo, found
+}
+
+// childIndex returns which child of an internal node e belongs to.
+func childIndex(keys []Entry, e Entry) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntry(keys[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes the entry with the given key and RID. It returns false
+// if no such entry exists. Underflowed nodes are rebalanced by borrowing
+// from or merging with siblings.
+func (t *BTree) Delete(e Entry) bool {
+	deleted := t.delete(t.root, e)
+	if !deleted {
+		return false
+	}
+	// Collapse the root when it has a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	t.count--
+	t.keyBytes -= int64(e.Key.Width()) + 8
+	return true
+}
+
+const minFill = Fanout / 4
+
+func (t *BTree) delete(n *node, e Entry) bool {
+	if n.leaf {
+		pos, found := findEntry(n.entries, e)
+		if !found {
+			return false
+		}
+		n.entries = append(n.entries[:pos], n.entries[pos+1:]...)
+		return true
+	}
+	ci := childIndex(n.keys, e)
+	child := n.children[ci]
+	if !t.delete(child, e) {
+		return false
+	}
+	t.rebalance(n, ci)
+	return true
+}
+
+// rebalance fixes up child ci of n if it underflowed.
+func (t *BTree) rebalance(n *node, ci int) {
+	child := n.children[ci]
+	size := func(c *node) int {
+		if c.leaf {
+			return len(c.entries)
+		}
+		return len(c.children)
+	}
+	if size(child) >= minFill {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 && size(n.children[ci-1]) > minFill {
+		left := n.children[ci-1]
+		if child.leaf {
+			last := left.entries[len(left.entries)-1]
+			left.entries = left.entries[:len(left.entries)-1]
+			child.entries = append([]Entry{last}, child.entries...)
+			n.keys[ci-1] = child.entries[0]
+		} else {
+			lk := len(left.keys)
+			child.keys = append([]Entry{n.keys[ci-1]}, child.keys...)
+			n.keys[ci-1] = left.keys[lk-1]
+			left.keys = left.keys[:lk-1]
+			lc := len(left.children)
+			child.children = append([]*node{left.children[lc-1]}, child.children...)
+			left.children = left.children[:lc-1]
+		}
+		return
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 && size(n.children[ci+1]) > minFill {
+		right := n.children[ci+1]
+		if child.leaf {
+			first := right.entries[0]
+			right.entries = right.entries[1:]
+			child.entries = append(child.entries, first)
+			n.keys[ci] = right.entries[0]
+		} else {
+			child.keys = append(child.keys, n.keys[ci])
+			n.keys[ci] = right.keys[0]
+			right.keys = right.keys[1:]
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.mergeChildren(n, ci-1)
+	} else if ci < len(n.children)-1 {
+		t.mergeChildren(n, ci)
+	}
+}
+
+// mergeChildren merges child i+1 of n into child i.
+func (t *BTree) mergeChildren(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.entries = append(left.entries, right.entries...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	n   *node
+	pos int
+	// hi bounds the iteration: nil means unbounded. hiInc controls
+	// inclusivity of the bound, compared on the key prefix of len(hi).
+	hi    datum.Row
+	hiInc bool
+	done  bool
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool {
+	if it.done || it.n == nil || it.pos >= len(it.n.entries) {
+		return false
+	}
+	if it.hi != nil {
+		e := it.n.entries[it.pos]
+		c := prefixCompare(e.Key, it.hi)
+		if c > 0 || (c == 0 && !it.hiInc) {
+			it.done = true
+			return false
+		}
+	}
+	return true
+}
+
+// Entry returns the current entry; call only when Valid.
+func (it *Iterator) Entry() Entry { return it.n.entries[it.pos] }
+
+// Next advances the iterator.
+func (it *Iterator) Next() {
+	it.pos++
+	for it.n != nil && it.pos >= len(it.n.entries) {
+		it.n = it.n.next
+		it.pos = 0
+	}
+}
+
+// prefixCompare compares key against bound on the first len(bound)
+// components.
+func prefixCompare(key, bound datum.Row) int {
+	n := len(bound)
+	if len(key) < n {
+		n = len(key)
+	}
+	for i := 0; i < n; i++ {
+		if c := key[i].Compare(bound[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Scan returns an iterator over the whole tree in key order.
+func (t *BTree) Scan() *Iterator {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	it := &Iterator{n: n}
+	for it.n != nil && len(it.n.entries) == 0 {
+		it.n = it.n.next
+	}
+	return it
+}
+
+// Seek returns an iterator positioned at the first entry whose key prefix
+// is >= lo (or > lo when loInc is false), bounded above by hi/hiInc (nil
+// hi means unbounded). Bounds are compared on the prefix of their own
+// length, so a seek on the first k columns of a wider key works.
+func (t *BTree) Seek(lo datum.Row, loInc bool, hi datum.Row, hiInc bool) *Iterator {
+	n := t.root
+	probe := Entry{Key: lo, RID: -1 << 62}
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, probe)]
+	}
+	it := &Iterator{n: n, hi: hi, hiInc: hiInc}
+	// Position within the leaf.
+	lo2, hi2 := 0, len(n.entries)
+	for lo2 < hi2 {
+		mid := (lo2 + hi2) / 2
+		c := prefixCompare(n.entries[mid].Key, lo)
+		if c < 0 || (c == 0 && !loInc) {
+			lo2 = mid + 1
+		} else {
+			hi2 = mid
+		}
+	}
+	it.pos = lo2
+	for it.n != nil && it.pos >= len(it.n.entries) {
+		it.n = it.n.next
+		it.pos = 0
+	}
+	return it
+}
+
+// checkInvariants validates tree ordering and structure; used by tests.
+func (t *BTree) checkInvariants() error {
+	var prev *Entry
+	count := 0
+	for it := t.Scan(); it.Valid(); it.Next() {
+		e := it.Entry()
+		if prev != nil && compareEntry(*prev, e) >= 0 {
+			return fmt.Errorf("storage: btree order violated: %v >= %v", prev, e)
+		}
+		p := e
+		prev = &p
+		count++
+	}
+	if count != t.count {
+		return fmt.Errorf("storage: btree count %d != iterated %d", t.count, count)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"onlinetuner/internal/datum"
+)
+
+func intKey(vals ...int64) datum.Row {
+	r := make(datum.Row, len(vals))
+	for i, v := range vals {
+		r[i] = datum.NewInt(v)
+	}
+	return r
+}
+
+func TestBTreeInsertScan(t *testing.T) {
+	tr := NewBTree()
+	n := 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, v := range perm {
+		if err := tr.Insert(Entry{Key: intKey(int64(v)), RID: RID(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("expected multi-level tree, height = %d", tr.Height())
+	}
+	i := 0
+	for it := tr.Scan(); it.Valid(); it.Next() {
+		if got := it.Entry().Key[0].Int(); got != int64(i) {
+			t.Fatalf("scan position %d: got %d", i, got)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scanned %d entries, want %d", i, n)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDuplicateKeyDifferentRID(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(Entry{Key: intKey(7), RID: RID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert(Entry{Key: intKey(7), RID: 5}); err == nil {
+		t.Error("exact duplicate accepted")
+	}
+	count := 0
+	for it := tr.Seek(intKey(7), true, intKey(7), true); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 100 {
+		t.Errorf("seek(=7) found %d, want 100", count)
+	}
+}
+
+func TestBTreeSeekRange(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(Entry{Key: intKey(int64(i * 2)), RID: RID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// [100, 200] inclusive: keys 100..200 even = 51 entries.
+	count := 0
+	for it := tr.Seek(intKey(100), true, intKey(200), true); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 51 {
+		t.Errorf("range [100,200] = %d entries, want 51", count)
+	}
+	// (100, 200) exclusive = 49.
+	count = 0
+	for it := tr.Seek(intKey(100), false, intKey(200), false); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 49 {
+		t.Errorf("range (100,200) = %d entries, want 49", count)
+	}
+	// Seek on missing key lands on next.
+	it := tr.Seek(intKey(101), true, nil, false)
+	if !it.Valid() || it.Entry().Key[0].Int() != 102 {
+		t.Error("seek(101) should land on 102")
+	}
+	// Unbounded above from 990.
+	count = 0
+	for it := tr.Seek(intKey(990), true, nil, false); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 5 {
+		t.Errorf("range [990,∞) = %d, want 5", count)
+	}
+}
+
+func TestBTreeCompositeKeyPrefixSeek(t *testing.T) {
+	tr := NewBTree()
+	rid := RID(0)
+	for a := int64(0); a < 20; a++ {
+		for b := int64(0); b < 20; b++ {
+			if err := tr.Insert(Entry{Key: intKey(a, b), RID: rid}); err != nil {
+				t.Fatal(err)
+			}
+			rid++
+		}
+	}
+	// Prefix seek a=7: should find exactly 20 entries.
+	count := 0
+	for it := tr.Seek(intKey(7), true, intKey(7), true); it.Valid(); it.Next() {
+		e := it.Entry()
+		if e.Key[0].Int() != 7 {
+			t.Fatalf("prefix seek leaked key %v", e.Key)
+		}
+		count++
+	}
+	if count != 20 {
+		t.Errorf("prefix seek a=7 found %d, want 20", count)
+	}
+	// Full composite seek (7,3)..(7,5).
+	count = 0
+	for it := tr.Seek(intKey(7, 3), true, intKey(7, 5), true); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 3 {
+		t.Errorf("composite range found %d, want 3", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree()
+	n := 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Entry{Key: intKey(int64(i)), RID: RID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every other entry.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(Entry{Key: intKey(int64(i)), RID: RID(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	if tr.Delete(Entry{Key: intKey(0), RID: 0}) {
+		t.Error("double delete succeeded")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the rest; tree must be empty and well formed.
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(Entry{Key: intKey(int64(i)), RID: RID(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("after full delete: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeRandomOpsProperty interleaves random inserts and deletes and
+// checks the tree against a reference map after every batch.
+func TestBTreeRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := NewBTree()
+		ref := map[int64]bool{}
+		for op := 0; op < 600; op++ {
+			v := int64(r.Intn(200))
+			if ref[v] {
+				if !tr.Delete(Entry{Key: intKey(v), RID: RID(v)}) {
+					return false
+				}
+				delete(ref, v)
+			} else {
+				if err := tr.Insert(Entry{Key: intKey(v), RID: RID(v)}); err != nil {
+					return false
+				}
+				ref[v] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		// Every reference key must be findable.
+		keys := make([]int64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		for it := tr.Scan(); it.Valid(); it.Next() {
+			if it.Entry().Key[0].Int() != keys[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeKeyBytesAccounting(t *testing.T) {
+	tr := NewBTree()
+	if err := tr.Insert(Entry{Key: intKey(1, 2), RID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(16 + 8)
+	if tr.KeyBytes() != want {
+		t.Errorf("KeyBytes = %d, want %d", tr.KeyBytes(), want)
+	}
+	tr.Delete(Entry{Key: intKey(1, 2), RID: 0})
+	if tr.KeyBytes() != 0 {
+		t.Errorf("KeyBytes after delete = %d, want 0", tr.KeyBytes())
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	tr := NewBTree()
+	words := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for i, w := range words {
+		if err := tr.Insert(Entry{Key: datum.Row{datum.NewString(w)}, RID: RID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for it := tr.Scan(); it.Valid(); it.Next() {
+		got = append(got, it.Entry().Key[0].Str())
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := NewBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(Entry{Key: intKey(int64(i)), RID: RID(i)})
+	}
+}
+
+func BenchmarkBTreeSeek(b *testing.B) {
+	tr := NewBTree()
+	for i := 0; i < 100000; i++ {
+		_ = tr.Insert(Entry{Key: intKey(int64(i)), RID: RID(i)})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := tr.Seek(intKey(int64(i%100000)), true, nil, false)
+		_ = it.Valid()
+	}
+}

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/datum"
+)
+
+// PageSize is the accounted page size in bytes (8 KB, as in SQL Server).
+const PageSize = 8192
+
+// FillFactor is the assumed page fill fraction for page-count accounting.
+const FillFactor = 0.7
+
+// RowOverhead is the accounted per-row overhead of heap storage (tuple
+// header, slot pointer, alignment). It makes narrow secondary indexes
+// meaningfully smaller than the base table, as in real systems.
+const RowOverhead = 24
+
+// PagesFor converts a byte payload into an accounted page count (at least
+// one page for any non-empty payload).
+func PagesFor(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	f := float64(PageSize) * FillFactor
+	per := int64(f)
+	return (bytes + per - 1) / per
+}
+
+// Heap is a table's row store. Rows are addressed by stable RIDs; deleted
+// slots are tombstoned and recycled. A heap scan visits rows in RID
+// order, which approximates physical order.
+type Heap struct {
+	rows  []datum.Row // nil slots are tombstones
+	free  []RID
+	count int
+	bytes int64
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// Len returns the number of live rows.
+func (h *Heap) Len() int { return h.count }
+
+// Bytes returns the accounted live payload bytes.
+func (h *Heap) Bytes() int64 { return h.bytes }
+
+// Pages returns the accounted page count.
+func (h *Heap) Pages() int64 { return PagesFor(h.bytes) }
+
+// Insert stores a row and returns its RID.
+func (h *Heap) Insert(r datum.Row) RID {
+	h.count++
+	h.bytes += int64(r.Width()) + RowOverhead
+	if n := len(h.free); n > 0 {
+		rid := h.free[n-1]
+		h.free = h.free[:n-1]
+		h.rows[rid] = r
+		return rid
+	}
+	h.rows = append(h.rows, r)
+	return RID(len(h.rows) - 1)
+}
+
+// Get returns the row at rid, or nil if deleted/out of range.
+func (h *Heap) Get(rid RID) datum.Row {
+	if rid < 0 || int(rid) >= len(h.rows) {
+		return nil
+	}
+	return h.rows[rid]
+}
+
+// Delete removes the row at rid. It returns an error if no live row is
+// there.
+func (h *Heap) Delete(rid RID) error {
+	r := h.Get(rid)
+	if r == nil {
+		return fmt.Errorf("storage: delete of missing rid %d", rid)
+	}
+	h.bytes -= int64(r.Width()) + RowOverhead
+	h.count--
+	h.rows[rid] = nil
+	h.free = append(h.free, rid)
+	return nil
+}
+
+// Update replaces the row at rid, returning the old row.
+func (h *Heap) Update(rid RID, r datum.Row) (datum.Row, error) {
+	old := h.Get(rid)
+	if old == nil {
+		return nil, fmt.Errorf("storage: update of missing rid %d", rid)
+	}
+	h.bytes += int64(r.Width()) - int64(old.Width())
+	h.rows[rid] = r
+	return old, nil
+}
+
+// Scan calls fn for every live row in RID order; fn returning false stops
+// the scan.
+func (h *Heap) Scan(fn func(rid RID, r datum.Row) bool) {
+	for i, r := range h.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RID(i), r) {
+			return
+		}
+	}
+}

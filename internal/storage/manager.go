@@ -1,0 +1,503 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+)
+
+// IndexState tracks the lifecycle of a physical index structure.
+type IndexState int
+
+// Index lifecycle states. Suspended indexes keep their structure but are
+// not maintained and cannot serve queries; Restart replays the missed
+// changes, which is cheaper than a rebuild (Section 3.3 of the paper).
+const (
+	StateActive IndexState = iota
+	StateSuspended
+	StateBuilding // asynchronous creation in progress
+)
+
+func (s IndexState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateSuspended:
+		return "suspended"
+	case StateBuilding:
+		return "building"
+	}
+	return "unknown"
+}
+
+// PhysicalIndex couples an index definition with its B+-tree structure.
+type PhysicalIndex struct {
+	Def   *catalog.Index
+	Tree  *BTree
+	State IndexState
+	// pendingOps counts row changes missed while suspended; Restart
+	// replays them and its cost is proportional to this count.
+	pendingOps int64
+	// colOrds caches the table-ordinal of each index column.
+	colOrds []int
+}
+
+// Pages returns the accounted page count of the index structure.
+func (pi *PhysicalIndex) Pages() int64 {
+	if pi.Tree == nil {
+		return 0
+	}
+	return PagesFor(pi.Tree.KeyBytes())
+}
+
+// Bytes returns the accounted byte size of the index structure.
+func (pi *PhysicalIndex) Bytes() int64 {
+	if pi.Tree == nil {
+		return 0
+	}
+	return pi.Tree.KeyBytes()
+}
+
+// PendingOps returns the number of changes missed while suspended.
+func (pi *PhysicalIndex) PendingOps() int64 { return pi.pendingOps }
+
+// tableStore couples a heap with its catalog definition.
+type tableStore struct {
+	def  *catalog.Table
+	heap *Heap
+}
+
+// BuildStats describes the work performed by an index build; the cost
+// model converts it into the creation cost B_I^s.
+type BuildStats struct {
+	SourceIndex string // index scanned to produce the build input ("" = heap)
+	SourcePages int64
+	Rows        int64
+	Sorted      bool // true if an explicit sort was required
+	NewPages    int64
+}
+
+// Manager owns all physical structures and enforces the secondary-index
+// space budget. Table (primary) data never counts against the budget;
+// secondary indexes — active, suspended or building — do.
+type Manager struct {
+	mu      sync.RWMutex
+	cat     *catalog.Catalog
+	tables  map[string]*tableStore
+	indexes map[string]*PhysicalIndex // by index ID
+	// Budget is the secondary-index space budget in bytes; 0 means
+	// unlimited.
+	budget int64
+}
+
+// NewManager returns a storage manager bound to a catalog.
+func NewManager(cat *catalog.Catalog) *Manager {
+	return &Manager{
+		cat:     cat,
+		tables:  make(map[string]*tableStore),
+		indexes: make(map[string]*PhysicalIndex),
+	}
+}
+
+// SetBudget sets the secondary-index space budget in bytes (0 =
+// unlimited).
+func (m *Manager) SetBudget(bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = bytes
+}
+
+// Budget returns the secondary-index space budget in bytes.
+func (m *Manager) Budget() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.budget
+}
+
+// UsedBytes returns the bytes consumed by secondary indexes.
+func (m *Manager) UsedBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.usedLocked()
+}
+
+func (m *Manager) usedLocked() int64 {
+	var used int64
+	for _, pi := range m.indexes {
+		if !pi.Def.Primary {
+			used += pi.Bytes()
+		}
+	}
+	return used
+}
+
+// FreeBytes returns the remaining budget, or a very large number when
+// unlimited.
+func (m *Manager) FreeBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.budget == 0 {
+		return 1 << 62
+	}
+	return m.budget - m.usedLocked()
+}
+
+// CreateTable materializes a heap for a catalog table (which must already
+// be registered) and builds its primary index structure.
+func (m *Manager) CreateTable(name string) error {
+	t := m.cat.Table(name)
+	if t == nil {
+		return fmt.Errorf("storage: table %s not in catalog", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := m.tables[key]; dup {
+		return fmt.Errorf("storage: table %s already materialized", name)
+	}
+	m.tables[key] = &tableStore{def: t, heap: NewHeap()}
+	pk := m.cat.PrimaryIndex(name)
+	if pk == nil {
+		return fmt.Errorf("storage: table %s has no primary index", name)
+	}
+	pi := &PhysicalIndex{Def: pk, Tree: NewBTree(), State: StateActive}
+	pi.colOrds = ordinalsFor(t, pk)
+	m.indexes[pk.ID()] = pi
+	return nil
+}
+
+// Heap returns the heap of a table, or nil.
+func (m *Manager) Heap(table string) *Heap {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return nil
+	}
+	return ts.heap
+}
+
+// Index returns the physical index with the given catalog ID, or nil.
+func (m *Manager) Index(id string) *PhysicalIndex {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.indexes[id]
+}
+
+// TableIndexes returns the physical indexes over a table, primary first.
+func (m *Manager) TableIndexes(table string) []*PhysicalIndex {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*PhysicalIndex
+	for _, pi := range m.indexes {
+		if strings.EqualFold(pi.Def.Table, table) {
+			out = append(out, pi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Def.Primary != out[j].Def.Primary {
+			return out[i].Def.Primary
+		}
+		return out[i].Def.Name < out[j].Def.Name
+	})
+	return out
+}
+
+// ordinalsFor resolves index columns to table ordinals.
+func ordinalsFor(t *catalog.Table, ix *catalog.Index) []int {
+	ords := make([]int, len(ix.Columns))
+	for i, c := range ix.Columns {
+		ords[i] = t.ColumnIndex(c)
+	}
+	return ords
+}
+
+// keyFor extracts the index key from a full table row.
+func keyFor(ords []int, row datum.Row) datum.Row {
+	key := make(datum.Row, len(ords))
+	for i, o := range ords {
+		key[i] = row[o]
+	}
+	return key
+}
+
+// KeyFor extracts ix's key columns from a full row of table t.
+func (m *Manager) KeyFor(t *catalog.Table, ix *catalog.Index, row datum.Row) datum.Row {
+	return keyFor(ordinalsFor(t, ix), row)
+}
+
+// Insert adds a row to a table and maintains all active indexes. It
+// returns the RID and the number of index structures touched (for update
+// cost accounting).
+func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return 0, 0, fmt.Errorf("storage: table %s not materialized", table)
+	}
+	if len(row) != len(ts.def.Columns) {
+		return 0, 0, fmt.Errorf("storage: table %s: row arity %d != %d", table, len(row), len(ts.def.Columns))
+	}
+	rid := ts.heap.Insert(row)
+	touched := 0
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		switch pi.State {
+		case StateSuspended:
+			pi.pendingOps++
+		case StateActive, StateBuilding:
+			if err := pi.Tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+				return 0, 0, err
+			}
+			touched++
+		}
+	}
+	return rid, touched, nil
+}
+
+// Delete removes the row at rid and maintains all active indexes.
+func (m *Manager) Delete(table string, rid RID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return 0, fmt.Errorf("storage: table %s not materialized", table)
+	}
+	row := ts.heap.Get(rid)
+	if row == nil {
+		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
+	}
+	touched := 0
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		switch pi.State {
+		case StateSuspended:
+			pi.pendingOps++
+		case StateActive, StateBuilding:
+			if !pi.Tree.Delete(Entry{Key: keyFor(pi.colOrds, row), RID: rid}) {
+				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
+			}
+			touched++
+		}
+	}
+	if err := ts.heap.Delete(rid); err != nil {
+		return 0, err
+	}
+	return touched, nil
+}
+
+// Update replaces the row at rid and maintains indexes whose keys
+// changed.
+func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return 0, fmt.Errorf("storage: table %s not materialized", table)
+	}
+	old := ts.heap.Get(rid)
+	if old == nil {
+		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
+	}
+	touched := 0
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		switch pi.State {
+		case StateSuspended:
+			pi.pendingOps++
+		case StateActive, StateBuilding:
+			oldKey := keyFor(pi.colOrds, old)
+			newKey := keyFor(pi.colOrds, newRow)
+			if oldKey.Compare(newKey) == 0 {
+				continue
+			}
+			if !pi.Tree.Delete(Entry{Key: oldKey, RID: rid}) {
+				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
+			}
+			if err := pi.Tree.Insert(Entry{Key: newKey, RID: rid}); err != nil {
+				return 0, err
+			}
+			touched++
+		}
+	}
+	if _, err := ts.heap.Update(rid, newRow); err != nil {
+		return 0, err
+	}
+	return touched, nil
+}
+
+// EstimateIndexBytes estimates the byte size a (possibly hypothetical)
+// index over the table would occupy, from live rows and column widths.
+func (m *Manager) EstimateIndexBytes(ix *catalog.Index) int64 {
+	t := m.cat.Table(ix.Table)
+	h := m.Heap(ix.Table)
+	if t == nil || h == nil {
+		return 0
+	}
+	rowKeyWidth := int64(t.ColumnsWidth(ix.Columns)) + 8 // + RID
+	return rowKeyWidth * int64(h.Len())
+}
+
+// BuildIndex materializes a secondary index structure. The build scans
+// the cheapest existing active source (an index whose key order makes the
+// new index's key sorted, else the heap plus an explicit sort) and bulk
+// inserts into a fresh tree. It enforces the space budget and returns
+// BuildStats for cost accounting.
+func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.indexes[ix.ID()]; dup {
+		return nil, fmt.Errorf("storage: index %s already materialized", ix.Name)
+	}
+	ts := m.tables[strings.ToLower(ix.Table)]
+	if ts == nil {
+		return nil, fmt.Errorf("storage: table %s not materialized", ix.Table)
+	}
+	est := int64(ts.def.ColumnsWidth(ix.Columns)+8) * int64(ts.heap.Len())
+	if m.budget > 0 && m.usedLocked()+est > m.budget {
+		return nil, &ErrBudget{Index: ix.Name, Need: est, Free: m.budget - m.usedLocked()}
+	}
+
+	stats := &BuildStats{Rows: int64(ts.heap.Len())}
+	// Sort avoidance: if an active index on the same table has the new
+	// index's key sequence as a prefix of its own columns, scanning it
+	// yields rows already in target order (the paper's I1-vs-I2 creation
+	// cost asymmetry).
+	source := m.sortAvoidingSourceLocked(ix)
+	if source != nil {
+		stats.SourceIndex = source.Def.Name
+		stats.SourcePages = source.Pages()
+		if source.Def.Primary {
+			stats.SourcePages = ts.heap.Pages()
+		}
+		stats.Sorted = false
+	} else {
+		stats.SourcePages = ts.heap.Pages()
+		stats.Sorted = true
+	}
+
+	pi := &PhysicalIndex{Def: ix, Tree: NewBTree(), State: StateActive}
+	pi.colOrds = ordinalsFor(ts.def, ix)
+	var buildErr error
+	ts.heap.Scan(func(rid RID, row datum.Row) bool {
+		if err := pi.Tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+			buildErr = err
+			return false
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	stats.NewPages = pi.Pages()
+	m.indexes[ix.ID()] = pi
+	return stats, nil
+}
+
+// sortAvoidingSourceLocked returns an active index whose leading columns
+// are exactly ix's column sequence, making a sort unnecessary, or nil.
+func (m *Manager) sortAvoidingSourceLocked(ix *catalog.Index) *PhysicalIndex {
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, ix.Table) || pi.State != StateActive {
+			continue
+		}
+		if ix.IsPrefixOf(pi.Def) {
+			return pi
+		}
+	}
+	return nil
+}
+
+// DropIndex releases a secondary index structure.
+func (m *Manager) DropIndex(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pi := m.indexes[id]
+	if pi == nil {
+		return fmt.Errorf("storage: index %s not materialized", id)
+	}
+	if pi.Def.Primary {
+		return fmt.Errorf("storage: cannot drop primary index %s", pi.Def.Name)
+	}
+	delete(m.indexes, id)
+	return nil
+}
+
+// SuspendIndex puts an index into the suspended state: it stops being
+// maintained and cannot serve queries, but keeps its structure so a later
+// Restart only replays missed changes.
+func (m *Manager) SuspendIndex(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pi := m.indexes[id]
+	if pi == nil {
+		return fmt.Errorf("storage: index %s not materialized", id)
+	}
+	if pi.Def.Primary {
+		return fmt.Errorf("storage: cannot suspend primary index %s", pi.Def.Name)
+	}
+	if pi.State != StateActive {
+		return fmt.Errorf("storage: index %s is %s, not active", pi.Def.Name, pi.State)
+	}
+	pi.State = StateSuspended
+	pi.pendingOps = 0
+	return nil
+}
+
+// RestartIndex brings a suspended index back to active by rebuilding the
+// missed entries. It returns the number of replayed operations (the
+// restart cost driver). The replay is implemented as a rebuild of the
+// tree from the heap — correct for any pattern of missed changes — but
+// its *accounted* cost is proportional to pendingOps, matching the
+// paper's "propagate changes from the log" model.
+func (m *Manager) RestartIndex(id string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pi := m.indexes[id]
+	if pi == nil {
+		return 0, fmt.Errorf("storage: index %s not materialized", id)
+	}
+	if pi.State != StateSuspended {
+		return 0, fmt.Errorf("storage: index %s is %s, not suspended", pi.Def.Name, pi.State)
+	}
+	ts := m.tables[strings.ToLower(pi.Def.Table)]
+	tree := NewBTree()
+	var err error
+	ts.heap.Scan(func(rid RID, row datum.Row) bool {
+		if e := tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	ops := pi.pendingOps
+	pi.Tree = tree
+	pi.State = StateActive
+	pi.pendingOps = 0
+	return ops, nil
+}
+
+// ErrBudget reports a secondary-index space budget violation.
+type ErrBudget struct {
+	Index string
+	Need  int64
+	Free  int64
+}
+
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("storage: index %s needs %d bytes but only %d free in budget", e.Index, e.Need, e.Free)
+}

@@ -1,0 +1,139 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/engine"
+)
+
+// resultFingerprint canonicalizes a result set: sorted rendered rows, so
+// plans that produce rows in different orders (hash vs merge vs index
+// order) still compare equal when the query imposes no ORDER BY.
+func resultFingerprint(db *engine.DB, q string, t *testing.T) string {
+	t.Helper()
+	rs, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, q)
+	}
+	lines := make([]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		parts := make([]string, len(r))
+		for j, d := range r {
+			// Float aggregates accumulate in plan-dependent order; round
+			// to 9 significant digits so last-ulp associativity noise
+			// does not read as a divergence.
+			if d.Kind() == datum.KFloat {
+				parts[j] = fmt.Sprintf("%.9g", d.Float())
+			} else {
+				parts[j] = d.String()
+			}
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestResultsInvariantUnderPhysicalDesign is the core correctness
+// invariant of the whole system: whatever indexes the tuner creates or
+// drops, every query's result set is unchanged. It runs all 22 TPC-H
+// templates on an untuned database, lets OnlinePT tune aggressively over
+// several batches, and re-runs the identical statements.
+func TestResultsInvariantUnderPhysicalDesign(t *testing.T) {
+	mk := func() *engine.DB {
+		db := engine.Open()
+		g := NewGenerator(0.2, 11)
+		if err := g.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	// Fixed statements (identical parameters on both sides).
+	gen := NewGenerator(0.2, 99)
+	var queries []string
+	for n := 1; n <= 22; n++ {
+		queries = append(queries, gen.Query(n))
+	}
+
+	baseline := mk()
+	var want []string
+	for _, q := range queries {
+		want = append(want, resultFingerprint(baseline, q, t))
+	}
+
+	tuned := mk()
+	opts := core.DefaultOptions()
+	opts.CooldownQueries = 1
+	tn := core.Attach(tuned, opts)
+	warm := NewGenerator(0.2, 7)
+	for b := 0; b < 6; b++ {
+		for _, q := range warm.Batch() {
+			if _, _, err := tuned.Exec(q); err != nil {
+				t.Fatalf("tuning batch: %v", err)
+			}
+		}
+	}
+	if len(tn.Events()) == 0 {
+		t.Fatal("tuner made no changes; the invariance test would be vacuous")
+	}
+	for i, q := range queries {
+		if got := resultFingerprint(tuned, q, t); got != want[i] {
+			t.Errorf("query %d results changed under tuned physical design:\n%s", i+1, q)
+		}
+	}
+}
+
+// TestResultsInvariantWithDML interleaves identical DML on both
+// databases (one tuned, one not) and checks that index maintenance keeps
+// results aligned through inserts and updates.
+func TestResultsInvariantWithDML(t *testing.T) {
+	mk := func(tune bool) *engine.DB {
+		db := engine.Open()
+		g := NewGenerator(0.15, 5)
+		if err := g.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		if tune {
+			opts := core.DefaultOptions()
+			opts.CooldownQueries = 1
+			core.Attach(db, opts)
+		}
+		return db
+	}
+	plain := mk(false)
+	tuned := mk(true)
+
+	gen := NewGenerator(0.15, 77)
+	var stmts []string
+	for b := 0; b < 4; b++ {
+		stmts = append(stmts, gen.Batch()...)
+		stmts = append(stmts, gen.DisruptiveUpdates(6)...)
+	}
+	for _, s := range stmts {
+		if _, _, err := plain.Exec(s); err != nil {
+			t.Fatalf("plain: %v", err)
+		}
+		if _, _, err := tuned.Exec(s); err != nil {
+			t.Fatalf("tuned: %v", err)
+		}
+	}
+	check := NewGenerator(0.15, 123)
+	for n := 1; n <= 22; n++ {
+		q := check.Query(n)
+		if resultFingerprint(plain, q, t) != resultFingerprint(tuned, q, t) {
+			t.Errorf("Q%d diverged after DML under tuning:\n%s", n, q)
+		}
+	}
+	// Heap row counts must agree exactly.
+	for _, table := range []string{"orders", "lineitem"} {
+		if a, b := plain.Mgr.Heap(table).Len(), tuned.Mgr.Heap(table).Len(); a != b {
+			t.Errorf("%s rows diverged: %d vs %d", table, a, b)
+		}
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,218 @@
+package tpch
+
+import (
+	"fmt"
+	"time"
+)
+
+// dateStr renders days-since-epoch as a SQL DATE literal.
+func dateStr(days int) string {
+	t := time.Unix(int64(days)*86400, 0).UTC()
+	return fmt.Sprintf("DATE '%s'", t.Format("2006-01-02"))
+}
+
+func (g *Generator) randDate() string {
+	return dateStr(dateEpoch1992 + g.rng.Intn(dateRangeDays-400))
+}
+
+// Query returns one parameterized instance of TPC-H query 1..22,
+// simplified to the engine's SQL subset. Subqueries are flattened into
+// joins or replaced by pre-bound constants; HAVING clauses become
+// selective WHERE filters; EXISTS/NOT EXISTS become joins. The
+// join/filter/aggregate shape — which drives index selection — is
+// preserved.
+func (g *Generator) Query(n int) string {
+	switch n {
+	case 1: // pricing summary report
+		return fmt.Sprintf(`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+			SUM(l_extendedprice) AS sum_base, SUM(l_extendedprice * (1 - l_discount)) AS sum_disc,
+			AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, COUNT(*) AS cnt
+			FROM lineitem WHERE l_shipdate <= %s
+			GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+			dateStr(dateEpoch1992+dateRangeDays-60-g.rng.Intn(60)))
+	case 2: // minimum cost supplier (flattened)
+		return fmt.Sprintf(`SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr
+			FROM part, supplier, partsupp, nation, region
+			WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+			AND p_size = %d AND s_nationkey = n_nationkey
+			AND n_regionkey = r_regionkey AND r_name = '%s'
+			ORDER BY s_acctbal DESC LIMIT 100`,
+			1+g.rng.Intn(50), regionNames[g.rng.Intn(len(regionNames))])
+	case 3: // shipping priority
+		d := g.randDate()
+		return fmt.Sprintf(`SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+			o_orderdate, o_shippriority
+			FROM customer, orders, lineitem
+			WHERE c_mktsegment = '%s' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+			AND o_orderdate < %s AND l_shipdate > %s
+			GROUP BY l_orderkey, o_orderdate, o_shippriority
+			ORDER BY revenue DESC LIMIT 10`,
+			segments[g.rng.Intn(len(segments))], d, d)
+	case 4: // order priority checking (EXISTS flattened to a join)
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-120)
+		return fmt.Sprintf(`SELECT o_orderpriority, COUNT(*) AS order_count
+			FROM orders, lineitem
+			WHERE l_orderkey = o_orderkey AND o_orderdate >= %s AND o_orderdate < %s
+			AND l_commitdate < l_receiptdate
+			GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+			dateStr(d), dateStr(d+90))
+	case 5: // local supplier volume
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-400)
+		return fmt.Sprintf(`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM customer, orders, lineitem, supplier, nation, region
+			WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+			AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+			AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+			AND r_name = '%s' AND o_orderdate >= %s AND o_orderdate < %s
+			GROUP BY n_name ORDER BY revenue DESC`,
+			regionNames[g.rng.Intn(len(regionNames))], dateStr(d), dateStr(d+365))
+	case 6: // forecasting revenue change
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-400)
+		disc := 2 + g.rng.Intn(8)
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice * l_discount) AS revenue
+			FROM lineitem
+			WHERE l_shipdate >= %s AND l_shipdate < %s
+			AND l_discount BETWEEN %0.2f AND %0.2f AND l_quantity < %d`,
+			dateStr(d), dateStr(d+365), float64(disc-1)/100, float64(disc+1)/100, 24+g.rng.Intn(2))
+	case 7: // volume shipping (flattened nation pair)
+		n1 := g.rng.Intn(25)
+		n2 := (n1 + 1 + g.rng.Intn(24)) % 25
+		return fmt.Sprintf(`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM supplier, lineitem, orders, customer, nation
+			WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+			AND c_custkey = o_custkey AND s_nationkey = n_nationkey
+			AND n_nationkey = %d AND c_nationkey = %d
+			AND l_shipdate >= DATE '1995-01-01' AND l_shipdate <= DATE '1996-12-31'
+			GROUP BY n_name`,
+			n1, n2)
+	case 8: // national market share (simplified)
+		return fmt.Sprintf(`SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS volume
+			FROM part, supplier, lineitem, orders, customer, nation, region
+			WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+			AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+			AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey
+			AND r_name = '%s' AND o_orderdate >= DATE '1995-01-01'
+			AND o_orderdate <= DATE '1996-12-31' AND p_type = '%s'
+			GROUP BY o_orderdate ORDER BY o_orderdate LIMIT 50`,
+			regionNames[g.rng.Intn(len(regionNames))], g.partType())
+	case 9: // product type profit (LIKE replaced by brand equality)
+		return fmt.Sprintf(`SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS profit
+			FROM part, supplier, lineitem, partsupp, orders, nation
+			WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+			AND ps_partkey = l_partkey AND p_partkey = l_partkey
+			AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+			AND p_brand = '%s'
+			GROUP BY n_name ORDER BY n_name`,
+			brands[g.rng.Intn(len(brands))])
+	case 10: // returned item reporting
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-120)
+		return fmt.Sprintf(`SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, n_name
+			FROM customer, orders, lineitem, nation
+			WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+			AND o_orderdate >= %s AND o_orderdate < %s
+			AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+			GROUP BY c_custkey, c_name, n_name ORDER BY revenue DESC LIMIT 20`,
+			dateStr(d), dateStr(d+90))
+	case 11: // important stock identification (HAVING → floor constant)
+		return fmt.Sprintf(`SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+			FROM partsupp, supplier, nation
+			WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_nationkey = %d
+			GROUP BY ps_partkey ORDER BY value DESC LIMIT 50`,
+			g.rng.Intn(25))
+	case 12: // shipping modes and order priority
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-400)
+		return fmt.Sprintf(`SELECT l_shipmode, COUNT(*) AS cnt
+			FROM orders, lineitem
+			WHERE o_orderkey = l_orderkey AND l_shipmode IN ('%s', '%s')
+			AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+			AND l_receiptdate >= %s AND l_receiptdate < %s
+			GROUP BY l_shipmode ORDER BY l_shipmode`,
+			shipModes[g.rng.Intn(len(shipModes))], shipModes[g.rng.Intn(len(shipModes))],
+			dateStr(d), dateStr(d+365))
+	case 13: // customer distribution (outer join approximated by inner)
+		return `SELECT c_custkey, COUNT(*) AS c_count
+			FROM customer, orders
+			WHERE c_custkey = o_custkey
+			GROUP BY c_custkey ORDER BY c_count DESC LIMIT 50`
+	case 14: // promotion effect
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-60)
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue, COUNT(*) AS cnt
+			FROM lineitem, part
+			WHERE l_partkey = p_partkey AND l_shipdate >= %s AND l_shipdate < %s`,
+			dateStr(d), dateStr(d+30))
+	case 15: // top supplier (view flattened)
+		d := dateEpoch1992 + g.rng.Intn(dateRangeDays-120)
+		return fmt.Sprintf(`SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+			FROM lineitem WHERE l_shipdate >= %s AND l_shipdate < %s
+			GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 10`,
+			dateStr(d), dateStr(d+90))
+	case 16: // parts/supplier relationship
+		return fmt.Sprintf(`SELECT p_brand, p_type, p_size, COUNT(*) AS supplier_cnt
+			FROM partsupp, part
+			WHERE p_partkey = ps_partkey AND p_brand <> '%s' AND p_size IN (%d, %d, %d)
+			GROUP BY p_brand, p_type, p_size ORDER BY supplier_cnt DESC LIMIT 40`,
+			brands[g.rng.Intn(len(brands))], 1+g.rng.Intn(50), 1+g.rng.Intn(50), 1+g.rng.Intn(50))
+	case 17: // small-quantity-order revenue (avg subquery → constant)
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice) AS total, AVG(l_quantity) AS avg_qty
+			FROM lineitem, part
+			WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'
+			AND l_quantity < %d`,
+			brands[g.rng.Intn(len(brands))], containers[g.rng.Intn(len(containers))], 3+g.rng.Intn(8))
+	case 18: // large volume customer (HAVING → quantity filter)
+		return fmt.Sprintf(`SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty
+			FROM customer, orders, lineitem
+			WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND l_quantity > %d
+			GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+			ORDER BY o_totalprice DESC LIMIT 20`,
+			42+g.rng.Intn(8))
+	case 19: // discounted revenue (OR-of-ANDs simplified to one arm)
+		return fmt.Sprintf(`SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM lineitem, part
+			WHERE p_partkey = l_partkey AND p_brand = '%s'
+			AND l_quantity >= %d AND l_quantity <= %d AND p_size BETWEEN 1 AND %d
+			AND l_shipmode IN ('AIR', 'REG AIR')`,
+			brands[g.rng.Intn(len(brands))], 1+g.rng.Intn(10), 11+g.rng.Intn(10), 5+g.rng.Intn(10))
+	case 20: // potential part promotion (flattened)
+		return fmt.Sprintf(`SELECT s_name, s_suppkey
+			FROM supplier, nation, partsupp
+			WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+			AND n_nationkey = %d AND ps_availqty > %d
+			ORDER BY s_name LIMIT 20`,
+			g.rng.Intn(25), 5000+g.rng.Intn(3000))
+	case 21: // suppliers who kept orders waiting (flattened)
+		return fmt.Sprintf(`SELECT s_name, COUNT(*) AS numwait
+			FROM supplier, lineitem, orders, nation
+			WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+			AND o_orderstatus = 'F' AND l_receiptdate > l_commitdate
+			AND s_nationkey = n_nationkey AND n_nationkey = %d
+			GROUP BY s_name ORDER BY numwait DESC LIMIT 20`,
+			g.rng.Intn(25))
+	case 22: // global sales opportunity (country-code prefix → nation set)
+		return fmt.Sprintf(`SELECT c_nationkey, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+			FROM customer
+			WHERE c_nationkey IN (%d, %d, %d) AND c_acctbal > %d
+			GROUP BY c_nationkey ORDER BY c_nationkey`,
+			g.rng.Intn(25), g.rng.Intn(25), g.rng.Intn(25), g.rng.Intn(3000))
+	}
+	panic(fmt.Sprintf("tpch: query %d out of range", n))
+}
+
+// Batch returns one random permutation of all 22 queries with fresh
+// parameters — the paper's workload unit for Section 4.2.
+func (g *Generator) Batch() []string {
+	perm := g.rng.Perm(22)
+	out := make([]string, 22)
+	for i, p := range perm {
+		out[i] = g.Query(p + 1)
+	}
+	return out
+}
+
+// Batches concatenates n random batches.
+func (g *Generator) Batches(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = g.Batch()
+	}
+	return out
+}

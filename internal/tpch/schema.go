@@ -1,0 +1,89 @@
+// Package tpch provides the TPC-H-like benchmark substrate the paper's
+// Section 4.2 experiments run on: the eight-table schema, a
+// deterministic scaled data generator, and parameterized templates for
+// all 22 queries, simplified to the engine's SQL subset (single-block
+// queries; subqueries flattened into joins or pre-bound constants;
+// join/filter/aggregate shape preserved). Absolute TPC-H numbers are not
+// the point — the workload's index-friendliness and update patterns are.
+package tpch
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/engine"
+)
+
+// ddl is the schema, scaled-down TPC-H: every table keeps the columns the
+// 22 query templates touch.
+var ddl = []string{
+	`CREATE TABLE region (
+		r_regionkey INT, r_name VARCHAR(16),
+		PRIMARY KEY (r_regionkey))`,
+	`CREATE TABLE nation (
+		n_nationkey INT, n_name VARCHAR(16), n_regionkey INT,
+		PRIMARY KEY (n_nationkey))`,
+	`CREATE TABLE supplier (
+		s_suppkey INT, s_name VARCHAR(24), s_nationkey INT, s_acctbal FLOAT,
+		PRIMARY KEY (s_suppkey))`,
+	`CREATE TABLE customer (
+		c_custkey INT, c_name VARCHAR(24), c_nationkey INT,
+		c_mktsegment VARCHAR(12), c_acctbal FLOAT,
+		PRIMARY KEY (c_custkey))`,
+	`CREATE TABLE part (
+		p_partkey INT, p_name VARCHAR(32), p_mfgr VARCHAR(16),
+		p_brand VARCHAR(12), p_type VARCHAR(24), p_size INT,
+		p_container VARCHAR(12), p_retailprice FLOAT,
+		PRIMARY KEY (p_partkey))`,
+	`CREATE TABLE partsupp (
+		ps_partkey INT, ps_suppkey INT, ps_availqty INT, ps_supplycost FLOAT,
+		PRIMARY KEY (ps_partkey, ps_suppkey))`,
+	`CREATE TABLE orders (
+		o_orderkey INT, o_custkey INT, o_orderstatus VARCHAR(4),
+		o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR(16),
+		o_shippriority INT,
+		PRIMARY KEY (o_orderkey))`,
+	`CREATE TABLE lineitem (
+		l_orderkey INT, l_linenumber INT, l_partkey INT, l_suppkey INT,
+		l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT,
+		l_returnflag VARCHAR(4), l_linestatus VARCHAR(4),
+		l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE,
+		l_shipmode VARCHAR(12),
+		PRIMARY KEY (l_orderkey, l_linenumber))`,
+}
+
+// CreateSchema installs the TPC-H tables into a database.
+func CreateSchema(db *engine.DB) error {
+	for _, stmt := range ddl {
+		if _, _, err := db.Exec(stmt); err != nil {
+			return fmt.Errorf("tpch: %w", err)
+		}
+	}
+	return nil
+}
+
+// Scale controls generated table cardinalities. Scale 1.0 approximates
+// TPC-H SF≈0.001 (lineitem ≈ 6000 rows) — big enough that index choices
+// matter under the cost model, small enough for in-process experiments.
+type Scale float64
+
+// Rows returns the per-table row counts at this scale.
+func (s Scale) Rows() map[string]int {
+	f := float64(s)
+	n := func(base float64) int {
+		v := int(base * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": n(10),
+		"customer": n(150),
+		"part":     n(200),
+		"partsupp": n(800),
+		"orders":   n(1500),
+		"lineitem": n(6000),
+	}
+}

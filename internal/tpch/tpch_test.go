@@ -1,0 +1,174 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/engine"
+)
+
+func loadSmall(t testing.TB) (*engine.DB, *Generator) {
+	t.Helper()
+	db := engine.Open()
+	g := NewGenerator(0.2, 42)
+	if err := g.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestSchemaAndLoad(t *testing.T) {
+	db, g := loadSmall(t)
+	for table, want := range g.ScaleFactor.Rows() {
+		h := db.Mgr.Heap(table)
+		if h == nil {
+			t.Fatalf("table %s missing", table)
+		}
+		got := h.Len()
+		// lineitem has randomized lines per order; everything else exact.
+		if table == "lineitem" {
+			if got < want/2 || got > want*3 {
+				t.Errorf("%s rows = %d, want ≈ %d", table, got, want)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("%s rows = %d, want %d", table, got, want)
+		}
+	}
+	// Statistics built for every table.
+	if !db.Stats.Has("lineitem", "l_shipdate") || !db.Stats.Has("orders", "o_orderdate") {
+		t.Error("statistics missing after load")
+	}
+}
+
+// TestAll22QueriesExecute is the substrate smoke test: every template
+// must parse, plan and execute.
+func TestAll22QueriesExecute(t *testing.T) {
+	db, g := loadSmall(t)
+	for n := 1; n <= 22; n++ {
+		q := g.Query(n)
+		rs, info, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("Q%d failed: %v\n%s", n, err, q)
+		}
+		if info.EstCost <= 0 {
+			t.Errorf("Q%d: non-positive cost", n)
+		}
+		if len(info.Result.Requests()) == 0 {
+			t.Errorf("Q%d: no requests captured", n)
+		}
+		_ = rs
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	db, g := loadSmall(t)
+	rs, err := db.Query(g.Query(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to 3 return flags × 2 statuses.
+	if len(rs.Rows) == 0 || len(rs.Rows) > 6 {
+		t.Errorf("Q1 groups = %d", len(rs.Rows))
+	}
+	if len(rs.Columns) != 8 {
+		t.Errorf("Q1 columns = %v", rs.Columns)
+	}
+	// Counts must sum to the qualifying rows.
+	var total int64
+	for _, r := range rs.Rows {
+		total += r[7].Int()
+	}
+	if total == 0 {
+		t.Error("Q1 matched no rows")
+	}
+}
+
+func TestQ6Selective(t *testing.T) {
+	db, g := loadSmall(t)
+	rs, err := db.Query(g.Query(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("Q6 rows = %d", len(rs.Rows))
+	}
+}
+
+func TestBatchesArePermutations(t *testing.T) {
+	g := NewGenerator(0.2, 7)
+	batches := g.Batches(3)
+	if len(batches) != 3 {
+		t.Fatal("batch count")
+	}
+	for _, b := range batches {
+		if len(b) != 22 {
+			t.Fatalf("batch size = %d", len(b))
+		}
+	}
+	// Different batches should differ (fresh parameters).
+	if batches[0][0] == batches[1][0] && batches[0][1] == batches[1][1] &&
+		batches[0][2] == batches[1][2] {
+		t.Error("batches look identical; parameters not refreshed")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	g1 := NewGenerator(0.2, 99)
+	g2 := NewGenerator(0.2, 99)
+	for i := 0; i < 5; i++ {
+		if g1.Query(3) != g2.Query(3) {
+			t.Fatal("same seed must generate the same queries")
+		}
+	}
+}
+
+func TestDisruptiveUpdatesExecute(t *testing.T) {
+	db, g := loadSmall(t)
+	before := db.Mgr.Heap("orders").Len()
+	for _, stmt := range g.DisruptiveUpdates(8) {
+		if _, _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	if db.Mgr.Heap("orders").Len() <= before {
+		t.Error("refresh inserts missing")
+	}
+}
+
+func TestRefreshStreams(t *testing.T) {
+	db, g := loadSmall(t)
+	ordersBefore := db.Mgr.Heap("orders").Len()
+	lineBefore := db.Mgr.Heap("lineitem").Len()
+	for _, s := range g.RefreshInsert(10) {
+		if _, _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if got := db.Mgr.Heap("orders").Len(); got != ordersBefore+10 {
+		t.Errorf("orders = %d, want %d", got, ordersBefore+10)
+	}
+	if db.Mgr.Heap("lineitem").Len() <= lineBefore {
+		t.Error("lineitems not inserted")
+	}
+	midLine := db.Mgr.Heap("lineitem").Len()
+	for _, s := range g.RefreshDelete(5) {
+		if _, _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if db.Mgr.Heap("lineitem").Len() >= midLine {
+		t.Error("RF2 deleted no lineitems")
+	}
+	// Keys never collide across repeated refreshes.
+	seen := map[string]bool{}
+	for _, s := range g.RefreshInsert(20) {
+		if strings.HasPrefix(s, "INSERT INTO orders") {
+			if seen[s] {
+				t.Fatalf("duplicate refresh statement: %s", s)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package offline
+
+import (
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/whatif"
+)
+
+// costTable precomputes, for a fixed candidate list, every (query, group,
+// candidate) implementation cost so that configuration costs become
+// cheap min/sum arithmetic. It exploits two decompositions:
+//
+//   - groupCost(g, S) = min over I∈S of groupCost(g, {I}) — the heap
+//     fallback is included in every per-candidate value, so minima
+//     compose;
+//   - update-shell cost is linear: base DML work plus a per-index
+//     maintenance term for each same-table secondary in S.
+type costTable struct {
+	p     *Profile
+	cands []*catalog.Index
+	// groupBase[i][g] is group g's cost of query i under no candidates.
+	groupBase [][]float64
+	// groupCand[i][g][c] is group g's cost with only candidate c.
+	groupCand [][][]float64
+	// updBase[i] is the update-shell cost of query i with no candidates.
+	updBase []float64
+	// updPer[i][c] is candidate c's added maintenance on query i.
+	updPer [][]float64
+}
+
+// newCostTable builds the table: O(queries × groups × candidates)
+// ImplCost evaluations, done once.
+func newCostTable(p *Profile, cands []*catalog.Index) *costTable {
+	ct := &costTable{
+		p:         p,
+		cands:     cands,
+		groupBase: make([][]float64, len(p.Queries)),
+		groupCand: make([][][]float64, len(p.Queries)),
+		updBase:   make([]float64, len(p.Queries)),
+		updPer:    make([][]float64, len(p.Queries)),
+	}
+	for i, pq := range p.Queries {
+		ct.groupBase[i] = make([]float64, len(pq.Groups))
+		ct.groupCand[i] = make([][]float64, len(pq.Groups))
+		for g, group := range pq.Groups {
+			ct.groupBase[i][g] = groupCost(p.Env, group, nil)
+			ct.groupCand[i][g] = make([]float64, len(cands))
+			for c, ix := range cands {
+				ct.groupCand[i][g][c] = groupCost(p.Env, group, []*catalog.Index{ix})
+			}
+		}
+		ct.updPer[i] = make([]float64, len(cands))
+		for _, u := range pq.Updates {
+			ct.updBase[i] += whatif.GetCost(p.Env, u, nil)
+			for c, ix := range cands {
+				if !ix.Primary && strings.EqualFold(ix.Table, u.Table) {
+					ct.updPer[i][c] += p.Env.MaintenancePerIndex(u)
+				}
+			}
+		}
+	}
+	return ct
+}
+
+// queryCost evaluates query i under the candidate subset given as
+// indices into cands.
+func (ct *costTable) queryCost(i int, subset []int) float64 {
+	cost := ct.p.Queries[i].glue + ct.updBase[i]
+	for g := range ct.groupBase[i] {
+		m := ct.groupBase[i][g]
+		for _, c := range subset {
+			if v := ct.groupCand[i][g][c]; v < m {
+				m = v
+			}
+		}
+		cost += m
+	}
+	for _, c := range subset {
+		cost += ct.updPer[i][c]
+	}
+	return cost
+}
+
+// totalCost sums queryCost over the workload.
+func (ct *costTable) totalCost(subset []int) float64 {
+	t := 0.0
+	for i := range ct.p.Queries {
+		t += ct.queryCost(i, subset)
+	}
+	return t
+}
+
+// greedyState supports SetBased's incremental greedy: it tracks the
+// current per-group minima so evaluating "add candidate c" is a single
+// pass of max(0, cur−cand) sums.
+type greedyState struct {
+	ct *costTable
+	// curMin[i][g] is group g's cost of query i under the chosen set.
+	curMin [][]float64
+	// maint is the accumulated maintenance of the chosen set.
+	maint float64
+}
+
+func newGreedyState(ct *costTable) *greedyState {
+	gs := &greedyState{ct: ct}
+	gs.curMin = make([][]float64, len(ct.p.Queries))
+	for i := range ct.p.Queries {
+		gs.curMin[i] = append([]float64(nil), ct.groupBase[i]...)
+	}
+	return gs
+}
+
+// total returns the workload cost under the chosen set.
+func (gs *greedyState) total() float64 {
+	t := gs.maint
+	for i := range gs.curMin {
+		t += gs.ct.p.Queries[i].glue + gs.ct.updBase[i]
+		for g := range gs.curMin[i] {
+			t += gs.curMin[i][g]
+		}
+	}
+	return t
+}
+
+// gainOf returns the workload saving of adding candidate c to the
+// current set (before build cost).
+func (gs *greedyState) gainOf(c int) float64 {
+	gain := 0.0
+	for i := range gs.curMin {
+		for g := range gs.curMin[i] {
+			if v := gs.ct.groupCand[i][g][c]; v < gs.curMin[i][g] {
+				gain += gs.curMin[i][g] - v
+			}
+		}
+		gain -= gs.ct.updPer[i][c]
+	}
+	return gain
+}
+
+// add commits candidate c to the set.
+func (gs *greedyState) add(c int) {
+	for i := range gs.curMin {
+		for g := range gs.curMin[i] {
+			if v := gs.ct.groupCand[i][g][c]; v < gs.curMin[i][g] {
+				gs.curMin[i][g] = v
+			}
+		}
+		gs.maint += gs.ct.updPer[i][c]
+	}
+}

@@ -1,0 +1,234 @@
+package offline
+
+import (
+	"fmt"
+	"testing"
+
+	"onlinetuner/internal/engine"
+)
+
+// loadDB builds the paper's R/S tables with deterministic data.
+func loadDB(t testing.TB, rows int) *engine.DB {
+	t.Helper()
+	db := engine.Open()
+	db.MustExec("CREATE TABLE R (id INT, a INT, b INT, c INT, d INT, e INT, PRIMARY KEY (id))")
+	db.MustExec("CREATE TABLE S (id INT, a INT, b INT, c INT, d INT, e INT, PRIMARY KEY (id))")
+	for i := 0; i < rows; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO R VALUES (%d, %d, %d, %d, %d, %d)", i, i%1000, i, i, i, i))
+		db.MustExec(fmt.Sprintf("INSERT INTO S VALUES (%d, %d, %d, %d, %d, %d)", i, i%1000, i, i, i, i))
+	}
+	if err := db.Analyze("R"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("S"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func repeat(q string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = q
+	}
+	return out
+}
+
+const q1 = "SELECT a, b, c, id FROM R WHERE a < 100"
+const q2 = "SELECT a, d, e, id FROM R WHERE a < 100"
+
+func TestProfileWorkload(t *testing.T) {
+	db := loadDB(t, 2000)
+	w := append(repeat(q1, 5), repeat(q2, 5)...)
+	p, err := ProfileWorkload(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queries) != 10 {
+		t.Fatalf("profiled %d queries", len(p.Queries))
+	}
+	for _, pq := range p.Queries {
+		if pq.BaseCost <= 0 || len(pq.Groups) == 0 {
+			t.Fatalf("bad profile entry: %+v", pq)
+		}
+		if pq.glue < 0 {
+			t.Error("negative glue")
+		}
+	}
+	// QueryCost under nil ≈ BaseCost (glue absorbs the difference).
+	for i := range p.Queries {
+		got := p.QueryCost(i, nil)
+		if got < p.Queries[i].BaseCost*0.95 || got > p.Queries[i].BaseCost*1.05 {
+			t.Errorf("query %d: cost(nil) = %g, base = %g", i, got, p.Queries[i].BaseCost)
+		}
+	}
+	// Errors propagate.
+	if _, err := ProfileWorkload(db, []string{"SELECT nope FROM R"}); err == nil {
+		t.Error("bad statement accepted")
+	}
+}
+
+func TestCandidatesDiscovered(t *testing.T) {
+	db := loadDB(t, 2000)
+	p, err := ProfileWorkload(db, append(repeat(q1, 3), repeat(q2, 3)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := p.Candidates(0)
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// The seek-optimal indexes for q1 and q2 must be among them.
+	ids := map[string]bool{}
+	for _, c := range cands {
+		ids[c.ID()] = true
+	}
+	if !ids["r(a,b,c,id)"] || !ids["r(a,d,e,id)"] {
+		t.Errorf("expected paper candidates, got %v", ids)
+	}
+	// Limit honored.
+	if got := len(p.Candidates(1)); got != 1 {
+		t.Errorf("limited candidates = %d", got)
+	}
+}
+
+func TestSetBasedPicksUsefulIndexes(t *testing.T) {
+	db := loadDB(t, 2000)
+	p, err := ProfileWorkload(db, append(repeat(q1, 100), repeat(q2, 100)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := SetBased(p, 20)
+	if len(rec.Indexes) == 0 {
+		t.Fatal("nothing recommended for an index-friendly workload")
+	}
+	if rec.WorkloadCost >= p.TotalCost(nil) {
+		t.Error("recommendation does not reduce workload cost")
+	}
+	if rec.CreationCost <= 0 {
+		t.Error("creation cost missing")
+	}
+}
+
+func TestSetBasedRespectsBudget(t *testing.T) {
+	db := loadDB(t, 2000)
+	p, err := ProfileWorkload(db, append(repeat(q1, 100), repeat(q2, 100)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for roughly one 4-column index.
+	p.Budget = 2000 * (4*8 + 8 + 8)
+	rec := SetBased(p, 20)
+	var used int64
+	for _, ix := range rec.Indexes {
+		used += p.Env.IndexBytes(ix)
+	}
+	if used > p.Budget {
+		t.Errorf("budget violated: %d > %d", used, p.Budget)
+	}
+	// Unlimited picks at least as many indexes.
+	p.Budget = 0
+	rec2 := SetBased(p, 20)
+	if len(rec2.Indexes) < len(rec.Indexes) {
+		t.Error("unlimited budget should not shrink the recommendation")
+	}
+}
+
+func TestSetBasedAvoidsIndexesOnUpdateHeavyTables(t *testing.T) {
+	db := loadDB(t, 1000)
+	// Reads on R are dwarfed by updates: no index should survive the
+	// aggregate analysis (the Figure 7(c) Offline-Set behavior).
+	var w []string
+	w = append(w, repeat(q1, 3)...)
+	for i := 0; i < 60; i++ {
+		w = append(w, "UPDATE R SET b = b + 1, c = c + 1, d = d + 1 WHERE id >= 0")
+	}
+	p, err := ProfileWorkload(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := SetBased(p, 20)
+	for _, ix := range rec.Indexes {
+		if ix.Table == "R" {
+			t.Errorf("recommended %v on an update-dominated table", ix)
+		}
+	}
+}
+
+func TestSeqBasedSchedulesAroundUpdates(t *testing.T) {
+	db := loadDB(t, 2000)
+	// Reads, then a disruptive update burst, then reads again: the
+	// sequence-based advisor should have the index ON in the read phases
+	// and OFF during the burst.
+	var w []string
+	w = append(w, repeat(q1, 80)...)
+	for i := 0; i < 40; i++ {
+		w = append(w, "UPDATE R SET b = b + 1, c = c + 1, d = d + 1, e = e + 1 WHERE id >= 0")
+	}
+	w = append(w, repeat(q1, 80)...)
+	p, err := ProfileWorkload(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SeqBased(p, 10)
+	if len(s.Active) != len(w) {
+		t.Fatalf("schedule length = %d", len(s.Active))
+	}
+	onAt := func(i int) bool { return len(s.Active[i]) > 0 }
+	if !onAt(60) {
+		t.Error("index should be active during the first read phase")
+	}
+	if onAt(110) {
+		t.Errorf("index should be dropped during the update burst; active = %v", s.Active[110])
+	}
+	if !onAt(len(w) - 5) {
+		t.Error("index should be re-created for the final read phase")
+	}
+	// Knowing the future, Offline-Seq must beat NoTuning.
+	if s.TotalCost >= p.TotalCost(nil) {
+		t.Errorf("seq (%g) worse than no tuning (%g)", s.TotalCost, p.TotalCost(nil))
+	}
+}
+
+func TestSeqBeatsOrMatchesSet(t *testing.T) {
+	db := loadDB(t, 2000)
+	var w []string
+	w = append(w, repeat(q1, 60)...)
+	for i := 0; i < 30; i++ {
+		w = append(w, "UPDATE R SET b = b + 1, c = c + 1, d = d + 1, e = e + 1 WHERE id >= 0")
+	}
+	w = append(w, repeat(q1, 60)...)
+	p, err := ProfileWorkload(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := SetBased(p, 10)
+	setTotal := rec.WorkloadCost + rec.CreationCost
+	seq := SeqBased(p, 10)
+	// The sequence advisor sees the update burst and schedules around
+	// it; the set advisor cannot. Allow a small tolerance for the
+	// per-index approximation.
+	if seq.TotalCost > setTotal*1.05 {
+		t.Errorf("seq (%g) should not lose to set (%g) on a phased workload", seq.TotalCost, setTotal)
+	}
+}
+
+func TestSeqBudgetResolution(t *testing.T) {
+	db := loadDB(t, 2000)
+	w := append(repeat(q1, 100), repeat(q2, 100)...)
+	p, err := ProfileWorkload(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Budget = 2000 * (4*8 + 8 + 8) // one 4-column index
+	s := SeqBased(p, 10)
+	for i, active := range s.Active {
+		var sz int64
+		for _, ix := range active {
+			sz += p.Env.IndexBytes(ix)
+		}
+		if sz > p.Budget {
+			t.Fatalf("query %d: active size %d exceeds budget %d", i, sz, p.Budget)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package whatif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onlinetuner/internal/catalog"
+)
+
+// randRequest builds a random but well-formed request over the test
+// table R(id,a,b,c,d,e).
+func randRequest(r *rand.Rand, rows, pages float64) *Request {
+	cols := []string{"id", "a", "b", "c", "d", "e"}
+	perm := r.Perm(len(cols))
+	req := &Request{
+		Table:      "R",
+		Kind:       KindSeek,
+		TableRows:  rows,
+		TablePages: pages,
+		Bindings:   1,
+	}
+	if r.Intn(2) == 0 {
+		req.Kind = KindScan
+	}
+	nreq := 1 + r.Intn(4)
+	for i := 0; i < nreq; i++ {
+		req.Required = append(req.Required, cols[perm[i]])
+	}
+	if req.Kind == KindSeek {
+		neq := r.Intn(2)
+		for i := 0; i < neq && i < len(req.Required); i++ {
+			req.EqCols = append(req.EqCols, req.Required[i])
+			req.EqSels = append(req.EqSels, 0.001+r.Float64()*0.2)
+		}
+		if r.Intn(2) == 0 && neq < len(req.Required) {
+			req.RangeCol = req.Required[neq]
+			req.RangeSel = 0.01 + r.Float64()*0.5
+		}
+		if len(req.EqCols) == 0 && req.RangeCol == "" {
+			req.RangeCol = req.Required[0]
+			req.RangeSel = 0.2
+		}
+	}
+	if r.Intn(3) == 0 {
+		req.Bindings = float64(1 + r.Intn(500))
+	}
+	req.RowsPerBinding = math.Max(1, rows*0.1)
+	req.ResidualPreds = r.Intn(3)
+	return req
+}
+
+func randIndex(r *rand.Rand) *catalog.Index {
+	cols := []string{"id", "a", "b", "c", "d", "e"}
+	perm := r.Perm(len(cols))
+	n := 1 + r.Intn(5)
+	cs := make([]string, n)
+	for i := range cs {
+		cs[i] = cols[perm[i]]
+	}
+	return &catalog.Index{Name: "rix", Table: "R", Columns: cs}
+}
+
+// TestGetCostMonotoneInConfig: adding an index to a configuration can
+// never increase a request's inferred cost (GetCost takes a minimum).
+func TestGetCostMonotoneInConfig(t *testing.T) {
+	e := paperEnv(t, 3000)
+	rows := e.TableRows("R")
+	pages := e.TablePages("R")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randRequest(r, rows, pages)
+		var config []*catalog.Index
+		prev := GetCost(e, req, config)
+		for k := 0; k < 4; k++ {
+			config = append(config, randIndex(r))
+			cur := GetCost(e, req, config)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGetCostBoundedByHeap: no request ever costs more than its heap
+// fallback, and never goes negative.
+func TestGetCostBoundedByHeap(t *testing.T) {
+	e := paperEnv(t, 2000)
+	rows := e.TableRows("R")
+	pages := e.TablePages("R")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randRequest(r, rows, pages)
+		heap := heapFallback(e, req)
+		c := GetCost(e, req, []*catalog.Index{randIndex(r), randIndex(r)})
+		return c >= 0 && c <= heap+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGetBestIndexIsBest: for seek requests, the index GetBestIndex
+// constructs implements the request at least as cheaply as any random
+// index. (For scan requests the construction deliberately prepends the
+// clustering key to make the build sort-free — it trades a few scan
+// pages for a much cheaper creation, so strict query-cost optimality is
+// not the invariant there.)
+func TestGetBestIndexIsBest(t *testing.T) {
+	e := paperEnv(t, 3000)
+	rows := e.TableRows("R")
+	pages := e.TablePages("R")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randRequest(r, rows, pages)
+		if req.Kind != KindSeek {
+			return true
+		}
+		best := GetBestIndex(e.Cat, req)
+		if best == nil {
+			return true
+		}
+		bestCost := ImplCost(e, req, best)
+		for k := 0; k < 6; k++ {
+			if c := ImplCost(e, req, randIndex(r)); c < bestCost-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildCostPositiveAndGrowsWithWidth: every build costs something,
+// and a superset index never costs less to build than its prefix.
+func TestBuildCostPositiveAndGrowsWithWidth(t *testing.T) {
+	e := paperEnv(t, 2000)
+	cols := []string{"a", "b", "c", "d", "e"}
+	var prev float64
+	for n := 1; n <= len(cols); n++ {
+		ix := &catalog.Index{Name: "w", Table: "R", Columns: cols[:n]}
+		b := BuildCost(e, ix)
+		if b <= 0 {
+			t.Fatalf("non-positive build cost for %v", ix)
+		}
+		if b < prev {
+			t.Fatalf("build cost shrank when widening: %v", ix)
+		}
+		prev = b
+	}
+}
+
+// TestImplCostSeekBeatsScanWhenSelective: for a selective seek request,
+// an index leading with the sarg column must beat the same columns in
+// scan order.
+func TestImplCostSeekBeatsScanWhenSelective(t *testing.T) {
+	e := paperEnv(t, 5000)
+	req := &Request{
+		Table: "R", Kind: KindSeek,
+		EqCols: []string{"a"}, EqSels: []float64{0.001},
+		Required: []string{"a", "b"},
+		Bindings: 1, RowsPerBinding: 5,
+		TableRows: 5000, TablePages: e.TablePages("R"),
+	}
+	seekIx := &catalog.Index{Name: "s", Table: "R", Columns: []string{"a", "b"}}
+	scanIx := &catalog.Index{Name: "v", Table: "R", Columns: []string{"b", "a"}}
+	// (b,a) cannot seek on a; it can only cover-scan.
+	if ImplCost(e, req, seekIx) >= ImplCost(e, req, scanIx) {
+		t.Error("seek-ordered index should beat scan-ordered one")
+	}
+}
+
+// TestUpdateCostLinearInIndexes: the update shell is exactly linear in
+// the number of same-table secondary indexes.
+func TestUpdateCostLinearInIndexes(t *testing.T) {
+	e := paperEnv(t, 1000)
+	req := &Request{Table: "R", Kind: KindUpdate, UpdateRows: 50,
+		TableRows: 1000, TablePages: e.TablePages("R")}
+	base := GetCost(e, req, nil)
+	per := e.MaintenancePerIndex(req)
+	var config []*catalog.Index
+	for k := 1; k <= 4; k++ {
+		config = append(config, &catalog.Index{
+			Name: "u", Table: "R", Columns: []string{[]string{"a", "b", "c", "d"}[k-1]},
+		})
+		got := GetCost(e, req, config)
+		want := base + float64(k)*per
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: %g != %g", k, got, want)
+		}
+	}
+}

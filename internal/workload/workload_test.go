@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/tpch"
+)
+
+func TestSimpleWorkloadShapes(t *testing.T) {
+	w1 := W1()
+	if len(w1.Statements) != 500 {
+		t.Errorf("W1 statements = %d", len(w1.Statements))
+	}
+	if w1.Statements[0] != Q1 || w1.Statements[499] != Q2 {
+		t.Error("W1 phases wrong")
+	}
+	w2 := W2(BudgetOne4Col, "x")
+	if len(w2.Statements) != 500 || w2.Statements[0] != Q1 || w2.Statements[1] != Q2 {
+		t.Error("W2 interleave wrong")
+	}
+	w3 := W3()
+	if len(w3.Statements) != 200 {
+		t.Errorf("W3 statements = %d", len(w3.Statements))
+	}
+	if !strings.HasPrefix(w3.Statements[150], "INSERT INTO R SELECT") {
+		t.Errorf("W3 insert phase wrong: %s", w3.Statements[150])
+	}
+	if got := len(SimpleWorkloads()); got != 5 {
+		t.Errorf("simple workloads = %d, want 5 (the Table 1 rows)", got)
+	}
+}
+
+func TestBudgetsOrdered(t *testing.T) {
+	if !(BudgetOne4Col < BudgetMerged && BudgetMerged < BudgetRoomy) {
+		t.Errorf("budget regimes out of order: %d %d %d", BudgetOne4Col, BudgetMerged, BudgetRoomy)
+	}
+}
+
+func TestSimpleDBLoads(t *testing.T) {
+	w := W1()
+	db := w.NewDB()
+	if db.Mgr.Heap("R").Len() != simpleRows || db.Mgr.Heap("S").Len() != simpleRows {
+		t.Error("simple db row counts wrong")
+	}
+	if db.Mgr.Budget() != BudgetOne4Col {
+		t.Error("budget not applied")
+	}
+	if !db.Stats.Has("R", "a") {
+		t.Error("statistics missing")
+	}
+	// The workload executes cleanly end to end.
+	for _, stmt := range w.Statements[:3] {
+		if _, _, err := db.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	w := &Workload{Boundaries: []int{0, 3, 5}}
+	got := w.Batches([]float64{1, 1, 1, 2, 2, 3, 3, 3})
+	want := []float64{3, 4, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batches = %v, want %v", got, want)
+		}
+	}
+	// No boundaries: single batch.
+	w2 := &Workload{}
+	if got := w2.Batches([]float64{1, 2, 3}); len(got) != 1 || got[0] != 6 {
+		t.Errorf("single batch = %v", got)
+	}
+}
+
+func TestTPCHWorkloadConstruction(t *testing.T) {
+	o := TPCHOptions{Scale: 0.2, Seed: 3, NumBatches: 4, BudgetFraction: 0.5}
+	w := TPCH(o)
+	if len(w.Boundaries) != 4 {
+		t.Fatalf("boundaries = %d", len(w.Boundaries))
+	}
+	if len(w.Statements) != 4*22 {
+		t.Fatalf("statements = %d", len(w.Statements))
+	}
+	db := w.NewDB()
+	if db.Mgr.Budget() <= 0 {
+		t.Error("budget fraction not applied")
+	}
+	// Deterministic: same options → same workload.
+	w2 := TPCH(o)
+	for i := range w.Statements {
+		if w.Statements[i] != w2.Statements[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestTPCHDisruption(t *testing.T) {
+	o := TPCHOptions{Scale: 0.2, Seed: 3, NumBatches: 6, DisruptAfterBatch: 3, DisruptCount: 8, BudgetFraction: 1}
+	w := TPCH(o)
+	if len(w.Boundaries) != 7 { // 6 batches + 1 update batch
+		t.Fatalf("boundaries = %d", len(w.Boundaries))
+	}
+	// The injected batch contains lineitem updates.
+	start := w.Boundaries[3]
+	end := w.Boundaries[4]
+	found := false
+	for _, s := range w.Statements[start:end] {
+		if strings.HasPrefix(s, "UPDATE lineitem") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("disruptive updates not injected at batch 4")
+	}
+	// Clamped when DisruptAfterBatch exceeds the batch count.
+	o.DisruptAfterBatch = 99
+	w2 := TPCH(o)
+	if len(w2.Boundaries) != 7 {
+		t.Errorf("clamped boundaries = %d", len(w2.Boundaries))
+	}
+}
+
+func TestCandidateIndexes(t *testing.T) {
+	cands := CandidateIndexes()
+	if len(cands) != 5 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// I5 is the merged index of the paper.
+	if got := strings.Join(cands[4].Columns, ","); got != "a,b,c,d,e,id" {
+		t.Errorf("I5 = %s", got)
+	}
+}
+
+func TestDefaultTPCH(t *testing.T) {
+	o := DefaultTPCH()
+	if o.NumBatches != 60 || o.BudgetFraction <= 1.0 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.Scale <= 0 {
+		t.Error("scale missing")
+	}
+	_ = tpch.Scale(o.Scale)
+}
