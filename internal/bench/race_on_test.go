@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceDetectorEnabled relaxes timing-based assertions: race
+// instrumentation inflates the tuner's pointer-chasing bookkeeping far
+// more than the executor's scans, so overhead ratios are not meaningful
+// under -race.
+const raceDetectorEnabled = true

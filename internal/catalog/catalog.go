@@ -132,20 +132,36 @@ type Index struct {
 	// Hypothetical marks what-if indexes that have no physical structure.
 	Hypothetical bool
 
-	// id memoizes ID(); Table and Columns must not change after the first
-	// ID() call.
+	// id caches the canonical identity. It is written ONLY by Canonicalize,
+	// which must run before the index is shared between goroutines; a
+	// lazily-written memo inside ID() was a data race once statements
+	// started executing concurrently. Copying the struct copies the cache,
+	// which stays correct as long as Table/Columns are not mutated.
 	id string
+}
+
+func computeID(table string, columns []string) string {
+	return strings.ToLower(table) + "(" + strings.ToLower(strings.Join(columns, ",")) + ")"
+}
+
+// Canonicalize precomputes the index's ID so later ID() calls are free.
+// Call it right after constructing an Index, before publishing it to
+// other goroutines; it returns the index for chaining.
+func (ix *Index) Canonicalize() *Index {
+	ix.id = computeID(ix.Table, ix.Columns)
+	return ix
 }
 
 // ID returns a canonical identity string: table(col1,col2,...). Two Index
 // values with the same ID are the same physical design object regardless
-// of Name. The result is memoized: do not mutate Table or Columns after
-// calling it.
+// of Name. Non-canonicalized indexes compute the value fresh on every
+// call — ID() itself never writes, so sharing an Index between
+// goroutines is safe either way.
 func (ix *Index) ID() string {
-	if ix.id == "" {
-		ix.id = strings.ToLower(ix.Table) + "(" + strings.ToLower(strings.Join(ix.Columns, ",")) + ")"
+	if ix.id != "" {
+		return ix.id
 	}
-	return ix.id
+	return computeID(ix.Table, ix.Columns)
 }
 
 // String renders the index like the paper: R(a,b,c,id).
@@ -234,11 +250,12 @@ func Merge(i1, i2 *Index) (*Index, error) {
 	}
 	// The name derives from the merged column set (not the input names,
 	// which would grow without bound under repeated merging).
-	return &Index{
+	m := &Index{
 		Name:    "mrg_" + strings.ToLower(i1.Table) + "_" + strings.ToLower(strings.Join(cols, "_")),
 		Table:   i1.Table,
 		Columns: cols,
-	}, nil
+	}
+	return m.Canonicalize(), nil
 }
 
 // Jaccard returns |i1 ∩ i2| / |i1 ∪ i2| over column sets — the similarity
@@ -309,7 +326,7 @@ func (c *Catalog) AddTable(t *Table) error {
 			pk.Columns = append(pk.Columns, col.Name)
 		}
 	}
-	c.indexes[strings.ToLower(pk.Name)] = pk
+	c.indexes[strings.ToLower(pk.Name)] = pk.Canonicalize()
 	return nil
 }
 

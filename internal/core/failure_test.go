@@ -62,8 +62,8 @@ func TestTunerCatalogStorageConsistency(t *testing.T) {
 			t.Errorf("catalog secondary %v missing from storage", ix)
 			continue
 		}
-		if pi.State == storage.StateActive && pi.Tree.Len() != db.Mgr.Heap("R").Len() {
-			t.Errorf("index %v has %d entries, heap has %d", ix, pi.Tree.Len(), db.Mgr.Heap("R").Len())
+		if pi.State() == storage.StateActive && pi.Tree().Len() != db.Mgr.Heap("R").Len() {
+			t.Errorf("index %v has %d entries, heap has %d", ix, pi.Tree().Len(), db.Mgr.Heap("R").Len())
 		}
 	}
 	// Queries still return correct results after all the churn.

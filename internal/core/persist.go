@@ -93,7 +93,7 @@ func (t *Tuner) LoadState(r io.Reader) error {
 		id := ix.ID()
 		t.tracked[id] = s
 		if e.InConfig {
-			if pi := t.env.Mgr.Index(id); pi != nil && pi.State == storage.StateActive {
+			if pi := t.env.Mgr.Index(id); pi != nil && pi.State() == storage.StateActive {
 				t.inConfig[id] = true
 			}
 			// Otherwise: demoted to candidate; its accumulated Δ makes it

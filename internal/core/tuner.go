@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"onlinetuner/internal/catalog"
@@ -24,9 +26,14 @@ type Options struct {
 	// round. Zero disables merging; one merges every round; the default
 	// (4) follows the paper's own throttling advice for line 18.
 	MergeEvery int
-	// Async simulates online (asynchronous) index creation: a build takes
-	// as much query-cost as B_I^s before the index becomes usable, and is
-	// aborted when updates erode the candidate's benefit by more than
+	// Async enables online (asynchronous) index creation, Section 3.3:
+	// the B+-tree is built by a background goroutine from a snapshot plus
+	// a side delta log (storage.StartBuild/FinishBuild) while statements
+	// keep executing, and is published atomically into the catalog. The
+	// index becomes usable once as much query-cost as B_I^s has passed —
+	// the paper's cost accounting, kept so replayed schedules are
+	// deterministic — and the build is cancelled (context + storage
+	// abort) when updates erode the candidate's benefit by more than
 	// B_I^s while building.
 	Async bool
 	// UseSuspend replaces drops with suspends; suspended indexes restart
@@ -71,6 +78,10 @@ const (
 	EvSuspend
 	EvRestart
 	EvAbort
+	// EvBuildStart marks the start of an asynchronous background build.
+	// It is delivered to subscribers but not part of the change schedule
+	// (the schedule records completed physical changes only).
+	EvBuildStart
 )
 
 func (k EventKind) String() string {
@@ -85,6 +96,8 @@ func (k EventKind) String() string {
 		return "restart"
 	case EvAbort:
 		return "abort"
+	case EvBuildStart:
+		return "build-start"
 	}
 	return "?"
 }
@@ -108,11 +121,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("S(%s)", e.Index)
 	case EvAbort:
 		return fmt.Sprintf("A(%s)[%.2f]", e.Index, e.Cost)
+	case EvBuildStart:
+		return fmt.Sprintf("B(%s)[%.2f]", e.Index, e.Cost)
 	}
 	return "?"
 }
 
-// Metrics records the per-module overhead that Figure 9 reports.
+// Metrics records the per-module overhead that Figure 9 reports, plus
+// background-build counters.
 type Metrics struct {
 	Queries        int64
 	Total          time.Duration
@@ -121,21 +137,44 @@ type Metrics struct {
 	Lines918       time.Duration // analysis (drop/create decisions)
 	Line18         time.Duration // index merging (subset of Lines918)
 	TransitionCost float64       // Σ B_I of all physical changes
+
+	BuildsStarted   int64 // asynchronous builds started
+	BuildsCompleted int64 // asynchronous builds published
+	BuildsAborted   int64 // asynchronous builds cancelled (erosion)
 }
 
-// pendingBuild tracks one simulated asynchronous index creation.
+// pendingBuild tracks one asynchronous index creation. The index becomes
+// usable once `remaining` query-cost has been accounted (the paper's
+// B_I^s gate, kept for deterministic schedules); the physical B+-tree is
+// meanwhile constructed by a background goroutine whose result arrives
+// on done. Suspended-index restarts carry no physical build (build is
+// nil): the suspended structure is replayed in place at finish.
 type pendingBuild struct {
 	st        *IndexStats
 	buildCost float64
 	remaining float64
+
+	build  *storage.Build
+	cancel context.CancelFunc
+	done   chan error
 }
 
 // Tuner is the OnlinePT algorithm of Figure 6, attached to a DB as its
 // execution observer.
+//
+// Concurrency: the tuner is internally serialized by one mutex — the
+// engine may deliver OnExecuted from many statement goroutines at once,
+// and the tuner observes them one at a time. The only tuner work outside
+// the mutex is the background build goroutine, which touches nothing but
+// its private snapshot (storage.Build.Run).
 type Tuner struct {
 	db   *engine.DB
 	env  *whatif.Env
 	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	subs   []chan Event
 
 	// tracked holds bookkeeping for every index under consideration: the
 	// candidate set H plus the current configuration members.
@@ -189,18 +228,66 @@ func Attach(db *engine.DB, opts Options) *Tuner {
 	return t
 }
 
-// Events returns the physical design changes made so far.
-func (t *Tuner) Events() []Event { return t.events }
+// Events returns a copy of the physical design changes made so far.
+func (t *Tuner) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
 
 // Metrics returns the overhead counters.
-func (t *Tuner) Metrics() Metrics { return t.metrics }
+func (t *Tuner) Metrics() Metrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics
+}
 
 // Stats returns the bookkeeping for an index ID, or nil.
-func (t *Tuner) Stats(id string) *IndexStats { return t.tracked[id] }
+func (t *Tuner) Stats(id string) *IndexStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracked[id]
+}
+
+// Subscribe registers an event channel with the given buffer and returns
+// it. Every subsequent tuner event — including EvBuildStart, which never
+// enters the Events() schedule — is delivered to each subscriber; a full
+// channel drops the event, so size the buffer for the expected volume.
+// Channels are closed by Close.
+func (t *Tuner) Subscribe(buf int) <-chan Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan Event, buf)
+	t.subs = append(t.subs, ch)
+	return ch
+}
+
+// notify fans an event out to subscribers (caller holds the mutex).
+func (t *Tuner) notify(e Event) {
+	for _, ch := range t.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// record appends a completed physical change to the schedule and
+// notifies subscribers (caller holds the mutex).
+func (t *Tuner) record(e Event) {
+	t.events = append(t.events, e)
+	t.notify(e)
+}
 
 // Candidates returns the current candidate set H (tracked indexes not in
 // the configuration).
 func (t *Tuner) Candidates() []*IndexStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.candidatesLocked()
+}
+
+func (t *Tuner) candidatesLocked() []*IndexStats {
 	var out []*IndexStats
 	for id, st := range t.tracked {
 		if !t.inConfig[id] {
@@ -212,8 +299,14 @@ func (t *Tuner) Candidates() []*IndexStats {
 }
 
 // OnExecuted implements engine.Observer: the body of Figure 6, run once
-// per executed statement.
+// per executed statement. Concurrent statements are observed one at a
+// time in arrival order at the mutex.
 func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
 	t.queries++
 	t.metrics.Queries++
 	start := time.Now()
@@ -451,7 +544,7 @@ func (t *Tuner) buildCostFor(ix *catalog.Index) float64 {
 		return e.cost
 	}
 	full := whatif.BuildCost(t.env, ix)
-	if pi := t.env.Mgr.Index(id); pi != nil && pi.State == storage.StateSuspended {
+	if pi := t.env.Mgr.Index(id); pi != nil && pi.State() == storage.StateSuspended {
 		restart := t.env.Model.RestartIndex(float64(pi.PendingOps()) + 1)
 		if restart < full {
 			full = restart
@@ -505,7 +598,7 @@ func (t *Tuner) removeIndex(st *IndexStats, reason string) {
 		}
 		other.AdjustAfterDrop(st.Ix, beta)
 	}
-	t.events = append(t.events, Event{Kind: kind, Index: st.Ix, AtQuery: t.queries})
+	t.record(Event{Kind: kind, Index: st.Ix, AtQuery: t.queries})
 	_ = reason
 }
 
@@ -704,26 +797,51 @@ func (t *Tuner) candidateList() []*IndexStats {
 }
 
 // createIndex applies a creation decision: synchronously (the
-// evaluation's mode) or by starting a simulated asynchronous build.
+// evaluation's mode) or by starting an asynchronous background build.
 func (t *Tuner) createIndex(st *IndexStats, buildCost float64) {
-	if t.opts.Async {
-		st.Creating = true
-		st.deltaAtCreateStart = st.Delta()
-		t.pending = &pendingBuild{st: st, buildCost: buildCost, remaining: buildCost}
+	if !t.opts.Async {
+		t.finishCreate(st, buildCost, nil)
 		return
 	}
-	t.finishCreate(st, buildCost)
+	pb := &pendingBuild{st: st, buildCost: buildCost, remaining: buildCost}
+	id := st.Ix.ID()
+	if pi := t.env.Mgr.Index(id); pi == nil || pi.State() != storage.StateSuspended {
+		// Fresh build: snapshot the table and hand the B+-tree
+		// construction to a background goroutine. DML from here on is
+		// captured by the build's delta log, off the statement hot path.
+		b, err := t.env.Mgr.StartBuild(st.Ix)
+		if err != nil {
+			// Budget race or similar: reset the candidate's evidence so it
+			// does not retry every query.
+			st.DeltaMin = st.Delta()
+			return
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		pb.build = b
+		pb.cancel = cancel
+		pb.done = make(chan error, 1)
+		go func() { pb.done <- b.Run(ctx) }()
+	}
+	// Suspended candidates need no physical build: the structure is
+	// replayed in place when the accounted restart cost has passed.
+	st.Creating = true
+	st.deltaAtCreateStart = st.Delta()
+	t.pending = pb
+	t.metrics.BuildsStarted++
+	t.notify(Event{Kind: EvBuildStart, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
 }
 
 // finishCreate materializes the index and applies the Section 3.2.1
-// create adjustments plus the shared-OR invalidation.
-func (t *Tuner) finishCreate(st *IndexStats, buildCost float64) {
+// create adjustments plus the shared-OR invalidation. For asynchronous
+// creations b carries the finished background build to publish;
+// synchronous creations and suspended restarts pass nil.
+func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build) bool {
 	id := st.Ix.ID()
 	kind := EvCreate
-	if pi := t.env.Mgr.Index(id); pi != nil && pi.State == storage.StateSuspended {
+	if pi := t.env.Mgr.Index(id); b == nil && pi != nil && pi.State() == storage.StateSuspended {
 		if _, err := t.env.Mgr.RestartIndex(id); err != nil {
 			st.Creating = false
-			return
+			return false
 		}
 		kind = EvRestart
 	} else {
@@ -731,19 +849,25 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64) {
 		if t.env.Cat.Index(st.Ix.Name) != nil {
 			st.Ix.Name = fmt.Sprintf("%s_%d", st.Ix.Name, t.queries)
 		}
-		if err := t.db.CreateIndex(st.Ix); err != nil {
+		var err error
+		if b != nil {
+			err = t.db.PublishIndex(st.Ix, b)
+		} else {
+			err = t.db.CreateIndex(st.Ix)
+		}
+		if err != nil {
 			// Budget race or similar: reset the candidate's evidence so it
 			// does not retry every query.
 			st.Creating = false
 			st.DeltaMin = st.Delta()
-			return
+			return false
 		}
 	}
 	t.inConfig[id] = true
 	t.bumpConfigVersion()
 	st.OnCreated()
 	t.metrics.TransitionCost += buildCost
-	t.events = append(t.events, Event{Kind: kind, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
+	t.record(Event{Kind: kind, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
 
 	sizeCreated := t.env.IndexBytes(st.Ix)
 	for oid, other := range t.tracked {
@@ -757,36 +881,86 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64) {
 		other.AdjustAfterCreate(st.Ix, t.env.IndexBytes(other.Ix), sizeCreated)
 	}
 	st.Derived = false
+	return true
 }
 
-// progressBuild advances the simulated asynchronous build by the cost of
-// the just-executed query; the index becomes usable when the build work
-// reaches B_I^s (Section 3.3).
+// progressBuild advances the asynchronous build's accounting by the cost
+// of the just-executed query; the index is published when the accounted
+// work reaches B_I^s (Section 3.3). The gate is cost-based — not
+// wall-clock — so replayed schedules are deterministic; by the time it
+// opens, the background goroutine has normally long finished, and
+// waiting on it here costs nothing.
 func (t *Tuner) progressBuild(queryCost float64) {
 	if t.pending == nil {
 		return
 	}
 	t.pending.remaining -= queryCost
-	if t.pending.remaining <= 0 {
-		st := t.pending.st
-		cost := t.pending.buildCost
-		t.pending = nil
-		t.finishCreate(st, cost)
+	if t.pending.remaining > 0 {
+		return
+	}
+	pb := t.pending
+	t.pending = nil
+	if pb.build != nil {
+		if err := <-pb.done; err != nil {
+			// The build goroutine itself failed (nobody cancelled it —
+			// erosion aborts go through abortBuild). Discard and back off.
+			t.env.Mgr.AbortBuild(pb.build)
+			pb.st.Creating = false
+			pb.st.DeltaMin = pb.st.Delta()
+			return
+		}
+	}
+	if t.finishCreate(pb.st, pb.buildCost, pb.build) {
+		t.metrics.BuildsCompleted++
 	}
 }
 
-// abortBuild cancels the in-flight asynchronous creation, charging the
-// work already performed.
+// abortBuild cancels the in-flight asynchronous creation: the background
+// goroutine is cancelled, the half-built structure discarded, and the
+// work already accounted is charged as wasted transition cost.
 func (t *Tuner) abortBuild() {
 	if t.pending == nil {
 		return
 	}
-	st := t.pending.st
-	wasted := t.pending.buildCost - t.pending.remaining
+	pb := t.pending
+	t.pending = nil
+	if pb.build != nil {
+		pb.cancel()
+		<-pb.done
+		t.env.Mgr.AbortBuild(pb.build)
+	}
+	st := pb.st
+	wasted := pb.buildCost - pb.remaining
 	st.Creating = false
 	t.metrics.TransitionCost += wasted
-	t.events = append(t.events, Event{Kind: EvAbort, Index: st.Ix, Cost: wasted, AtQuery: t.queries})
-	t.pending = nil
+	t.metrics.BuildsAborted++
+	t.record(Event{Kind: EvAbort, Index: st.Ix, Cost: wasted, AtQuery: t.queries})
+}
+
+// Close shuts the tuner down cleanly: an in-flight background build is
+// cancelled and discarded (without charging the schedule) and subscriber
+// channels are closed. Statements may still execute afterwards; their
+// observations are ignored.
+func (t *Tuner) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	if pb := t.pending; pb != nil {
+		t.pending = nil
+		if pb.build != nil {
+			pb.cancel()
+			<-pb.done
+			t.env.Mgr.AbortBuild(pb.build)
+		}
+		pb.st.Creating = false
+	}
+	for _, ch := range t.subs {
+		close(ch)
+	}
+	t.subs = nil
 }
 
 // statsStaleFraction is the relative table-size change beyond which
@@ -866,7 +1040,7 @@ func (t *Tuner) evictCandidates() {
 	if n <= t.opts.MaxCandidates {
 		return
 	}
-	cands := t.Candidates()
+	cands := t.candidatesLocked()
 	sort.Slice(cands, func(i, j int) bool {
 		return cands[i].Delta()-cands[i].DeltaMin < cands[j].Delta()-cands[j].DeltaMin
 	})
@@ -882,6 +1056,8 @@ func (t *Tuner) evictCandidates() {
 // adjustments of Section 3.2.1 are applied exactly as for automatic
 // changes (Section 3.3 "manual intervention").
 func (t *Tuner) ManualCreate(ix *catalog.Index) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	b := t.buildCostFor(ix)
 	if err := t.db.CreateIndex(ix); err != nil {
 		return err
@@ -895,7 +1071,7 @@ func (t *Tuner) ManualCreate(ix *catalog.Index) error {
 	t.inConfig[id] = true
 	st.OnCreated()
 	t.metrics.TransitionCost += b
-	t.events = append(t.events, Event{Kind: EvCreate, Index: ix, Cost: b, AtQuery: t.queries})
+	t.record(Event{Kind: EvCreate, Index: ix, Cost: b, AtQuery: t.queries})
 	sizeCreated := t.env.IndexBytes(ix)
 	for oid, other := range t.tracked {
 		if oid != id {
@@ -908,6 +1084,8 @@ func (t *Tuner) ManualCreate(ix *catalog.Index) error {
 // ManualDrop drops an index through the tuner, applying the drop
 // adjustments.
 func (t *Tuner) ManualDrop(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ix := t.env.Cat.Index(name)
 	if ix == nil {
 		return fmt.Errorf("core: unknown index %s", name)
@@ -928,7 +1106,7 @@ func (t *Tuner) ManualDrop(name string) error {
 			other.AdjustAfterDrop(ix, beta)
 		}
 	}
-	t.events = append(t.events, Event{Kind: EvDrop, Index: ix, AtQuery: t.queries})
+	t.record(Event{Kind: EvDrop, Index: ix, AtQuery: t.queries})
 	return nil
 }
 

@@ -7,8 +7,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
@@ -38,6 +40,17 @@ type Observer interface {
 }
 
 // DB is an open database instance.
+//
+// Concurrency model: any number of goroutines may call Exec/ExecStmt
+// concurrently. Each statement takes per-table reader-writer locks (see
+// tableLocks) for its whole optimize→execute→observe span: reads share,
+// writes to the same table serialize, and disjoint tables never
+// contend. The observer (the online tuner) runs inside the statement's
+// critical section, so it sees executions over any one table in a
+// serial order. Physical changes the tuner makes (index creation in the
+// background, drops) synchronize below the statement layer, inside
+// storage; a statement whose plan loses its index mid-flight is
+// transparently re-optimized (see executor.ErrStaleIndex).
 type DB struct {
 	Cat   *catalog.Catalog
 	Mgr   *storage.Manager
@@ -46,6 +59,9 @@ type DB struct {
 	Opt   *optimizer.Optimizer
 	Exe   *executor.Executor
 
+	locks *tableLocks
+
+	obsMu    sync.RWMutex
 	observer Observer
 }
 
@@ -62,11 +78,22 @@ func Open() *DB {
 		Env:   env,
 		Opt:   optimizer.New(env),
 		Exe:   executor.New(cat, mgr),
+		locks: newTableLocks(),
 	}
 }
 
 // SetObserver installs the post-execution observer (the online tuner).
-func (db *DB) SetObserver(o Observer) { db.observer = o }
+func (db *DB) SetObserver(o Observer) {
+	db.obsMu.Lock()
+	defer db.obsMu.Unlock()
+	db.observer = o
+}
+
+func (db *DB) getObserver() Observer {
+	db.obsMu.RLock()
+	defer db.obsMu.RUnlock()
+	return db.observer
+}
 
 // Exec parses, plans and runs one statement.
 func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
@@ -78,8 +105,16 @@ func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
 }
 
 // ExecStmt runs an already-parsed statement (callers that replay
-// workloads avoid re-parsing).
+// workloads avoid re-parsing). It holds the statement's table locks for
+// the whole optimize→execute→observe span.
 func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
+	reads, writes := db.lockTablesFor(stmt)
+	release := db.locks.acquire(reads, writes)
+	defer release()
+	return db.execLocked(text, stmt)
+}
+
+func (db *DB) execLocked(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return db.execCreateTable(s)
@@ -90,17 +125,34 @@ func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *Q
 	case *sql.Explain:
 		return db.execExplain(s)
 	}
-	res, err := db.Opt.Optimize(stmt)
-	if err != nil {
-		return nil, nil, err
+	// The tuner may drop an index between our optimization and execution
+	// (it runs inside OTHER statements' critical sections, over other
+	// tables). Plans are stale-checked by the executor; on a stale plan
+	// we re-optimize under the current configuration. Two retries bound
+	// the loop — each retry needs a fresh drop of a freshly chosen
+	// index, which the tuner's cooldown makes vanishingly rare.
+	var rs *executor.ResultSet
+	var res *optimizer.Result
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err = db.Opt.Optimize(stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, err = db.Exe.Run(res.Plan)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, executor.ErrStaleIndex) {
+			return nil, nil, err
+		}
 	}
-	rs, err := db.Exe.Run(res.Plan)
 	if err != nil {
 		return nil, nil, err
 	}
 	info := &QueryInfo{SQL: text, Stmt: stmt, Result: res, EstCost: res.Cost}
-	if db.observer != nil {
-		db.observer.OnExecuted(info)
+	if o := db.getObserver(); o != nil {
+		o.OnExecuted(info)
 	}
 	return rs, info, nil
 }
@@ -139,7 +191,7 @@ func (db *DB) execCreateTable(s *sql.CreateTable) (*executor.ResultSet, *QueryIn
 }
 
 func (db *DB) execCreateIndex(s *sql.CreateIndex) (*executor.ResultSet, *QueryInfo, error) {
-	ix := &catalog.Index{Name: s.Name, Table: s.Table, Columns: s.Columns}
+	ix := (&catalog.Index{Name: s.Name, Table: s.Table, Columns: s.Columns}).Canonicalize()
 	if err := db.CreateIndex(ix); err != nil {
 		return nil, nil, err
 	}
@@ -187,6 +239,23 @@ func (db *DB) CreateIndex(ix *catalog.Index) error {
 	return nil
 }
 
+// PublishIndex registers a background-built index: the catalog entry is
+// added and the finished build (storage.StartBuild + Build.Run) is
+// published atomically. On any failure the half-built structure is
+// discarded and the catalog left unchanged.
+func (db *DB) PublishIndex(ix *catalog.Index, b *storage.Build) error {
+	if err := db.Cat.AddIndex(ix); err != nil {
+		db.Mgr.AbortBuild(b)
+		return err
+	}
+	if _, err := db.Mgr.FinishBuild(b); err != nil {
+		_ = db.Cat.DropIndex(ix.Name)
+		db.Mgr.AbortBuild(b)
+		return err
+	}
+	return nil
+}
+
 // DropIndex removes a secondary index from storage and catalog.
 func (db *DB) DropIndex(ix *catalog.Index) error {
 	if err := db.Mgr.DropIndex(ix.ID()); err != nil {
@@ -196,8 +265,11 @@ func (db *DB) DropIndex(ix *catalog.Index) error {
 }
 
 // Analyze builds statistics for every column of a table from its current
-// contents.
+// contents. It takes the table's shared lock so the sampled columns are
+// mutually consistent even under concurrent DML.
 func (db *DB) Analyze(table string) error {
+	release := db.locks.acquire([]string{table}, nil)
+	defer release()
 	t := db.Cat.Table(table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %s", table)
@@ -230,7 +302,7 @@ func (db *DB) Configuration() []*catalog.Index {
 		if ix.Primary {
 			continue
 		}
-		if pi := db.Mgr.Index(ix.ID()); pi != nil && pi.State == storage.StateActive {
+		if pi := db.Mgr.Index(ix.ID()); pi != nil && pi.State() == storage.StateActive {
 			out = append(out, ix)
 		}
 	}

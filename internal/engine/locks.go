@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"onlinetuner/internal/sql"
+)
+
+// tableLocks is the engine's sharded statement-level lock registry: one
+// reader-writer lock per table, created on demand. A statement acquires
+// shared locks on the tables it reads and exclusive locks on the tables
+// it writes, for its whole execution (including the tuner's post-
+// execution observation), so:
+//
+//   - any number of read statements over the same tables run in
+//     parallel;
+//   - DML is exclusive per table — read-modify-write statements like
+//     UPDATE t SET v = v + 1 can never lose updates to a concurrent
+//     writer;
+//   - statements over disjoint tables never contend at all (the
+//     "sharding" — the lock space is partitioned by table).
+//
+// All tables are locked up front in sorted name order, which makes
+// deadlock impossible: every statement acquires locks along the same
+// global order and never picks up another one mid-flight.
+type tableLocks struct {
+	mu sync.Mutex
+	m  map[string]*sync.RWMutex
+}
+
+func newTableLocks() *tableLocks {
+	return &tableLocks{m: make(map[string]*sync.RWMutex)}
+}
+
+func (tl *tableLocks) lockFor(name string) *sync.RWMutex {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	lk := tl.m[name]
+	if lk == nil {
+		lk = &sync.RWMutex{}
+		tl.m[name] = lk
+	}
+	return lk
+}
+
+// acquire locks the given tables for one statement and returns the
+// release function. A table appearing in both sets is locked once,
+// exclusively.
+func (tl *tableLocks) acquire(reads, writes []string) (release func()) {
+	excl := make(map[string]bool, len(reads)+len(writes))
+	for _, w := range writes {
+		excl[strings.ToLower(w)] = true
+	}
+	for _, r := range reads {
+		lr := strings.ToLower(r)
+		if _, ok := excl[lr]; !ok {
+			excl[lr] = false
+		}
+	}
+	names := make([]string, 0, len(excl))
+	for n := range excl {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	unlocks := make([]func(), 0, len(names))
+	for _, n := range names {
+		lk := tl.lockFor(n)
+		if excl[n] {
+			lk.Lock()
+			unlocks = append(unlocks, lk.Unlock)
+		} else {
+			lk.RLock()
+			unlocks = append(unlocks, lk.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+	}
+}
+
+// lockTablesFor classifies which tables a statement reads and writes.
+// DROP INDEX resolves its table through the catalog; an unknown index
+// yields no lock and the execution path reports the error.
+func (db *DB) lockTablesFor(stmt sql.Statement) (reads, writes []string) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return selectTables(s), nil
+	case *sql.Insert:
+		if s.Query != nil {
+			reads = selectTables(s.Query)
+		}
+		return reads, []string{s.Table}
+	case *sql.Update:
+		return nil, []string{s.Table}
+	case *sql.Delete:
+		return nil, []string{s.Table}
+	case *sql.CreateTable:
+		return nil, []string{s.Table}
+	case *sql.CreateIndex:
+		return nil, []string{s.Table}
+	case *sql.DropIndex:
+		if ix := db.Cat.Index(s.Name); ix != nil {
+			return nil, []string{ix.Table}
+		}
+		return nil, nil
+	case *sql.Explain:
+		// EXPLAIN only optimizes; it still reads catalog/statistics state
+		// of the referenced tables.
+		r, w := db.lockTablesFor(s.Stmt)
+		return append(r, w...), nil
+	}
+	return nil, nil
+}
+
+// selectTables lists every table referenced by a SELECT.
+func selectTables(s *sql.Select) []string {
+	out := []string{s.From.Table}
+	for _, j := range s.Joins {
+		out = append(out, j.Right.Table)
+	}
+	return out
+}

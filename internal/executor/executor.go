@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,12 @@ import (
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/storage"
 )
+
+// ErrStaleIndex reports that a plan referenced an index that is no
+// longer active — under concurrency the tuner may drop an index between
+// a statement's optimization and its execution. The engine treats this
+// as retryable: it re-optimizes under the current configuration.
+var ErrStaleIndex = errors.New("index not active")
 
 // Executor runs physical plans against a storage manager.
 type Executor struct {
@@ -107,15 +114,15 @@ func (e *Executor) seqScan(n *plan.SeqScan) ([]datum.Row, error) {
 
 func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
-	if pi == nil || pi.State != storage.StateActive {
-		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	if pi == nil || pi.State() != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
 	}
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
 		return nil, err
 	}
 	var out []datum.Row
-	for it := pi.Tree.Scan(); it.Valid(); it.Next() {
+	for it := pi.Tree().Scan(); it.Valid(); it.Next() {
 		row := it.Entry().Key
 		ok, err := pred(row)
 		if err != nil {
@@ -130,8 +137,8 @@ func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
 
 func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
-	if pi == nil || pi.State != storage.StateActive {
-		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	if pi == nil || pi.State() != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
 	}
 	h := e.mgr.Heap(n.Index.Table)
 	pred, err := compilePreds(n.Preds, n.Schema())
@@ -152,14 +159,14 @@ func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
 	var it *storage.Iterator
 	switch {
 	case len(lo) == 0 && len(hi) == 0:
-		it = pi.Tree.Scan()
+		it = pi.Tree().Scan()
 	case len(lo) == 0:
-		it = pi.Tree.Seek(datum.Row{datum.Null}, true, hi, hiInc)
+		it = pi.Tree().Seek(datum.Row{datum.Null}, true, hi, hiInc)
 	default:
 		if len(hi) == 0 {
-			it = pi.Tree.Seek(lo, loInc, nil, false)
+			it = pi.Tree().Seek(lo, loInc, nil, false)
 		} else {
-			it = pi.Tree.Seek(lo, loInc, hi, hiInc)
+			it = pi.Tree().Seek(lo, loInc, hi, hiInc)
 		}
 	}
 	var out []datum.Row
@@ -506,8 +513,8 @@ func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
 		return nil, err
 	}
 	pi := e.mgr.Index(n.Index.ID())
-	if pi == nil || pi.State != storage.StateActive {
-		return nil, fmt.Errorf("executor: index %s not active", n.Index.Name)
+	if pi == nil || pi.State() != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
 	}
 	h := e.mgr.Heap(n.Index.Table)
 	keyFns := make([]evalFunc, len(n.OuterKeys))
@@ -539,7 +546,7 @@ func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
 		if null {
 			continue
 		}
-		for it := pi.Tree.Seek(key, true, key, true); it.Valid(); it.Next() {
+		for it := pi.Tree().Seek(key, true, key, true); it.Valid(); it.Next() {
 			ent := it.Entry()
 			var irow datum.Row
 			if fetch {

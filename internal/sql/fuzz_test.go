@@ -1,0 +1,44 @@
+package sql_test
+
+import (
+	"testing"
+
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/tpch"
+)
+
+// FuzzParse asserts the parser never panics: any byte sequence must
+// either produce a statement or a regular error. The corpus is seeded
+// with the full TPC-H query set (the workload every benchmark replays),
+// the refresh-stream DML shapes, DDL, and a handful of syntactically
+// gnarly fragments. Lives in package sql_test because the tpch seed
+// generator itself imports sql.
+func FuzzParse(f *testing.F) {
+	g := tpch.NewGenerator(0.01, 1)
+	for n := 1; n <= 22; n++ {
+		f.Add(g.Query(n))
+	}
+	for _, s := range []string{
+		"CREATE TABLE r (id INT, a INT, s VARCHAR, PRIMARY KEY (id))",
+		"CREATE INDEX r_a ON r (a, id)",
+		"DROP INDEX r_a",
+		"INSERT INTO r (id, a, s) VALUES (1, 2, 'x'), (2, 3, 'y')",
+		"UPDATE r SET a = a + 1, s = 'z' WHERE id = 5",
+		"DELETE FROM r WHERE a > 10 AND s = 'x'",
+		"EXPLAIN SELECT a FROM r WHERE a = 1 OR (a > 2 AND a < 7)",
+		"SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY a DESC LIMIT 3",
+		"SELECT * FROM r, s WHERE r.id = s.id AND r.a IS NOT NULL",
+		"SELECT 'it''s' FROM r",
+		"select\t\na -- comment\nfrom r",
+		"SELECT a FROM r WHERE s = 'unterminated",
+		"((((((((((", "SELECT", "", "\x00\xff'\"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		stmt, err := sql.Parse(text)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned no statement and no error", text)
+		}
+	})
+}

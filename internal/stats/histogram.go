@@ -225,6 +225,13 @@ type ColumnStats struct {
 // Store is the thread-safe statistics registry keyed by "table.column"
 // (lowercase). It records which statistics exist so the tuner's
 // asynchronous statistics policy can decide when to build new ones.
+//
+// Statistics are copy-on-write: a ColumnStats (and its histogram) is
+// constructed privately, published once via Set under the write lock,
+// and never mutated afterwards. Readers therefore share the installed
+// object freely — the optimizer estimates selectivities on it from many
+// statement goroutines at once while the tuner refreshes statistics by
+// installing a replacement, never by editing in place.
 type Store struct {
 	mu    sync.RWMutex
 	cols  map[string]*ColumnStats
@@ -248,7 +255,9 @@ func (s *Store) Set(table, column string, cs *ColumnStats) {
 	s.built++
 }
 
-// Get returns the statistics for table.column, or nil.
+// Get returns the statistics for table.column, or nil. The returned
+// object is shared and must be treated as read-only; install updated
+// statistics with Set instead of mutating it.
 func (s *Store) Get(table, column string) *ColumnStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

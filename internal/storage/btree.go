@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"onlinetuner/internal/datum"
 )
@@ -54,13 +55,17 @@ type node struct {
 }
 
 // BTree is an in-memory B+-tree over composite datum keys with duplicate
-// support. It is not safe for concurrent mutation.
+// support. Structural operations (Insert/Delete/Seek/Scan) are not safe
+// for concurrent mutation — callers serialize them via the engine's
+// per-table statement locks and the storage manager's lock. The size
+// counters (Len/KeyBytes) are atomic so the tuner can sample index sizes
+// of tables it holds no statement lock on.
 type BTree struct {
 	root   *node
 	height int
-	count  int
+	count  atomic.Int64
 	// keyBytes tracks total key payload bytes for page accounting.
-	keyBytes int64
+	keyBytes atomic.Int64
 }
 
 // NewBTree returns an empty tree.
@@ -69,13 +74,13 @@ func NewBTree() *BTree {
 }
 
 // Len returns the number of entries.
-func (t *BTree) Len() int { return t.count }
+func (t *BTree) Len() int { return int(t.count.Load()) }
 
 // Height returns the number of levels (1 for a lone leaf).
 func (t *BTree) Height() int { return t.height }
 
 // KeyBytes returns the accounted key payload bytes.
-func (t *BTree) KeyBytes() int64 { return t.keyBytes }
+func (t *BTree) KeyBytes() int64 { return t.keyBytes.Load() }
 
 // Insert adds an entry. Inserting an exact duplicate (same key and RID)
 // is an error: index maintenance must never double-insert a row.
@@ -93,8 +98,8 @@ func (t *BTree) Insert(e Entry) error {
 		t.root = root
 		t.height++
 	}
-	t.count++
-	t.keyBytes += int64(e.Key.Width()) + 8
+	t.count.Add(1)
+	t.keyBytes.Add(int64(e.Key.Width()) + 8)
 	return nil
 }
 
@@ -197,8 +202,8 @@ func (t *BTree) Delete(e Entry) bool {
 		t.root = t.root.children[0]
 		t.height--
 	}
-	t.count--
-	t.keyBytes -= int64(e.Key.Width()) + 8
+	t.count.Add(-1)
+	t.keyBytes.Add(-(int64(e.Key.Width()) + 8))
 	return true
 }
 
@@ -403,8 +408,8 @@ func (t *BTree) checkInvariants() error {
 		prev = &p
 		count++
 	}
-	if count != t.count {
-		return fmt.Errorf("storage: btree count %d != iterated %d", t.count, count)
+	if int64(count) != t.count.Load() {
+		return fmt.Errorf("storage: btree count %d != iterated %d", t.count.Load(), count)
 	}
 	return nil
 }

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"onlinetuner/internal/catalog"
+)
+
+// This file implements online (background) index creation, the real
+// mechanism behind the paper's Section 3.3 asynchronous-build
+// refinement. The protocol is the classic snapshot-plus-side-log online
+// build:
+//
+//  1. StartBuild atomically (under the manager lock) registers the index
+//     in StateBuilding, reserves its estimated size against the budget,
+//     and snapshots the table's live rows. From this instant every DML
+//     statement appends the index's key changes to a side delta log
+//     instead of touching a tree.
+//  2. Build.Run constructs the B+-tree from the snapshot with NO locks
+//     held — the query-serving path keeps running. Run honors context
+//     cancellation so the tuner can abort a build whose benefit updates
+//     have eroded (the paper's abort rule).
+//  3. FinishBuild replays the delta log into the new tree and publishes
+//     it atomically: one state transition under the manager lock flips
+//     the index to StateActive with a tree that reflects every committed
+//     row.
+//
+// Because the snapshot and the start of delta logging happen under one
+// critical section, every row change is captured exactly once: either in
+// the snapshot or in the log, never both and never neither.
+
+// deltaOp is one logged index-key change captured while building.
+type deltaOp struct {
+	del bool
+	e   Entry
+}
+
+// buildDelta is the side log of DML changes missed by an in-flight
+// build. Guarded by the manager lock (DML paths already hold it).
+type buildDelta struct {
+	ops []deltaOp
+}
+
+func (d *buildDelta) log(del bool, e Entry) {
+	d.ops = append(d.ops, deltaOp{del: del, e: e})
+}
+
+// Build is the handle for one background index build, returned by
+// StartBuild. Exactly one goroutine may call Run; Finish/Abort are then
+// called by the coordinating tuner.
+type Build struct {
+	m     *Manager
+	pi    *PhysicalIndex
+	ix    *catalog.Index
+	snap  []HeapRow
+	tree  *BTree
+	stats BuildStats
+}
+
+// Def returns the definition of the index being built.
+func (b *Build) Def() *catalog.Index { return b.ix }
+
+// SnapshotRows returns how many rows the build snapshot captured.
+func (b *Build) SnapshotRows() int { return len(b.snap) }
+
+// StartBuild begins an online build of a secondary index: it registers
+// the index in StateBuilding, starts delta logging, and captures the row
+// snapshot, all in one critical section. The returned handle's Run must
+// be called (typically on a background goroutine) before FinishBuild.
+func (m *Manager) StartBuild(ix *catalog.Index) (*Build, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.indexes[ix.ID()]; dup {
+		return nil, fmt.Errorf("storage: index %s already materialized", ix.Name)
+	}
+	ts := m.tables[strings.ToLower(ix.Table)]
+	if ts == nil {
+		return nil, fmt.Errorf("storage: table %s not materialized", ix.Table)
+	}
+	est := int64(ts.def.ColumnsWidth(ix.Columns)+8) * int64(ts.heap.Len())
+	if m.budget > 0 && m.usedLocked()+est > m.budget {
+		return nil, &ErrBudget{Index: ix.Name, Need: est, Free: m.budget - m.usedLocked()}
+	}
+
+	stats := BuildStats{Rows: int64(ts.heap.Len())}
+	if source := m.sortAvoidingSourceLocked(ix); source != nil {
+		stats.SourceIndex = source.Def.Name
+		stats.SourcePages = source.Pages()
+		if source.Def.Primary {
+			stats.SourcePages = ts.heap.Pages()
+		}
+	} else {
+		stats.SourcePages = ts.heap.Pages()
+		stats.Sorted = true
+	}
+
+	pi := &PhysicalIndex{Def: ix}
+	pi.colOrds = ordinalsFor(ts.def, ix)
+	pi.estBytes.Store(est)
+	pi.building = &buildDelta{}
+	pi.setState(StateBuilding)
+	b := &Build{m: m, pi: pi, ix: ix, snap: ts.heap.Snapshot(), stats: stats}
+	m.indexes[ix.ID()] = pi
+	return b, nil
+}
+
+// Run constructs the B+-tree from the snapshot. It holds no locks —
+// queries and DML proceed concurrently — and checks ctx periodically so
+// an eroded build can be cancelled mid-flight.
+func (b *Build) Run(ctx context.Context) error {
+	const cancelCheckEvery = 256
+	tree := NewBTree()
+	for i, hr := range b.snap {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := tree.Insert(Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID}); err != nil {
+			return err
+		}
+	}
+	b.tree = tree
+	b.snap = nil
+	return nil
+}
+
+// FinishBuild replays the DML delta accumulated during the build into
+// the freshly built tree and atomically publishes the index as active.
+// It must be called after Run returned nil.
+func (m *Manager) FinishBuild(b *Build) (*BuildStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.indexes[b.ix.ID()] != b.pi {
+		return nil, fmt.Errorf("storage: build of %s was aborted or superseded", b.ix.Name)
+	}
+	if b.tree == nil {
+		return nil, fmt.Errorf("storage: build of %s has not run", b.ix.Name)
+	}
+	for _, op := range b.pi.building.ops {
+		if op.del {
+			if !b.tree.Delete(op.e) {
+				return nil, fmt.Errorf("storage: build of %s: delta delete missed rid %d", b.ix.Name, op.e.RID)
+			}
+		} else {
+			if err := b.tree.Insert(op.e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.pi.building = nil
+	b.pi.tree.Store(b.tree)
+	b.pi.estBytes.Store(0)
+	b.pi.setState(StateActive)
+	b.stats.NewPages = b.pi.Pages()
+	stats := b.stats
+	return &stats, nil
+}
+
+// AbortBuild discards an in-flight build: the building index entry and
+// its delta log are dropped, releasing the budget reservation. Safe to
+// call whether or not Run has completed or was cancelled.
+func (m *Manager) AbortBuild(b *Build) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.indexes[b.ix.ID()] == b.pi {
+		delete(m.indexes, b.ix.ID())
+	}
+}

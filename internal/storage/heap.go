@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"onlinetuner/internal/datum"
 )
@@ -31,29 +33,41 @@ func PagesFor(bytes int64) int64 {
 // Heap is a table's row store. Rows are addressed by stable RIDs; deleted
 // slots are tombstoned and recycled. A heap scan visits rows in RID
 // order, which approximates physical order.
+//
+// Concurrency: the heap is internally synchronized. Mutations take the
+// write lock; Get and Scan take the read lock, so readers see a
+// consistent snapshot for the duration of one call. Len/Bytes/Pages are
+// atomic counters readable without any lock — the tuner samples sizes of
+// tables it holds no statement lock on, and an approximate value is fine
+// there. Rows handed out are shared, never mutated in place: Update
+// replaces the whole row, so a reference obtained under the read lock
+// stays valid (copy-on-write at row granularity).
 type Heap struct {
+	mu    sync.RWMutex
 	rows  []datum.Row // nil slots are tombstones
 	free  []RID
-	count int
-	bytes int64
+	count atomic.Int64
+	bytes atomic.Int64
 }
 
 // NewHeap returns an empty heap.
 func NewHeap() *Heap { return &Heap{} }
 
 // Len returns the number of live rows.
-func (h *Heap) Len() int { return h.count }
+func (h *Heap) Len() int { return int(h.count.Load()) }
 
 // Bytes returns the accounted live payload bytes.
-func (h *Heap) Bytes() int64 { return h.bytes }
+func (h *Heap) Bytes() int64 { return h.bytes.Load() }
 
 // Pages returns the accounted page count.
-func (h *Heap) Pages() int64 { return PagesFor(h.bytes) }
+func (h *Heap) Pages() int64 { return PagesFor(h.bytes.Load()) }
 
 // Insert stores a row and returns its RID.
 func (h *Heap) Insert(r datum.Row) RID {
-	h.count++
-	h.bytes += int64(r.Width()) + RowOverhead
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count.Add(1)
+	h.bytes.Add(int64(r.Width()) + RowOverhead)
 	if n := len(h.free); n > 0 {
 		rid := h.free[n-1]
 		h.free = h.free[:n-1]
@@ -66,6 +80,12 @@ func (h *Heap) Insert(r datum.Row) RID {
 
 // Get returns the row at rid, or nil if deleted/out of range.
 func (h *Heap) Get(rid RID) datum.Row {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.getLocked(rid)
+}
+
+func (h *Heap) getLocked(rid RID) datum.Row {
 	if rid < 0 || int(rid) >= len(h.rows) {
 		return nil
 	}
@@ -75,12 +95,14 @@ func (h *Heap) Get(rid RID) datum.Row {
 // Delete removes the row at rid. It returns an error if no live row is
 // there.
 func (h *Heap) Delete(rid RID) error {
-	r := h.Get(rid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.getLocked(rid)
 	if r == nil {
 		return fmt.Errorf("storage: delete of missing rid %d", rid)
 	}
-	h.bytes -= int64(r.Width()) + RowOverhead
-	h.count--
+	h.bytes.Add(-(int64(r.Width()) + RowOverhead))
+	h.count.Add(-1)
 	h.rows[rid] = nil
 	h.free = append(h.free, rid)
 	return nil
@@ -88,18 +110,24 @@ func (h *Heap) Delete(rid RID) error {
 
 // Update replaces the row at rid, returning the old row.
 func (h *Heap) Update(rid RID, r datum.Row) (datum.Row, error) {
-	old := h.Get(rid)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.getLocked(rid)
 	if old == nil {
 		return nil, fmt.Errorf("storage: update of missing rid %d", rid)
 	}
-	h.bytes += int64(r.Width()) - int64(old.Width())
+	h.bytes.Add(int64(r.Width()) - int64(old.Width()))
 	h.rows[rid] = r
 	return old, nil
 }
 
 // Scan calls fn for every live row in RID order; fn returning false stops
-// the scan.
+// the scan. The read lock is held for the whole scan, so fn must not
+// mutate this heap (collect first, then mutate — as the executor's DML
+// operators do).
 func (h *Heap) Scan(fn func(rid RID, r datum.Row) bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	for i, r := range h.rows {
 		if r == nil {
 			continue
@@ -108,4 +136,27 @@ func (h *Heap) Scan(fn func(rid RID, r datum.Row) bool) {
 			return
 		}
 	}
+}
+
+// Snapshot returns a point-in-time copy of the live (rid, row) pairs.
+// Rows are shared references (safe: rows are immutable once stored); the
+// slice itself is private to the caller. Background index builders use
+// this to read the table once and then work entirely off the hot path.
+func (h *Heap) Snapshot() []HeapRow {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]HeapRow, 0, h.count.Load())
+	for i, r := range h.rows {
+		if r == nil {
+			continue
+		}
+		out = append(out, HeapRow{RID: RID(i), Row: r})
+	}
+	return out
+}
+
+// HeapRow is one live heap row with its RID, as captured by Snapshot.
+type HeapRow struct {
+	RID RID
+	Row datum.Row
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
@@ -35,35 +36,57 @@ func (s IndexState) String() string {
 }
 
 // PhysicalIndex couples an index definition with its B+-tree structure.
+//
+// Concurrency: State and PendingOps are atomically readable from any
+// goroutine (the optimizer and tuner poll them without holding the
+// manager lock). Tree is guarded by the manager lock for maintenance and
+// by the engine's per-table statement locks for query reads; while an
+// index is building, Tree is the builder's private structure and DML
+// changes are captured in a delta log instead.
 type PhysicalIndex struct {
-	Def   *catalog.Index
-	Tree  *BTree
-	State IndexState
+	Def *catalog.Index
+
+	tree  atomic.Pointer[BTree]
+	state atomic.Int32
+	// estBytes is the accounted size reservation while building (the
+	// budget must cover the index before the real structure exists).
+	estBytes atomic.Int64
 	// pendingOps counts row changes missed while suspended; Restart
 	// replays them and its cost is proportional to this count.
-	pendingOps int64
+	pendingOps atomic.Int64
 	// colOrds caches the table-ordinal of each index column.
 	colOrds []int
+	// building logs DML deltas while a background build is in flight;
+	// nil otherwise. Guarded by the manager lock.
+	building *buildDelta
 }
+
+// State returns the index lifecycle state.
+func (pi *PhysicalIndex) State() IndexState { return IndexState(pi.state.Load()) }
+
+func (pi *PhysicalIndex) setState(s IndexState) { pi.state.Store(int32(s)) }
+
+// Tree returns the index structure, or nil while a background build is
+// still assembling it.
+func (pi *PhysicalIndex) Tree() *BTree { return pi.tree.Load() }
 
 // Pages returns the accounted page count of the index structure.
 func (pi *PhysicalIndex) Pages() int64 {
-	if pi.Tree == nil {
-		return 0
-	}
-	return PagesFor(pi.Tree.KeyBytes())
+	return PagesFor(pi.Bytes())
 }
 
-// Bytes returns the accounted byte size of the index structure.
+// Bytes returns the accounted byte size of the index structure: the
+// estimated reservation while building, the real key bytes otherwise.
 func (pi *PhysicalIndex) Bytes() int64 {
-	if pi.Tree == nil {
-		return 0
+	t := pi.tree.Load()
+	if t == nil {
+		return pi.estBytes.Load()
 	}
-	return pi.Tree.KeyBytes()
+	return t.KeyBytes()
 }
 
 // PendingOps returns the number of changes missed while suspended.
-func (pi *PhysicalIndex) PendingOps() int64 { return pi.pendingOps }
+func (pi *PhysicalIndex) PendingOps() int64 { return pi.pendingOps.Load() }
 
 // tableStore couples a heap with its catalog definition.
 type tableStore struct {
@@ -164,7 +187,9 @@ func (m *Manager) CreateTable(name string) error {
 	if pk == nil {
 		return fmt.Errorf("storage: table %s has no primary index", name)
 	}
-	pi := &PhysicalIndex{Def: pk, Tree: NewBTree(), State: StateActive}
+	pi := &PhysicalIndex{Def: pk}
+	pi.tree.Store(NewBTree())
+	pi.setState(StateActive)
 	pi.colOrds = ordinalsFor(t, pk)
 	m.indexes[pk.ID()] = pi
 	return nil
@@ -249,11 +274,13 @@ func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
 		}
-		switch pi.State {
+		switch pi.State() {
 		case StateSuspended:
-			pi.pendingOps++
-		case StateActive, StateBuilding:
-			if err := pi.Tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+			pi.pendingOps.Add(1)
+		case StateBuilding:
+			pi.building.log(false, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
+		case StateActive:
+			if err := pi.Tree().Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
 				return 0, 0, err
 			}
 			touched++
@@ -279,11 +306,13 @@ func (m *Manager) Delete(table string, rid RID) (int, error) {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
 		}
-		switch pi.State {
+		switch pi.State() {
 		case StateSuspended:
-			pi.pendingOps++
-		case StateActive, StateBuilding:
-			if !pi.Tree.Delete(Entry{Key: keyFor(pi.colOrds, row), RID: rid}) {
+			pi.pendingOps.Add(1)
+		case StateBuilding:
+			pi.building.log(true, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
+		case StateActive:
+			if !pi.Tree().Delete(Entry{Key: keyFor(pi.colOrds, row), RID: rid}) {
 				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
 			}
 			touched++
@@ -313,19 +342,27 @@ func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
 		}
-		switch pi.State {
+		switch pi.State() {
 		case StateSuspended:
-			pi.pendingOps++
-		case StateActive, StateBuilding:
+			pi.pendingOps.Add(1)
+		case StateBuilding:
 			oldKey := keyFor(pi.colOrds, old)
 			newKey := keyFor(pi.colOrds, newRow)
 			if oldKey.Compare(newKey) == 0 {
 				continue
 			}
-			if !pi.Tree.Delete(Entry{Key: oldKey, RID: rid}) {
+			pi.building.log(true, Entry{Key: oldKey, RID: rid})
+			pi.building.log(false, Entry{Key: newKey, RID: rid})
+		case StateActive:
+			oldKey := keyFor(pi.colOrds, old)
+			newKey := keyFor(pi.colOrds, newRow)
+			if oldKey.Compare(newKey) == 0 {
+				continue
+			}
+			if !pi.Tree().Delete(Entry{Key: oldKey, RID: rid}) {
 				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
 			}
-			if err := pi.Tree.Insert(Entry{Key: newKey, RID: rid}); err != nil {
+			if err := pi.Tree().Insert(Entry{Key: newKey, RID: rid}); err != nil {
 				return 0, err
 			}
 			touched++
@@ -387,11 +424,12 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 		stats.Sorted = true
 	}
 
-	pi := &PhysicalIndex{Def: ix, Tree: NewBTree(), State: StateActive}
+	pi := &PhysicalIndex{Def: ix}
 	pi.colOrds = ordinalsFor(ts.def, ix)
+	tree := NewBTree()
 	var buildErr error
 	ts.heap.Scan(func(rid RID, row datum.Row) bool {
-		if err := pi.Tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+		if err := tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
 			buildErr = err
 			return false
 		}
@@ -400,6 +438,8 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	pi.tree.Store(tree)
+	pi.setState(StateActive)
 	stats.NewPages = pi.Pages()
 	m.indexes[ix.ID()] = pi
 	return stats, nil
@@ -409,7 +449,7 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 // are exactly ix's column sequence, making a sort unnecessary, or nil.
 func (m *Manager) sortAvoidingSourceLocked(ix *catalog.Index) *PhysicalIndex {
 	for _, pi := range m.indexes {
-		if !strings.EqualFold(pi.Def.Table, ix.Table) || pi.State != StateActive {
+		if !strings.EqualFold(pi.Def.Table, ix.Table) || pi.State() != StateActive {
 			continue
 		}
 		if ix.IsPrefixOf(pi.Def) {
@@ -447,11 +487,11 @@ func (m *Manager) SuspendIndex(id string) error {
 	if pi.Def.Primary {
 		return fmt.Errorf("storage: cannot suspend primary index %s", pi.Def.Name)
 	}
-	if pi.State != StateActive {
-		return fmt.Errorf("storage: index %s is %s, not active", pi.Def.Name, pi.State)
+	if pi.State() != StateActive {
+		return fmt.Errorf("storage: index %s is %s, not active", pi.Def.Name, pi.State())
 	}
-	pi.State = StateSuspended
-	pi.pendingOps = 0
+	pi.setState(StateSuspended)
+	pi.pendingOps.Store(0)
 	return nil
 }
 
@@ -468,8 +508,8 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	if pi == nil {
 		return 0, fmt.Errorf("storage: index %s not materialized", id)
 	}
-	if pi.State != StateSuspended {
-		return 0, fmt.Errorf("storage: index %s is %s, not suspended", pi.Def.Name, pi.State)
+	if pi.State() != StateSuspended {
+		return 0, fmt.Errorf("storage: index %s is %s, not suspended", pi.Def.Name, pi.State())
 	}
 	ts := m.tables[strings.ToLower(pi.Def.Table)]
 	tree := NewBTree()
@@ -484,10 +524,10 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ops := pi.pendingOps
-	pi.Tree = tree
-	pi.State = StateActive
-	pi.pendingOps = 0
+	ops := pi.pendingOps.Load()
+	pi.tree.Store(tree)
+	pi.setState(StateActive)
+	pi.pendingOps.Store(0)
 	return ops, nil
 }
 

@@ -110,12 +110,12 @@ func TestManagerInsertMaintainsIndexes(t *testing.T) {
 		}
 	}
 	pi := m.Index(ix.ID())
-	if pi == nil || pi.Tree.Len() != 100 {
+	if pi == nil || pi.Tree().Len() != 100 {
 		t.Fatal("secondary index not maintained")
 	}
 	// Seek a=5 via secondary.
 	count := 0
-	for it := pi.Tree.Seek(datum.Row{datum.NewInt(5)}, true, datum.Row{datum.NewInt(5)}, true); it.Valid(); it.Next() {
+	for it := pi.Tree().Seek(datum.Row{datum.NewInt(5)}, true, datum.Row{datum.NewInt(5)}, true); it.Valid(); it.Next() {
 		count++
 	}
 	if count != 10 {
@@ -144,8 +144,8 @@ func TestManagerDeleteUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	pi := m.Index(ix.ID())
-	if pi.Tree.Len() != 49 {
-		t.Errorf("index len = %d, want 49", pi.Tree.Len())
+	if pi.Tree().Len() != 49 {
+		t.Errorf("index len = %d, want 49", pi.Tree().Len())
 	}
 	// Update that changes the secondary key: both the clustered primary
 	// (whose leaf holds the full row) and the secondary are rewritten.
@@ -154,7 +154,7 @@ func TestManagerDeleteUpdate(t *testing.T) {
 	} else if touched != 2 {
 		t.Errorf("touched = %d, want 2", touched)
 	}
-	it := pi.Tree.Seek(datum.Row{datum.NewInt(999)}, true, datum.Row{datum.NewInt(999)}, true)
+	it := pi.Tree().Seek(datum.Row{datum.NewInt(999)}, true, datum.Row{datum.NewInt(999)}, true)
 	if !it.Valid() {
 		t.Error("updated key not found in index")
 	}
@@ -286,7 +286,7 @@ func TestSuspendRestart(t *testing.T) {
 		}
 	}
 	pi := m.Index(ix.ID())
-	if pi.Tree.Len() != 20 {
+	if pi.Tree().Len() != 20 {
 		t.Error("suspended index was maintained")
 	}
 	if pi.PendingOps() != 10 {
@@ -299,7 +299,7 @@ func TestSuspendRestart(t *testing.T) {
 	if ops != 10 {
 		t.Errorf("restart ops = %d, want 10", ops)
 	}
-	if pi.Tree.Len() != 30 || pi.State != StateActive {
+	if pi.Tree().Len() != 30 || pi.State() != StateActive {
 		t.Error("restart did not rebuild the index")
 	}
 	if _, err := m.RestartIndex(ix.ID()); err == nil {

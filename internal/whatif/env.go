@@ -78,7 +78,7 @@ func (e *Env) Available(ix *catalog.Index) bool {
 		return true
 	}
 	pi := e.Mgr.Index(ix.ID())
-	return pi != nil && pi.State == storage.StateActive
+	return pi != nil && pi.State() == storage.StateActive
 }
 
 // SelectivityEq estimates the fraction of rows where column = a constant;
@@ -312,7 +312,7 @@ func BuildCost(e *Env, ix *catalog.Index) float64 {
 	for _, pi := range e.Mgr.TableIndexes(ix.Table) {
 		// The index itself is never its own build source: B_I^s is the
 		// cost of creating I as if it were absent from s.
-		if pi.State != storage.StateActive || pi.Def.ID() == ix.ID() {
+		if pi.State() != storage.StateActive || pi.Def.ID() == ix.ID() {
 			continue
 		}
 		if ix.IsPrefixOf(pi.Def) {

@@ -270,11 +270,11 @@ func GetBestIndex(cat *catalog.Catalog, r *Request) *catalog.Index {
 	if len(cols) == 0 {
 		return nil
 	}
-	ix := &catalog.Index{
+	ix := (&catalog.Index{
 		Name:    fmt.Sprintf("auto_%s_%s", r.Table, strings.Join(cols, "_")),
 		Table:   r.Table,
 		Columns: cols,
-	}
+	}).Canonicalize()
 	// The clustered primary index is never a "new" best index: if the
 	// construction reproduces it, the request is best served by what
 	// already exists.
