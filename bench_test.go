@@ -21,6 +21,7 @@ import (
 	"onlinetuner/internal/core"
 	"onlinetuner/internal/core/singleindex"
 	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
 	"onlinetuner/internal/whatif"
 	"onlinetuner/internal/workload"
 )
@@ -220,6 +221,123 @@ func BenchmarkGetCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = whatif.GetCost(env, req, config)
 	}
+}
+
+// --- plan-cache hot-path benchmarks ---------------------------------
+
+// hotPathDB loads the TPC-H database the BenchmarkHotPath* family runs
+// on, with the plan cache in the requested mode and no tuner attached
+// (the cache's effect is isolated from index builds).
+func hotPathDB(b *testing.B, mode engine.CacheMode) (*engine.DB, *tpch.Generator) {
+	b.Helper()
+	db := engine.Open()
+	gen := tpch.NewGenerator(0.2, 7)
+	if err := gen.Load(db); err != nil {
+		b.Fatal(err)
+	}
+	db.SetPlanCacheMode(mode)
+	return db, gen
+}
+
+// runHotPath replays stmts round-robin, one statement per op, after one
+// warm-up pass that populates the caches. It reports the plan-cache hit
+// fraction over the timed statements.
+func runHotPath(b *testing.B, db *engine.DB, stmts []string) {
+	for _, q := range stmts {
+		if _, _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	before := db.PlanCacheStats()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Exec(stmts[i%len(stmts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := db.PlanCacheStats()
+	hits := float64(s.Hits - before.Hits + s.RebindHits - before.RebindHits)
+	if n := hits + float64(s.Misses-before.Misses); n > 0 {
+		b.ReportMetric(hits/n, "hit_rate")
+	}
+}
+
+// BenchmarkHotPathUncached replays one fixed-parameter TPC-H batch with
+// the plan cache off — the baseline the cached variants are measured
+// against.
+func BenchmarkHotPathUncached(b *testing.B) {
+	db, gen := hotPathDB(b, engine.CacheOff)
+	runHotPath(b, db, gen.Batch())
+}
+
+// BenchmarkHotPathCached replays the same fixed-parameter batch with
+// the default exact-match cache: every timed statement is a statement-
+// cache and plan-cache hit.
+func BenchmarkHotPathCached(b *testing.B) {
+	db, gen := hotPathDB(b, engine.CacheExact)
+	runHotPath(b, db, gen.Batch())
+}
+
+// BenchmarkHotPathVaryingUncached replays many TPC-H batches with fresh
+// query parameters per batch, cache off.
+func BenchmarkHotPathVaryingUncached(b *testing.B) {
+	db, gen := hotPathDB(b, engine.CacheOff)
+	var stmts []string
+	for _, batch := range gen.Batches(16) {
+		stmts = append(stmts, batch...)
+	}
+	runHotPath(b, db, stmts)
+}
+
+// BenchmarkHotPathVaryingRebind replays the same varying-parameter
+// batches in rebind mode: texts differ per batch, so statements are
+// parsed fresh, but generic plans are reused with the new literals.
+func BenchmarkHotPathVaryingRebind(b *testing.B) {
+	db, gen := hotPathDB(b, engine.CacheRebind)
+	var stmts []string
+	for _, batch := range gen.Batches(16) {
+		stmts = append(stmts, batch...)
+	}
+	runHotPath(b, db, stmts)
+}
+
+// seekStmts is a repeated-template point-lookup workload over the TPC-H
+// schema: per-statement work is one primary-key seek, so planning
+// overhead — what the cache removes — dominates each op. distinct
+// controls how many parameterizations cycle (1 = one exact text).
+func seekStmts(distinct int) []string {
+	out := make([]string, distinct)
+	for i := range out {
+		out[i] = fmt.Sprintf(
+			"SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_orderkey = %d AND l_linenumber = 1",
+			1+i*7)
+	}
+	return out
+}
+
+// BenchmarkHotPathSeekUncached is the planning-dominated baseline: the
+// same point lookup optimized from scratch on every arrival.
+func BenchmarkHotPathSeekUncached(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheOff)
+	runHotPath(b, db, seekStmts(1))
+}
+
+// BenchmarkHotPathSeekCached is the same statement through the exact
+// cache: parser, fingerprinter and optimizer are all skipped.
+func BenchmarkHotPathSeekCached(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheExact)
+	runHotPath(b, db, seekStmts(1))
+}
+
+// BenchmarkHotPathSeekRebind cycles many parameterizations of the
+// template in rebind mode: each text is an exact hit in the statement
+// tier after warm-up, and the plan tier serves every literal from the
+// one cached generic plan.
+func BenchmarkHotPathSeekRebind(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheRebind)
+	runHotPath(b, db, seekStmts(97))
 }
 
 // BenchmarkOnlineSI measures the constant-time single-index observer.

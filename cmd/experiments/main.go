@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [flags] table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|all
+//	experiments [flags] table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|plancache|all
+//
+// plancache benchmarks the engine's statement/plan cache on
+// repeated-template TPC-H workloads and, with -out FILE, writes the
+// report as JSON (the recorded BENCH_plancache.json).
 //
 // Flags scale the TPC-H workload (the defaults reproduce the shapes at
 // laptop scale in minutes):
@@ -31,6 +35,7 @@ func main() {
 	batches := flag.Int("batches", 60, "number of TPC-H batches")
 	seed := flag.Int64("seed", 1, "workload seed")
 	updates := flag.Int("updates", 40, "disruptive update statements (fig7c/fig7d)")
+	out := flag.String("out", "", "plancache: also write the benchmark report as JSON to this file")
 	flag.Parse()
 
 	opts := workload.TPCHOptions{
@@ -44,6 +49,13 @@ func main() {
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
+	}
+	if cmd == "plancache" {
+		if err := planCache(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(cmd, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -90,7 +102,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|all)", cmd)
 }
 
 func table1() error {
@@ -164,6 +176,28 @@ func ablation(opts workload.TPCHOptions) error {
 		return err
 	}
 	fmt.Print(bench.FormatAblation(rows))
+	return nil
+}
+
+// planCache runs the plan-cache hot-path benchmark matrix. It is not
+// part of "all": it reports machine-dependent timings, while "all"
+// regenerates the paper's deterministic artifacts.
+func planCache(opts workload.TPCHOptions, out string) error {
+	rep, err := bench.PlanCache(opts.Scale, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPlanCache(rep))
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 	return nil
 }
 

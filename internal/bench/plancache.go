@@ -1,0 +1,178 @@
+// Plan-cache hot-path benchmark: measures the per-statement cost of the
+// engine's two-tier statement cache (fingerprint + plan reuse) against
+// the uncached baseline, on repeated-template TPC-H workloads. This is
+// the Section 4.4 overhead story from the caching side: what fraction
+// of per-statement work the cache removes.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+// PlanCacheBench is one measured configuration.
+type PlanCacheBench struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Workload    string  `json:"workload"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// PlanCacheReport is the full before/after comparison, serialized to
+// BENCH_plancache.json by cmd/experiments.
+type PlanCacheReport struct {
+	Scale   float64          `json:"scale"`
+	Seed    int64            `json:"seed"`
+	Results []PlanCacheBench `json:"results"`
+	// SeekSpeedup and SeekAllocRatio compare the planning-dominated
+	// point-lookup workload cached (exact) vs uncached — the headline
+	// hot-path numbers.
+	SeekSpeedup    float64 `json:"seek_speedup"`
+	SeekAllocRatio float64 `json:"seek_alloc_ratio"`
+	// BatchSpeedup compares a fixed-parameter TPC-H batch cached vs
+	// uncached (execution-dominated, so gains are smaller).
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+func modeName(m engine.CacheMode) string {
+	switch m {
+	case engine.CacheOff:
+		return "off"
+	case engine.CacheExact:
+		return "exact"
+	case engine.CacheRebind:
+		return "rebind"
+	}
+	return "unknown"
+}
+
+// planCacheSeekStmts builds the repeated-template point-lookup workload
+// (distinct parameterizations of one primary-key seek template).
+func planCacheSeekStmts(distinct int) []string {
+	out := make([]string, distinct)
+	for i := range out {
+		out[i] = fmt.Sprintf(
+			"SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_orderkey = %d AND l_linenumber = 1",
+			1+i*7)
+	}
+	return out
+}
+
+// measurePlanCache loads a TPC-H database in the given cache mode and
+// benchmarks replaying stmts round-robin (one statement per op), after
+// one warm-up pass.
+func measurePlanCache(scale tpch.Scale, seed int64, mode engine.CacheMode, stmts []string) (PlanCacheBench, error) {
+	db := engine.Open()
+	gen := tpch.NewGenerator(scale, seed)
+	if err := gen.Load(db); err != nil {
+		return PlanCacheBench{}, err
+	}
+	db.SetPlanCacheMode(mode)
+	for _, q := range stmts {
+		if _, _, err := db.Exec(q); err != nil {
+			return PlanCacheBench{}, fmt.Errorf("warm-up %q: %w", q, err)
+		}
+	}
+	var execErr error
+	var hitRate float64
+	r := testing.Benchmark(func(b *testing.B) {
+		before := db.PlanCacheStats()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec(stmts[i%len(stmts)]); err != nil {
+				execErr = err
+				b.FailNow()
+			}
+		}
+		b.StopTimer()
+		s := db.PlanCacheStats()
+		hits := float64(s.Hits - before.Hits + s.RebindHits - before.RebindHits)
+		if n := hits + float64(s.Misses-before.Misses); n > 0 {
+			hitRate = hits / n
+		}
+	})
+	if execErr != nil {
+		return PlanCacheBench{}, execErr
+	}
+	return PlanCacheBench{
+		Mode:        modeName(mode),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		HitRate:     hitRate,
+	}, nil
+}
+
+// PlanCache runs the full hot-path comparison matrix.
+func PlanCache(scale tpch.Scale, seed int64) (*PlanCacheReport, error) {
+	gen := tpch.NewGenerator(scale, seed)
+	fixedBatch := gen.Batch()
+	var varying []string
+	for _, b := range gen.Batches(16) {
+		varying = append(varying, b...)
+	}
+
+	runs := []struct {
+		name     string
+		workload string
+		mode     engine.CacheMode
+		stmts    []string
+	}{
+		{"seek/uncached", "point lookups, 1 text", engine.CacheOff, planCacheSeekStmts(1)},
+		{"seek/cached", "point lookups, 1 text", engine.CacheExact, planCacheSeekStmts(1)},
+		{"seek/rebind", "point lookups, 97 texts", engine.CacheRebind, planCacheSeekStmts(97)},
+		{"batch/uncached", "TPC-H batch, fixed params", engine.CacheOff, fixedBatch},
+		{"batch/cached", "TPC-H batch, fixed params", engine.CacheExact, fixedBatch},
+		{"varying/uncached", "TPC-H 16 batches, fresh params", engine.CacheOff, varying},
+		{"varying/rebind", "TPC-H 16 batches, fresh params", engine.CacheRebind, varying},
+	}
+
+	rep := &PlanCacheReport{Scale: float64(scale), Seed: seed}
+	byName := make(map[string]PlanCacheBench)
+	for _, r := range runs {
+		m, err := measurePlanCache(scale, seed, r.mode, r.stmts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		m.Name = r.name
+		m.Workload = r.workload
+		rep.Results = append(rep.Results, m)
+		byName[r.name] = m
+	}
+	if u, c := byName["seek/uncached"], byName["seek/cached"]; c.NsPerOp > 0 && c.AllocsPerOp > 0 {
+		rep.SeekSpeedup = u.NsPerOp / c.NsPerOp
+		rep.SeekAllocRatio = float64(u.AllocsPerOp) / float64(c.AllocsPerOp)
+	}
+	if u, c := byName["batch/uncached"], byName["batch/cached"]; c.NsPerOp > 0 {
+		rep.BatchSpeedup = u.NsPerOp / c.NsPerOp
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_plancache.json.
+func (r *PlanCacheReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatPlanCache renders the report as a text table.
+func FormatPlanCache(r *PlanCacheReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Plan-cache hot path (TPC-H scale %.2g, seed %d)\n", r.Scale, r.Seed)
+	fmt.Fprintf(&sb, "%-18s %-8s %12s %10s %12s %9s\n",
+		"benchmark", "mode", "ns/op", "allocs/op", "bytes/op", "hit rate")
+	for _, b := range r.Results {
+		fmt.Fprintf(&sb, "%-18s %-8s %12.0f %10d %12d %9.3f\n",
+			b.Name, b.Mode, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, b.HitRate)
+	}
+	fmt.Fprintf(&sb, "seek: %.2fx faster, %.2fx fewer allocations; fixed batch: %.2fx faster\n",
+		r.SeekSpeedup, r.SeekAllocRatio, r.BatchSpeedup)
+	return sb.String()
+}

@@ -193,7 +193,11 @@ type Tuner struct {
 	// buildCostCache memoizes B_I^s per index while the table size and
 	// configuration are unchanged.
 	buildCostCache map[string]buildCostEntry
-	configVersion  int64
+
+	// memo caches what-if cost evaluations across the repeated
+	// GetCost/ImplCost calls of lines 2–8, keyed so a hit is exactly the
+	// value a fresh computation would produce. Used only under t.mu.
+	memo *whatif.Memo
 }
 
 type buildCostEntry struct {
@@ -218,6 +222,7 @@ func NewTuner(db *engine.DB, opts Options) *Tuner {
 		tracked:        make(map[string]*IndexStats),
 		inConfig:       make(map[string]bool),
 		buildCostCache: make(map[string]buildCostEntry),
+		memo:           whatif.NewMemo(db.WhatIfEnv()),
 	}
 }
 
@@ -240,6 +245,13 @@ func (t *Tuner) Metrics() Metrics {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.metrics
+}
+
+// MemoStats returns the what-if cost memo's hit/miss counters.
+func (t *Tuner) MemoStats() whatif.MemoStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.memo.Stats()
 }
 
 // Stats returns the bookkeeping for an index ID, or nil.
@@ -310,6 +322,10 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 	t.queries++
 	t.metrics.Queries++
 	start := time.Now()
+	// One memo statement span: refresh the index-size snapshot, and keep
+	// (or drop) cost entries depending on whether the physical design or
+	// the statistics moved since the previous statement.
+	t.memo.BeginStatement(t.db.Mgr.ConfigVersion(), t.db.Stats.Epoch())
 
 	// Line 1: retrieve the AND/OR request tree captured at optimization.
 	l1 := time.Now()
@@ -334,7 +350,7 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 	// alternative of an OR group is implemented in the plan, so crediting
 	// every sibling would double-count the index's value.
 	for _, g := range requestGroups(tree) {
-		if r := attributionRequest(t.env, g); r != nil {
+		if r := attributionRequest(t.memo, g); r != nil {
 			t.noteUsed(r, config, shared[r], gained)
 		}
 	}
@@ -395,7 +411,7 @@ func requestGroups(tree *whatif.Node) [][]*whatif.Request {
 // attributionRequest picks the single request of an OR group that the
 // group's used configuration index serves best — the alternative the
 // plan actually implemented.
-func attributionRequest(env *whatif.Env, group []*whatif.Request) *whatif.Request {
+func attributionRequest(memo *whatif.Memo, group []*whatif.Request) *whatif.Request {
 	var usedID string
 	for _, r := range group {
 		if r.Kind != whatif.KindUpdate && r.CurrentIndexID != "" {
@@ -406,7 +422,7 @@ func attributionRequest(env *whatif.Env, group []*whatif.Request) *whatif.Reques
 	if usedID == "" {
 		return nil
 	}
-	usedIx := env.Cat.IndexByID(usedID)
+	usedIx := memo.Env().Cat.IndexByID(usedID)
 	if usedIx == nil {
 		return nil
 	}
@@ -416,7 +432,7 @@ func attributionRequest(env *whatif.Env, group []*whatif.Request) *whatif.Reques
 		if r.Kind == whatif.KindUpdate {
 			continue
 		}
-		c := whatif.ImplCost(env, r, usedIx)
+		c := memo.ImplCost(r, usedIx)
 		if best == nil || c < bestCost {
 			best, bestCost = r, c
 		}
@@ -459,8 +475,8 @@ func (t *Tuner) noteCandidate(r *whatif.Request, config []*catalog.Index, shared
 		st = NewIndexStats(best)
 		t.tracked[id] = st
 	}
-	o := whatif.GetCost(t.env, r, config)
-	n := whatif.GetCost(t.env, r, append(config, st.Ix))
+	o := t.memo.GetCost(r, config)
+	n := t.memo.GetCost(r, append(config, st.Ix))
 	if st.Add(UsageLevel(r), o, n, sharedOR) > 0 {
 		gained[id] = true
 	}
@@ -482,7 +498,7 @@ func (t *Tuner) noteUsed(r *whatif.Request, config []*catalog.Index, sharedOR bo
 		st = NewIndexStats(ix)
 		t.tracked[id] = st
 	}
-	o := whatif.GetCost(t.env, r, without(config, id))
+	o := t.memo.GetCost(r, without(config, id))
 	n := r.CurrentCost
 	// The optimizer chose this index for a read, so its value for the
 	// request is non-negative; a negative difference here is noise
@@ -540,7 +556,8 @@ func (t *Tuner) noteUpdate(r *whatif.Request) {
 func (t *Tuner) buildCostFor(ix *catalog.Index) float64 {
 	id := ix.ID()
 	rows := t.env.TableRows(ix.Table)
-	if e, ok := t.buildCostCache[id]; ok && e.rows == rows && e.version == t.configVersion {
+	version := t.env.Mgr.ConfigVersion()
+	if e, ok := t.buildCostCache[id]; ok && e.rows == rows && e.version == version {
 		return e.cost
 	}
 	full := whatif.BuildCost(t.env, ix)
@@ -550,13 +567,9 @@ func (t *Tuner) buildCostFor(ix *catalog.Index) float64 {
 			full = restart
 		}
 	}
-	t.buildCostCache[id] = buildCostEntry{rows: rows, version: t.configVersion, cost: full}
+	t.buildCostCache[id] = buildCostEntry{rows: rows, version: version, cost: full}
 	return full
 }
-
-// bumpConfigVersion invalidates cached build costs after any physical
-// change (sort-avoiding sources may have changed).
-func (t *Tuner) bumpConfigVersion() { t.configVersion++ }
 
 // dropBadIndexes implements line 9: drop (or suspend) every
 // configuration index whose residual went negative.
@@ -589,7 +602,6 @@ func (t *Tuner) removeIndex(st *IndexStats, reason string) {
 		}
 	}
 	delete(t.inConfig, id)
-	t.bumpConfigVersion()
 	beta := st.BetaFor()
 	st.OnDropped()
 	for oid, other := range t.tracked {
@@ -864,7 +876,6 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build
 		}
 	}
 	t.inConfig[id] = true
-	t.bumpConfigVersion()
 	st.OnCreated()
 	t.metrics.TransitionCost += buildCost
 	t.record(Event{Kind: kind, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})

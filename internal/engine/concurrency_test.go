@@ -217,6 +217,89 @@ func TestConcurrentDDLAndDML(t *testing.T) {
 	}
 }
 
+// TestConcurrentDDLChurnWithPlanCache hammers the plan cache's
+// invalidation path: readers replay a handful of query templates with
+// varying literals (exact hits, rebind hits and misses) while one
+// goroutine churns index DDL and Analyze on the read table — each bumps
+// an epoch the cached entries are keyed by — and another inserts into a
+// second table. acct's contents never change, so every count a reader
+// sees has exactly one correct value no matter which cached or fresh
+// plan produced it.
+func TestConcurrentDDLChurnWithPlanCache(t *testing.T) {
+	const (
+		acctRows = 200
+		readers  = 4
+		iters    = 150
+	)
+	db := newStressDB(t, acctRows, 50)
+	db.SetPlanCacheMode(engine.CacheRebind)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+2)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/6; i++ {
+			if _, _, err := db.Exec("CREATE INDEX acct_grp ON acct (grp, id)"); err != nil {
+				errs <- fmt.Errorf("create: %w", err)
+				return
+			}
+			if err := db.Analyze("acct"); err != nil {
+				errs <- fmt.Errorf("analyze: %w", err)
+				return
+			}
+			if _, _, err := db.Exec("DROP INDEX acct_grp"); err != nil {
+				errs <- fmt.Errorf("drop: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			id := 1000 + i
+			if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO evt (id, k, v) VALUES (%d, %d, %d)", id, id%50, id)); err != nil {
+				errs <- fmt.Errorf("insert: %w", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				grp := rng.Intn(10)
+				rs, err := db.Query(fmt.Sprintf("SELECT id FROM acct WHERE grp = %d", grp))
+				if err != nil {
+					errs <- fmt.Errorf("select: %w", err)
+					return
+				}
+				if len(rs.Rows) != acctRows/10 {
+					errs <- fmt.Errorf("grp %d: got %d rows, want %d", grp, len(rs.Rows), acctRows/10)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := db.PlanCacheStats()
+	if s.Hits+s.RebindHits == 0 {
+		t.Errorf("plan cache never hit under churn: %+v", s)
+	}
+	if s.Invalidations == 0 {
+		t.Errorf("DDL churn caused no invalidations: %+v", s)
+	}
+}
+
 // TestConcurrentAnalyze runs Analyze against a table under concurrent
 // DML: the shared statement lock must yield a mutually consistent column
 // sample (same length for every column).

@@ -60,6 +60,7 @@ type DB struct {
 	Exe   *executor.Executor
 
 	locks *tableLocks
+	pc    *planCache
 
 	obsMu    sync.RWMutex
 	observer Observer
@@ -79,6 +80,7 @@ func Open() *DB {
 		Opt:   optimizer.New(env),
 		Exe:   executor.New(cat, mgr),
 		locks: newTableLocks(),
+		pc:    newPlanCache(),
 	}
 }
 
@@ -95,26 +97,42 @@ func (db *DB) getObserver() Observer {
 	return db.observer
 }
 
-// Exec parses, plans and runs one statement.
+// Exec parses, plans and runs one statement. Repeated texts skip the
+// parser and fingerprinter through the statement-text cache tier: the
+// AST and fingerprint are immutable after construction, so they are
+// shared read-only across executions.
 func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
+	if e := db.pc.lookupStmt(text); e != nil {
+		return db.execStmtFP(text, e.stmt, e.fp)
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, nil, err
 	}
-	return db.ExecStmt(text, stmt)
+	var fp *sql.Fingerprint
+	if db.PlanCacheMode() != CacheOff && cacheable(stmt) {
+		f := sql.FingerprintOf(stmt)
+		fp = &f
+	}
+	db.pc.storeStmt(&stmtEntry{text: text, stmt: stmt, fp: fp})
+	return db.execStmtFP(text, stmt, fp)
 }
 
 // ExecStmt runs an already-parsed statement (callers that replay
 // workloads avoid re-parsing). It holds the statement's table locks for
 // the whole optimize→execute→observe span.
 func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
+	return db.execStmtFP(text, stmt, nil)
+}
+
+func (db *DB) execStmtFP(text string, stmt sql.Statement, fp *sql.Fingerprint) (*executor.ResultSet, *QueryInfo, error) {
 	reads, writes := db.lockTablesFor(stmt)
 	release := db.locks.acquire(reads, writes)
 	defer release()
-	return db.execLocked(text, stmt)
+	return db.execLocked(text, stmt, fp)
 }
 
-func (db *DB) execLocked(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
+func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint) (*executor.ResultSet, *QueryInfo, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return db.execCreateTable(s)
@@ -135,7 +153,10 @@ func (db *DB) execLocked(text string, stmt sql.Statement) (*executor.ResultSet, 
 	var res *optimizer.Result
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		res, err = db.Opt.Optimize(stmt)
+		// A retry after ErrStaleIndex revalidates naturally: the drop that
+		// invalidated the plan bumped the config version, so the cache
+		// probe misses and the statement is optimized fresh.
+		res, err = db.optimizeMaybeCached(stmt, &fp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -211,17 +232,47 @@ func (db *DB) execDropIndex(s *sql.DropIndex) (*executor.ResultSet, *QueryInfo, 
 
 // execExplain optimizes the wrapped statement and returns its rendered
 // plan as a single-column result set, without executing it. EXPLAIN is
-// not observed by the tuner: it does not represent workload.
+// not observed by the tuner: it does not represent workload. It goes
+// through the plan cache like an execution would, and its first output
+// row marks the plan's provenance (fresh / cached exact / cached
+// rebound).
 func (db *DB) execExplain(s *sql.Explain) (*executor.ResultSet, *QueryInfo, error) {
-	res, err := db.Opt.Optimize(s.Stmt)
+	var fp *sql.Fingerprint
+	res, err := db.optimizeMaybeCached(s.Stmt, &fp)
 	if err != nil {
 		return nil, nil, err
 	}
 	rs := &executor.ResultSet{Columns: []string{"plan"}}
+	rs.Rows = append(rs.Rows, datum.Row{datum.NewString(cacheMarker(res))})
 	for _, line := range strings.Split(strings.TrimRight(plan.Explain(res.Plan), "\n"), "\n") {
 		rs.Rows = append(rs.Rows, datum.Row{datum.NewString(line)})
 	}
 	return rs, &QueryInfo{SQL: s.String(), Stmt: s, Result: res, EstCost: res.Cost}, nil
+}
+
+// ExplainString plans a statement (without executing it) and returns
+// the rendered plan prefixed with a cache-provenance marker line:
+// "-- plan: fresh", "-- plan: cached (exact)" or "-- plan: cached
+// (rebound)". It probes — and on a miss populates — the plan cache
+// exactly as executing the statement would, which makes it the test
+// surface for asserting hits and misses.
+func (db *DB) ExplainString(text string) (string, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	if ex, ok := stmt.(*sql.Explain); ok {
+		stmt = ex.Stmt
+	}
+	reads, writes := db.lockTablesFor(stmt)
+	release := db.locks.acquire(append(reads, writes...), nil)
+	defer release()
+	var fp *sql.Fingerprint
+	res, err := db.optimizeMaybeCached(stmt, &fp)
+	if err != nil {
+		return "", err
+	}
+	return cacheMarker(res) + "\n" + plan.Explain(res.Plan), nil
 }
 
 // CreateIndex registers and materializes a secondary index, returning an

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/optimizer"
+	"onlinetuner/internal/sql"
+	"onlinetuner/internal/storage"
+)
+
+// CacheMode selects how aggressively the engine reuses cached plans.
+type CacheMode int32
+
+const (
+	// CacheExact (the default) serves a cached plan only when a fresh
+	// optimization would provably return the identical Result: same
+	// statement template, same literal bindings, and unchanged physical
+	// configuration, statistics epoch, and table/index sizes. Every
+	// recorded experiment therefore produces byte-identical output with
+	// the cache on or off — the cache only removes redundant work.
+	CacheExact CacheMode = iota
+	// CacheRebind additionally reuses a cached Generic plan for a
+	// statement with the same template but different literals,
+	// substituting the new bindings into a clone of the plan
+	// (generic-plan semantics: results are exact, cost estimates are
+	// cheap ratio re-costs, and the access path is the one chosen for
+	// the original literals).
+	CacheRebind
+	// CacheOff disables both tiers; every statement is optimized fresh.
+	CacheOff
+)
+
+const (
+	planShards   = 8
+	planShardCap = 64 // per shard; 512 cached plans total
+	stmtShardCap = 64 // per shard; 512 parsed statements total
+)
+
+// PlanCacheStats are the cache's observability counters.
+type PlanCacheStats struct {
+	Hits          int64 // exact plan hits (optimizer skipped)
+	RebindHits    int64 // generic-plan reuses with literal substitution
+	Misses        int64 // lookups that fell through to the optimizer
+	Invalidations int64 // entries dropped on a config/stats epoch change
+	Evictions     int64 // entries dropped by LRU capacity
+	StmtHits      int64 // statement-text hits (parser + fingerprint skipped)
+}
+
+// planEntry is one cached optimization, valid for the exact
+// (configVersion, statsEpoch, sizeSig) it was computed under. The
+// stored Result's plan shares expression nodes with the fingerprinted
+// statement's AST, so lits give literal slots by pointer identity for
+// rebinding. Entries are immutable after insertion; all fields are read
+// under the shard lock or from the (read-only) Result.
+type planEntry struct {
+	hash       uint64
+	template   string
+	bindings   []datum.Datum
+	lits       []*sql.Literal
+	res        *optimizer.Result
+	cfgVersion int64
+	statsEpoch int64
+	sizeSig    uint64
+}
+
+type planShard struct {
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used
+	byHash map[uint64]*list.Element
+}
+
+// stmtEntry caches one parsed statement text: the AST plus its
+// fingerprint (nil for non-cacheable statements). Both are immutable
+// and shared read-only across executions.
+type stmtEntry struct {
+	text string
+	stmt sql.Statement
+	fp   *sql.Fingerprint
+}
+
+type stmtShard struct {
+	mu     sync.Mutex
+	ll     *list.List
+	byText map[string]*list.Element
+}
+
+// planCache is the engine's two-tier statement cache: a statement-text
+// tier (text → parsed AST + fingerprint) and a plan tier (fingerprint →
+// optimizer Result keyed by configVersion/statsEpoch/sizes). Both tiers
+// are sharded LRUs safe for concurrent statements.
+type planCache struct {
+	mode  atomic.Int32
+	plans [planShards]planShard
+	stmts [planShards]stmtShard
+
+	hits          atomic.Int64
+	rebindHits    atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+	stmtHits      atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	pc := &planCache{}
+	for i := range pc.plans {
+		pc.plans[i].ll = list.New()
+		pc.plans[i].byHash = make(map[uint64]*list.Element)
+	}
+	for i := range pc.stmts {
+		pc.stmts[i].ll = list.New()
+		pc.stmts[i].byText = make(map[string]*list.Element)
+	}
+	return pc
+}
+
+// SetPlanCacheMode switches the plan cache mode at runtime.
+func (db *DB) SetPlanCacheMode(m CacheMode) { db.pc.mode.Store(int32(m)) }
+
+// PlanCacheMode returns the current plan cache mode.
+func (db *DB) PlanCacheMode() CacheMode { return CacheMode(db.pc.mode.Load()) }
+
+// PlanCacheStats returns a snapshot of the cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          db.pc.hits.Load(),
+		RebindHits:    db.pc.rebindHits.Load(),
+		Misses:        db.pc.misses.Load(),
+		Invalidations: db.pc.invalidations.Load(),
+		Evictions:     db.pc.evictions.Load(),
+		StmtHits:      db.pc.stmtHits.Load(),
+	}
+}
+
+// cacheable reports whether a statement's optimization may be cached.
+// INSERTs are excluded: every insert changes the table size, so an
+// exact hit could never validate — caching them only pollutes slots.
+func cacheable(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Update, *sql.Delete:
+		return true
+	}
+	return false
+}
+
+func textShard(text string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return h.Sum64()
+}
+
+// lookupStmt returns the cached parse of a statement text, or nil.
+func (pc *planCache) lookupStmt(text string) *stmtEntry {
+	sh := &pc.stmts[textShard(text)%planShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byText[text]
+	if !ok {
+		return nil
+	}
+	sh.ll.MoveToFront(el)
+	pc.stmtHits.Add(1)
+	return el.Value.(*stmtEntry)
+}
+
+func (pc *planCache) storeStmt(e *stmtEntry) {
+	sh := &pc.stmts[textShard(e.text)%planShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byText[e.text]; ok {
+		el.Value = e
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.byText[e.text] = sh.ll.PushFront(e)
+	if sh.ll.Len() > stmtShardCap {
+		back := sh.ll.Back()
+		delete(sh.byText, back.Value.(*stmtEntry).text)
+		sh.ll.Remove(back)
+	}
+}
+
+// lookupPlan probes the plan tier. cfgV/statsE/sizeSig are the caller's
+// freshly captured validity tokens; a template-matching entry from an
+// older epoch is dropped (counted as an invalidation). Exact hits
+// return a shallow copy of the cached Result flagged FromCache; in
+// CacheRebind mode a Generic entry additionally serves different
+// bindings through Optimizer.Rebind.
+func (db *DB) lookupPlan(fp *sql.Fingerprint, mode CacheMode, cfgV, statsE int64, sizeSig uint64) *optimizer.Result {
+	pc := db.pc
+	sh := &pc.plans[fp.Hash%planShards]
+	sh.mu.Lock()
+	el, ok := sh.byHash[fp.Hash]
+	if !ok {
+		sh.mu.Unlock()
+		pc.misses.Add(1)
+		return nil
+	}
+	e := el.Value.(*planEntry)
+	if e.template != fp.Template {
+		sh.mu.Unlock() // hash collision: treat as a plain miss
+		pc.misses.Add(1)
+		return nil
+	}
+	if e.cfgVersion != cfgV || e.statsEpoch != statsE {
+		sh.ll.Remove(el)
+		delete(sh.byHash, fp.Hash)
+		sh.mu.Unlock()
+		pc.invalidations.Add(1)
+		pc.misses.Add(1)
+		return nil
+	}
+	if e.sizeSig == sizeSig && bindingsEqual(e.bindings, fp.Bindings) {
+		sh.ll.MoveToFront(el)
+		res := e.res
+		sh.mu.Unlock()
+		pc.hits.Add(1)
+		out := *res
+		out.FromCache = true
+		return &out
+	}
+	if mode != CacheRebind || !e.res.Generic {
+		sh.mu.Unlock()
+		pc.misses.Add(1)
+		return nil
+	}
+	sh.ll.MoveToFront(el)
+	res, lits := e.res, e.lits
+	sh.mu.Unlock()
+	if out, ok := db.Opt.Rebind(res, lits, fp.Bindings); ok {
+		pc.rebindHits.Add(1)
+		return out
+	}
+	pc.misses.Add(1)
+	return nil
+}
+
+func (pc *planCache) storePlan(e *planEntry) {
+	sh := &pc.plans[e.hash%planShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byHash[e.hash]; ok {
+		el.Value = e
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.byHash[e.hash] = sh.ll.PushFront(e)
+	if sh.ll.Len() > planShardCap {
+		back := sh.ll.Back()
+		delete(sh.byHash, back.Value.(*planEntry).hash)
+		sh.ll.Remove(back)
+		pc.evictions.Add(1)
+	}
+}
+
+func bindingsEqual(a, b []datum.Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeSigFor hashes the physical sizes an optimization of stmt depends
+// on: heap rows/pages of every referenced table plus the identity and
+// page count of each of its active secondary indexes. Together with
+// configVersion and statsEpoch this pins every input of the optimizer,
+// making an exact cache hit equivalent to re-running it.
+func (db *DB) sizeSigFor(stmt sql.Statement) uint64 {
+	reads, writes := db.lockTablesFor(stmt)
+	names := make([]string, 0, len(reads)+len(writes))
+	for _, t := range reads {
+		names = append(names, strings.ToLower(t))
+	}
+	for _, t := range writes {
+		names = append(names, strings.ToLower(t))
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	prev := ""
+	for _, t := range names {
+		if t == prev {
+			continue
+		}
+		prev = t
+		h.Write([]byte(t))
+		h.Write([]byte{0xff})
+		if hp := db.Mgr.Heap(t); hp != nil {
+			put(uint64(hp.Len()))
+			put(uint64(hp.Pages()))
+		}
+		for _, pi := range db.Mgr.TableIndexes(t) {
+			if pi.Def.Primary || pi.State() != storage.StateActive {
+				continue
+			}
+			h.Write([]byte(pi.Def.ID()))
+			h.Write([]byte{0xfe})
+			put(uint64(pi.Pages()))
+		}
+	}
+	return h.Sum64()
+}
+
+// optimizeMaybeCached is the cache-aware optimizer entry point for the
+// statement hot path. fpp threads a lazily computed fingerprint so one
+// execution (including its stale-index retries) fingerprints at most
+// once, and so Exec's statement-text tier can hand in a precomputed one.
+func (db *DB) optimizeMaybeCached(stmt sql.Statement, fpp **sql.Fingerprint) (*optimizer.Result, error) {
+	mode := db.PlanCacheMode()
+	if mode == CacheOff || !cacheable(stmt) {
+		return db.Opt.Optimize(stmt)
+	}
+	if *fpp == nil {
+		f := sql.FingerprintOf(stmt)
+		*fpp = &f
+	}
+	fp := *fpp
+	cfgV := db.Mgr.ConfigVersion()
+	statsE := db.Stats.Epoch()
+	sizeSig := db.sizeSigFor(stmt)
+	if res := db.lookupPlan(fp, mode, cfgV, statsE, sizeSig); res != nil {
+		return res, nil
+	}
+	res, err := db.Opt.Optimize(stmt)
+	if err != nil {
+		return nil, err
+	}
+	// Store only when no physical or statistics change raced with the
+	// optimization: both counters are monotonic, so equality means the
+	// Result still describes the state the validity tokens name.
+	if db.Mgr.ConfigVersion() == cfgV && db.Stats.Epoch() == statsE {
+		db.pc.storePlan(&planEntry{
+			hash:       fp.Hash,
+			template:   fp.Template,
+			bindings:   fp.Bindings,
+			lits:       fp.Lits,
+			res:        res,
+			cfgVersion: cfgV,
+			statsEpoch: statsE,
+			sizeSig:    sizeSig,
+		})
+	}
+	return res, nil
+}
+
+// cacheMarker renders the provenance line ExplainString and EXPLAIN
+// prepend to plan output.
+func cacheMarker(res *optimizer.Result) string {
+	switch {
+	case res.Rebound:
+		return "-- plan: cached (rebound)"
+	case res.FromCache:
+		return "-- plan: cached (exact)"
+	default:
+		return "-- plan: fresh"
+	}
+}

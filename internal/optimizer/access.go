@@ -35,6 +35,23 @@ func (o *Optimizer) selEq(table, col string, val datum.Datum) float64 {
 	return o.env.SelectivityEq(table, col)
 }
 
+// selRange returns the selectivity of a range predicate on a column,
+// preferring the histogram (mirroring analyzeRanges' estimation for a
+// single merged bound pair).
+func (o *Optimizer) selRange(table, col string, lo, hi *datum.Datum, loInc, hiInc bool) float64 {
+	if cs := o.env.Stats.Get(table, col); cs != nil && cs.Hist != nil {
+		s := cs.Hist.SelectivityRange(lo, hi, loInc, hiInc)
+		if s <= 0 {
+			s = 0.5 / float64(maxI64(cs.Rows, 1))
+		}
+		return s
+	}
+	if lo != nil && hi != nil {
+		return whatif.DefaultRangeSel / 2
+	}
+	return whatif.DefaultRangeSel
+}
+
 // rangeBounds aggregates the lows/highs on one column into bounds.
 type rangeBounds struct {
 	col          string
@@ -42,6 +59,9 @@ type rangeBounds struct {
 	loInc, hiInc bool
 	sel          float64
 	exprs        []sql.Expr
+	// loExpr/hiExpr are the predicates that supplied the chosen bounds
+	// (literal provenance for plan-cache rebinding).
+	loExpr, hiExpr sql.Expr
 }
 
 // analyzeRanges merges range predicates per column and estimates their
@@ -63,6 +83,7 @@ func (o *Optimizer) analyzeRanges(bt *boundTable) map[string]*rangeBounds {
 		inc := p.op == ">="
 		if rb.lo == nil || v.Compare(*rb.lo) > 0 {
 			rb.lo, rb.loInc = &v, inc
+			rb.loExpr = p.expr
 		}
 		rb.exprs = append(rb.exprs, p.expr)
 	}
@@ -72,6 +93,7 @@ func (o *Optimizer) analyzeRanges(bt *boundTable) map[string]*rangeBounds {
 		inc := p.op == "<="
 		if rb.hi == nil || v.Compare(*rb.hi) < 0 {
 			rb.hi, rb.hiInc = &v, inc
+			rb.hiExpr = p.expr
 		}
 		rb.exprs = append(rb.exprs, p.expr)
 	}
@@ -252,6 +274,7 @@ func (o *Optimizer) indexAccess(bt *boundTable, ix *catalog.Index, ranges map[st
 
 	// Consume leading equality columns in index order.
 	var eqVals []datum.Datum
+	var eqLits []*sql.Literal
 	consumed := map[string]bool{}
 	sel := 1.0
 	pos := 0
@@ -262,6 +285,7 @@ func (o *Optimizer) indexAccess(bt *boundTable, ix *catalog.Index, ranges map[st
 			break
 		}
 		eqVals = append(eqVals, p.val)
+		eqLits = append(eqLits, litOf(p.expr))
 		consumed[strings.ToLower(col)] = true
 		sel *= o.selEq(table, col, p.val)
 	}
@@ -271,9 +295,6 @@ func (o *Optimizer) indexAccess(bt *boundTable, ix *catalog.Index, ranges map[st
 		if r, ok := ranges[strings.ToLower(ix.Columns[pos])]; ok {
 			rb = r
 			sel *= rb.sel
-			for _, e := range rb.exprs {
-				_ = e
-			}
 			consumed[strings.ToLower(rb.col)] = true
 		}
 	}
@@ -324,9 +345,15 @@ func (o *Optimizer) indexAccess(bt *boundTable, ix *catalog.Index, ranges map[st
 	resid = append(resid, bt.resid...)
 	c += matchRows * float64(len(resid)) * m.CPUPred
 
-	n := &plan.IndexSeek{Index: ix, Alias: alias, EqVals: eqVals, Fetch: !covering && !ix.Primary, Preds: resid}
+	n := &plan.IndexSeek{Index: ix, Alias: alias, EqVals: eqVals, EqLits: eqLits, Fetch: !covering && !ix.Primary, Preds: resid}
 	if rb != nil {
 		n.Lo, n.Hi, n.LoInc, n.HiInc = rb.lo, rb.hi, rb.loInc, rb.hiInc
+		if rb.lo != nil {
+			n.LoLit = litOf(rb.loExpr)
+		}
+		if rb.hi != nil {
+			n.HiLit = litOf(rb.hiExpr)
+		}
 	}
 	if covering && !ix.Primary {
 		n.Out = plan.IndexSchema(ix, alias)
@@ -347,6 +374,18 @@ func orderFrom(n plan.Node) []string {
 	case *plan.IndexSeek:
 		if len(x.EqVals) < len(x.Index.Columns) {
 			return x.Index.Columns[len(x.EqVals):]
+		}
+	}
+	return nil
+}
+
+// litOf extracts the literal of a `column OP literal` predicate (either
+// operand order), or nil when the expression has no single source
+// literal.
+func litOf(e sql.Expr) *sql.Literal {
+	if be, ok := e.(*sql.BinaryExpr); ok {
+		if _, lit, _ := colLit(be); lit != nil {
+			return lit
 		}
 	}
 	return nil

@@ -29,6 +29,19 @@ type Result struct {
 	Tree *whatif.Node
 	Cost float64
 	Rows float64
+
+	// Generic marks a plan safe for literal re-substitution (Rebind): no
+	// table column carries more than one lower or one upper range bound,
+	// so the plan's seek bounds and residual predicates came from exactly
+	// one literal each and swapping literals cannot change which
+	// predicates the plan evaluates.
+	Generic bool
+	// FromCache/Rebound annotate results served by the engine's plan
+	// cache: FromCache means the optimizer was skipped entirely; Rebound
+	// additionally means new literals were substituted into the cached
+	// plan (generic-plan reuse) rather than matching exactly.
+	FromCache bool
+	Rebound   bool
 }
 
 // Requests returns all requests in the result's tree.
@@ -161,7 +174,40 @@ func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
 		groups = append(groups, g)
 	}
 	tree := whatif.NewAnd(groups...)
-	return &Result{Plan: st.node, Tree: tree, Cost: st.cost, Rows: st.rows}, nil
+	return &Result{Plan: st.node, Tree: tree, Cost: st.cost, Rows: st.rows, Generic: genericPreds(bq)}, nil
+}
+
+// genericPreds reports whether the bound query's plan shape is
+// independent of which literal values appear in its sargable
+// predicates. With at most one lower and one upper bound per column,
+// analyzeRanges never has to pick the tighter of two bounds by VALUE —
+// so a plan built for one set of literals evaluates exactly the same
+// predicate set for any other, and the plan cache may rebind it.
+// (Duplicate equality predicates are fine: the first is always the one
+// consumed by a seek, the rest stay residual, regardless of values.)
+func genericPreds(bq *boundQuery) bool {
+	for _, bt := range bq.tables {
+		if dupCols(bt.lows) || dupCols(bt.highs) {
+			return false
+		}
+	}
+	return true
+}
+
+// dupCols reports whether two sargable predicates bind the same column.
+func dupCols(ps []sargPred) bool {
+	if len(ps) < 2 {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		k := strings.ToLower(p.col)
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
 }
 
 // joinChoice is one evaluated way to join the next table.
@@ -698,7 +744,7 @@ func (o *Optimizer) planUpdate(up *sql.Update) (*Result, error) {
 	if t == nil {
 		return nil, fmt.Errorf("optimizer: unknown table %s", up.Table)
 	}
-	locCost, locRows, orNode, err := o.locate(t, up.Where)
+	locCost, locRows, orNode, generic, err := o.locate(t, up.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -716,7 +762,7 @@ func (o *Optimizer) planUpdate(up *sql.Update) (*Result, error) {
 	if orNode != nil {
 		children = append(children, orNode)
 	}
-	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows}, nil
+	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows, Generic: generic}, nil
 }
 
 // planDelete plans a DELETE.
@@ -725,7 +771,7 @@ func (o *Optimizer) planDelete(del *sql.Delete) (*Result, error) {
 	if t == nil {
 		return nil, fmt.Errorf("optimizer: unknown table %s", del.Table)
 	}
-	locCost, locRows, orNode, err := o.locate(t, del.Where)
+	locCost, locRows, orNode, generic, err := o.locate(t, del.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -738,12 +784,12 @@ func (o *Optimizer) planDelete(del *sql.Delete) (*Result, error) {
 	if orNode != nil {
 		children = append(children, orNode)
 	}
-	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows}, nil
+	return &Result{Plan: node, Tree: whatif.NewAnd(children...), Cost: cost, Rows: locRows, Generic: generic}, nil
 }
 
 // locate costs the row-location side of an UPDATE/DELETE and captures its
 // requests.
-func (o *Optimizer) locate(t *catalog.Table, where sql.Expr) (float64, float64, *whatif.Node, error) {
+func (o *Optimizer) locate(t *catalog.Table, where sql.Expr) (float64, float64, *whatif.Node, bool, error) {
 	pseudo := &sql.Select{
 		Items: []sql.SelectItem{{Star: true}},
 		From:  sql.TableRef{Table: t.Name},
@@ -752,14 +798,14 @@ func (o *Optimizer) locate(t *catalog.Table, where sql.Expr) (float64, float64, 
 	}
 	bq, err := bind(o.env.Cat, pseudo)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, false, err
 	}
 	path := o.chooseAccess(bq.tables[0], nil)
 	var leaves []*whatif.Node
 	for _, r := range path.requests {
 		leaves = append(leaves, whatif.NewLeaf(r))
 	}
-	return path.cost, path.rows, whatif.NewOr(leaves...), nil
+	return path.cost, path.rows, whatif.NewOr(leaves...), genericPreds(bq), nil
 }
 
 func indexOfFoldStr(ss []string, s string) int {

@@ -112,6 +112,13 @@ type IndexSeek struct {
 	HiInc  bool
 	Fetch  bool
 	Preds  []sql.Expr // residual predicates evaluated after the seek
+
+	// Literal provenance for plan-cache rebinding: the statement literals
+	// each seek bound was copied from (nil entries mean the bound did not
+	// come from a single statement literal and cannot be re-substituted).
+	EqLits []*sql.Literal
+	LoLit  *sql.Literal
+	HiLit  *sql.Literal
 }
 
 func (n *IndexSeek) Children() []Node { return nil }

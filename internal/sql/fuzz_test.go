@@ -42,3 +42,58 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFingerprint asserts the fingerprinter's contract on every
+// parse-able statement: fingerprinting is deterministic, the binding
+// list matches the lifted literals, and re-substituting the bindings
+// round-trips to an equivalent AST (same rendering, same fingerprint).
+func FuzzFingerprint(f *testing.F) {
+	g := tpch.NewGenerator(0.01, 1)
+	for n := 1; n <= 22; n++ {
+		f.Add(g.Query(n))
+	}
+	for _, s := range []string{
+		"CREATE TABLE r (id INT, a INT, s VARCHAR, PRIMARY KEY (id))",
+		"CREATE INDEX r_a ON r (a, id)",
+		"DROP INDEX r_a",
+		"INSERT INTO r (id, a, s) VALUES (1, 2, 'x'), (2, 3, 'y')",
+		"UPDATE r SET a = a + 1, s = 'z' WHERE id = 5",
+		"DELETE FROM r WHERE a > 10 AND s = 'x'",
+		"EXPLAIN SELECT a FROM r WHERE a = 1 OR (a > 2 AND a < 7)",
+		"SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY a DESC LIMIT 3",
+		"SELECT * FROM r, s WHERE r.id = s.id AND r.a IS NOT NULL",
+		"SELECT 'it''s' FROM r",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		stmt, err := sql.Parse(text)
+		if err != nil {
+			return
+		}
+		f1 := sql.FingerprintOf(stmt)
+		f2 := sql.FingerprintOf(stmt)
+		if f1.Hash != f2.Hash || f1.Template != f2.Template || len(f1.Bindings) != len(f2.Bindings) {
+			t.Fatalf("fingerprint of %q not deterministic", text)
+		}
+		if len(f1.Lits) != len(f1.Bindings) {
+			t.Fatalf("%q: %d literals vs %d bindings", text, len(f1.Lits), len(f1.Bindings))
+		}
+		for i, l := range f1.Lits {
+			if !l.Value.Equal(f1.Bindings[i]) {
+				t.Fatalf("%q: binding %d diverges from its literal", text, i)
+			}
+		}
+		back, err := sql.Rebind(stmt, f1.Bindings)
+		if err != nil {
+			t.Fatalf("Rebind(%q): %v", text, err)
+		}
+		if back.String() != stmt.String() {
+			t.Fatalf("%q: rebind round trip changed AST:\n%s\n%s", text, stmt, back)
+		}
+		f3 := sql.FingerprintOf(back)
+		if f3.Hash != f1.Hash || f3.Template != f1.Template {
+			t.Fatalf("%q: rebind round trip changed fingerprint", text)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"onlinetuner/internal/datum"
 )
@@ -236,7 +237,17 @@ type Store struct {
 	mu    sync.RWMutex
 	cols  map[string]*ColumnStats
 	built int64 // number of Build operations, for observability
+	// epoch increments on every statistics change (install or drop). It
+	// is the monotonic invalidation token for anything costed against a
+	// statistics snapshot — the engine's plan cache compares epochs
+	// instead of histogram contents.
+	epoch atomic.Int64
 }
+
+// Epoch returns the current statistics epoch. It increases whenever any
+// column's statistics are installed or dropped; a plan costed under
+// epoch e is guaranteed to see the same histograms while Epoch() == e.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
 // NewStore returns an empty statistics store.
 func NewStore() *Store {
@@ -253,6 +264,7 @@ func (s *Store) Set(table, column string, cs *ColumnStats) {
 	defer s.mu.Unlock()
 	s.cols[key(table, column)] = cs
 	s.built++
+	s.epoch.Add(1)
 }
 
 // Get returns the statistics for table.column, or nil. The returned
@@ -274,6 +286,7 @@ func (s *Store) Drop(table, column string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.cols, key(table, column))
+	s.epoch.Add(1)
 }
 
 // BuildCount returns the number of statistics builds performed, used by

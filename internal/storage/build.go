@@ -154,6 +154,7 @@ func (m *Manager) FinishBuild(b *Build) (*BuildStats, error) {
 	b.pi.setState(StateActive)
 	b.stats.NewPages = b.pi.Pages()
 	stats := b.stats
+	m.configVersion.Add(1)
 	return &stats, nil
 }
 

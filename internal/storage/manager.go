@@ -115,7 +115,17 @@ type Manager struct {
 	// Budget is the secondary-index space budget in bytes; 0 means
 	// unlimited.
 	budget int64
+	// configVersion increments on every change to the set of query-
+	// servable index structures (build, drop, suspend, restart, publish).
+	// It is the invalidation token for anything planned against a
+	// physical-design snapshot: a plan chosen under ConfigVersion() == v
+	// saw exactly the structures that exist while the version stays v.
+	configVersion atomic.Int64
 }
+
+// ConfigVersion returns the current physical-design version. It
+// increases monotonically on every index lifecycle transition.
+func (m *Manager) ConfigVersion() int64 { return m.configVersion.Load() }
 
 // NewManager returns a storage manager bound to a catalog.
 func NewManager(cat *catalog.Catalog) *Manager {
@@ -442,6 +452,7 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	pi.setState(StateActive)
 	stats.NewPages = pi.Pages()
 	m.indexes[ix.ID()] = pi
+	m.configVersion.Add(1)
 	return stats, nil
 }
 
@@ -471,6 +482,7 @@ func (m *Manager) DropIndex(id string) error {
 		return fmt.Errorf("storage: cannot drop primary index %s", pi.Def.Name)
 	}
 	delete(m.indexes, id)
+	m.configVersion.Add(1)
 	return nil
 }
 
@@ -492,6 +504,7 @@ func (m *Manager) SuspendIndex(id string) error {
 	}
 	pi.setState(StateSuspended)
 	pi.pendingOps.Store(0)
+	m.configVersion.Add(1)
 	return nil
 }
 
@@ -528,6 +541,7 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	pi.tree.Store(tree)
 	pi.setState(StateActive)
 	pi.pendingOps.Store(0)
+	m.configVersion.Add(1)
 	return ops, nil
 }
 

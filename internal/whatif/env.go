@@ -109,6 +109,13 @@ const DefaultRangeSel = 1.0 / 3
 // implicitly available. Inf is never returned: the clustered scan is the
 // universal fallback.
 func GetCost(e *Env, r *Request, config []*catalog.Index) float64 {
+	return getCost(e, r, config, e.IndexPages)
+}
+
+// getCost is GetCost with the index-size lookup abstracted: pagesOf maps
+// an index to its page count. The package-level entry points pass
+// Env.IndexPages; the Memo passes its per-statement size snapshot.
+func getCost(e *Env, r *Request, config []*catalog.Index, pagesOf func(*catalog.Index) float64) float64 {
 	if r.Kind == KindUpdate {
 		return updateCost(e, r, config)
 	}
@@ -116,7 +123,7 @@ func GetCost(e *Env, r *Request, config []*catalog.Index) float64 {
 	// The clustered primary index is always available: it can seek on its
 	// key prefix, not just scan.
 	if pk := e.Cat.PrimaryIndex(r.Table); pk != nil {
-		if c := ImplCost(e, r, pk); c < best {
+		if c := implCostPages(e, r, pk, pagesOf(pk)); c < best {
 			best = c
 		}
 	}
@@ -124,7 +131,7 @@ func GetCost(e *Env, r *Request, config []*catalog.Index) float64 {
 		if ix == nil || !strings.EqualFold(ix.Table, r.Table) {
 			continue
 		}
-		if c := ImplCost(e, r, ix); c < best {
+		if c := implCostPages(e, r, ix, pagesOf(ix)); c < best {
 			best = c
 		}
 	}
@@ -175,6 +182,14 @@ func heapFallback(e *Env, r *Request) float64 {
 // ImplCost is the cost of implementing the request with the given index
 // (math.Inf(1) when the index cannot implement it).
 func ImplCost(e *Env, r *Request, ix *catalog.Index) float64 {
+	return implCostPages(e, r, ix, e.IndexPages(ix))
+}
+
+// implCostPages is ImplCost with the index's page count supplied by the
+// caller — the only live storage lookup on this path. Hoisting it lets
+// the Memo snapshot index sizes once per statement instead of once per
+// request evaluation.
+func implCostPages(e *Env, r *Request, ix *catalog.Index, pages float64) float64 {
 	if r.Kind == KindUpdate {
 		return math.Inf(1)
 	}
@@ -209,7 +224,6 @@ func ImplCost(e *Env, r *Request, ix *catalog.Index) float64 {
 	}
 
 	covering := ix.ContainsColumns(r.Required)
-	pages := e.IndexPages(ix)
 	bindings := r.Bindings
 	if bindings < 1 {
 		bindings = 1

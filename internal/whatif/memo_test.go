@@ -1,0 +1,196 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/stats"
+	"onlinetuner/internal/storage"
+)
+
+// memoEnv builds a materialized single-table environment with a primary
+// key and one secondary index available for what-if configurations.
+func memoEnv(t *testing.T, rows int) (*Env, *catalog.Index) {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := catalog.NewTable("r", []catalog.Column{
+		{Name: "id", Kind: datum.KInt},
+		{Name: "a", Kind: datum.KInt},
+		{Name: "b", Kind: datum.KInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	mgr := storage.NewManager(cat)
+	if err := mgr.CreateTable("r"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		_, _, err := mgr.Insert("r", datum.Row{
+			datum.NewInt(int64(i)),
+			datum.NewInt(int64(i % 97)),
+			datum.NewInt(int64(i % 13)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := (&catalog.Index{Name: "r_a", Table: "r", Columns: []string{"a", "id"}}).Canonicalize()
+	return NewEnv(cat, stats.NewStore(), mgr), ix
+}
+
+func memoRequests(ix *catalog.Index, rows float64) []*Request {
+	return []*Request{
+		{Table: "r", Kind: KindSeek, EqCols: []string{"a"}, EqSels: []float64{1.0 / 97},
+			Required: []string{"a", "id"}, Bindings: 1, RowsPerBinding: rows / 97,
+			TableRows: rows, TablePages: rows / 50},
+		{Table: "r", Kind: KindSeek, EqCols: []string{"a"}, EqSels: []float64{1.0 / 97},
+			RangeCol: "b", RangeSel: 0.25, Required: []string{"a", "b", "id"},
+			Bindings: 4, RowsPerBinding: rows / 400, ResidualPreds: 1,
+			TableRows: rows, TablePages: rows / 50},
+		{Table: "r", Kind: KindScan, Required: []string{"b", "id"},
+			SortCols: []string{"b"}, Bindings: 1, RowsPerBinding: rows,
+			TableRows: rows, TablePages: rows / 50},
+		{Table: "r", Kind: KindUpdate, UpdateRows: 3, UpdateTouchedIndexes: 1,
+			TableRows: rows, TablePages: rows / 50},
+	}
+}
+
+// TestMemoMatchesDirect asserts the central memo property: every
+// memoized answer equals the corresponding un-memoized computation, on
+// first (miss) and second (hit) evaluation alike.
+func TestMemoMatchesDirect(t *testing.T) {
+	env, ix := memoEnv(t, 2000)
+	m := NewMemo(env)
+	m.BeginStatement(1, 1)
+
+	configs := [][]*catalog.Index{nil, {ix}}
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range memoRequests(ix, 2000) {
+			for _, cfg := range configs {
+				got := m.GetCost(r, cfg)
+				want := GetCost(env, r, cfg)
+				if got != want {
+					t.Fatalf("pass %d GetCost(%v, cfg=%d): memo %v, direct %v", pass, r, len(cfg), got, want)
+				}
+			}
+			got := m.ImplCost(r, ix)
+			want := ImplCost(env, r, ix)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("pass %d ImplCost(%v): memo %v, direct %v", pass, r, got, want)
+			}
+		}
+	}
+	st := m.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+	// Second pass must be all hits: same requests, same configs.
+	if st.Hits < st.Misses {
+		t.Fatalf("second pass should hit every entry: %+v", st)
+	}
+}
+
+// TestMemoSnapshotsIndexSizes is the regression test for the
+// per-statement size hoist: within one statement, a materialized
+// index's size is looked up once and reused even if the underlying
+// structure grows; BeginStatement refreshes it.
+func TestMemoSnapshotsIndexSizes(t *testing.T) {
+	env, ix := memoEnv(t, 500)
+	if _, err := env.Mgr.BuildIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemo(env)
+	m.BeginStatement(1, 1)
+
+	before := m.IndexPages(ix)
+	if before != env.IndexPages(ix) {
+		t.Fatalf("first lookup must be live: %v vs %v", before, env.IndexPages(ix))
+	}
+
+	// Grow the index enough to change its page count.
+	for i := 0; i < 5000; i++ {
+		if _, _, err := env.Mgr.Insert("r", datum.Row{
+			datum.NewInt(int64(10000 + i)), datum.NewInt(int64(i)), datum.NewInt(0),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.IndexPages(ix) == before {
+		t.Fatal("test needs the physical size to change")
+	}
+	if got := m.IndexPages(ix); got != before {
+		t.Fatalf("mid-statement lookup must reuse the snapshot: got %v, snapshot %v", got, before)
+	}
+	if got := m.IndexBytes(ix); got == env.IndexBytes(ix) {
+		// bytes was first read after the growth: snapshot it now and grow again
+		// to exercise the bytes path too.
+		for i := 0; i < 5000; i++ {
+			if _, _, err := env.Mgr.Insert("r", datum.Row{
+				datum.NewInt(int64(20000 + i)), datum.NewInt(int64(i)), datum.NewInt(0),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if again := m.IndexBytes(ix); again != got {
+			t.Fatalf("mid-statement byte lookup must reuse the snapshot: %v vs %v", again, got)
+		}
+	}
+
+	m.BeginStatement(1, 1)
+	if got := m.IndexPages(ix); got != env.IndexPages(ix) {
+		t.Fatalf("BeginStatement must refresh the snapshot: got %v, live %v", got, env.IndexPages(ix))
+	}
+}
+
+// TestMemoInvalidation: version or epoch movement clears the cost memo;
+// unchanged versions keep it warm across statements.
+func TestMemoInvalidation(t *testing.T) {
+	env, ix := memoEnv(t, 1000)
+	m := NewMemo(env)
+	r := memoRequests(ix, 1000)[0]
+
+	m.BeginStatement(1, 1)
+	m.GetCost(r, []*catalog.Index{ix})
+	m.BeginStatement(1, 1)
+	m.GetCost(r, []*catalog.Index{ix})
+	if st := m.Stats(); st.Hits != 1 {
+		t.Fatalf("unchanged versions should keep the memo warm: %+v", st)
+	}
+
+	m.BeginStatement(2, 1) // config version moved
+	m.GetCost(r, []*catalog.Index{ix})
+	if st := m.Stats(); st.Hits != 1 || st.Clears != 1 {
+		t.Fatalf("config bump should clear: %+v", st)
+	}
+
+	m.BeginStatement(2, 9) // stats epoch moved
+	m.GetCost(r, []*catalog.Index{ix})
+	if st := m.Stats(); st.Hits != 1 || st.Clears != 2 {
+		t.Fatalf("stats bump should clear: %+v", st)
+	}
+}
+
+// TestMemoConfigOrderIndependence: GetCost is a min over alternatives,
+// so config order must not produce distinct memo entries.
+func TestMemoConfigOrderIndependence(t *testing.T) {
+	env, ix := memoEnv(t, 1000)
+	ix2 := (&catalog.Index{Name: "r_b", Table: "r", Columns: []string{"b", "id"}}).Canonicalize()
+	m := NewMemo(env)
+	m.BeginStatement(1, 1)
+	r := memoRequests(ix, 1000)[1]
+
+	a := m.GetCost(r, []*catalog.Index{ix, ix2})
+	b := m.GetCost(r, []*catalog.Index{ix2, ix})
+	if a != b {
+		t.Fatalf("order-dependent result: %v vs %v", a, b)
+	}
+	if st := m.Stats(); st.Hits != 1 {
+		t.Fatalf("permuted config should hit the same entry: %+v", st)
+	}
+}
