@@ -340,6 +340,33 @@ func BenchmarkHotPathSeekRebind(b *testing.B) {
 	runHotPath(b, db, seekStmts(97))
 }
 
+// BenchmarkHotPathSeekCachedTraced is the tracing-overhead probe on the
+// engine's fastest statement: the cached seek with statement tracing
+// enabled at the default sampling stride. The acceptance budget is a
+// few percent over BenchmarkHotPathSeekCached.
+func BenchmarkHotPathSeekCachedTraced(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheExact)
+	db.Observability().EnableTracing(0, 0)
+	runHotPath(b, db, seekStmts(1))
+}
+
+// BenchmarkHotPathSeekCachedTracedAll traces every statement (stride
+// 1) — the upper bound a dashboard session pays.
+func BenchmarkHotPathSeekCachedTracedAll(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheExact)
+	db.Observability().EnableTracing(0, 1)
+	runHotPath(b, db, seekStmts(1))
+}
+
+// BenchmarkHotPathCachedTraced replays the fixed-parameter TPC-H batch
+// with sampled tracing: execution dominates, so the overhead should be
+// indistinguishable from BenchmarkHotPathCached.
+func BenchmarkHotPathCachedTraced(b *testing.B) {
+	db, gen := hotPathDB(b, engine.CacheExact)
+	db.Observability().EnableTracing(0, 0)
+	runHotPath(b, db, gen.Batch())
+}
+
 // BenchmarkOnlineSI measures the constant-time single-index observer.
 func BenchmarkOnlineSI(b *testing.B) {
 	on := singleindex.New(10)

@@ -9,7 +9,8 @@
 //
 // plancache benchmarks the engine's statement/plan cache on
 // repeated-template TPC-H workloads and, with -out FILE, writes the
-// report as JSON (the recorded BENCH_plancache.json).
+// report as JSON (the recorded BENCH_plancache.json). obs does the same
+// for statement-tracing overhead (the recorded BENCH_obs.json).
 //
 // Flags scale the TPC-H workload (the defaults reproduce the shapes at
 // laptop scale in minutes):
@@ -52,6 +53,13 @@ func main() {
 	}
 	if cmd == "plancache" {
 		if err := planCache(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "obs" {
+		if err := obsOverhead(opts, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -102,7 +110,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|all)", cmd)
 }
 
 func table1() error {
@@ -188,6 +196,27 @@ func planCache(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatPlanCache(rep))
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// obsOverhead runs the tracing-overhead matrix (see planCache for why
+// it is not part of "all").
+func obsOverhead(opts workload.TPCHOptions, out string) error {
+	rep, err := bench.Obs(opts.Scale, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatObs(rep))
 	if out != "" {
 		js, err := rep.JSON()
 		if err != nil {

@@ -1,0 +1,94 @@
+// Observed: the observability layer end to end. Loads a small TPC-H
+// instance, attaches the online tuner, enables statement tracing, and
+// replays a few query batches — then shows everything the engine can
+// tell you about what just happened:
+//
+//   - a span tree for a recent statement (parse → lock-wait → optimize
+//     → execute → observe, with cache provenance and timings)
+//   - EXPLAIN ANALYZE for a query: per-operator estimated vs actual
+//     rows, pages touched, and time
+//   - the tuner's structured decision log (index, Δ evidence, B_I,
+//     reason)
+//   - the full metrics snapshot as JSON
+//
+// With -listen the metrics registry is also served over HTTP:
+//
+//	go run ./examples/observed -listen :8080 &
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve the metrics snapshot over HTTP at this address")
+	flag.Parse()
+
+	db := engine.Open()
+	gen := tpch.NewGenerator(0.2, 42)
+	if err := gen.Load(db); err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	tuner := core.Attach(db, core.DefaultOptions())
+
+	// Trace every statement into a ring of 64. The default stride (16)
+	// is for production-shaped workloads; a demo wants every statement.
+	db.Observability().EnableTracing(64, 1)
+
+	fmt.Println("replaying 3 TPC-H batches with the tuner attached...")
+	for _, batch := range gen.Batches(3) {
+		for _, q := range batch {
+			if _, _, err := db.Exec(q); err != nil {
+				fmt.Fprintln(os.Stderr, "exec:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	fmt.Println("\n=== span tree of the most recent statement ===")
+	traces := db.Observability().Traces()
+	fmt.Print(traces[len(traces)-1])
+
+	fmt.Println("\n=== EXPLAIN ANALYZE ===")
+	q6 := gen.Query(6)
+	fmt.Println(q6)
+	s, err := db.ExplainAnalyzeString(q6)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explain analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+
+	fmt.Println("\n=== tuner decision log ===")
+	for _, d := range tuner.Decisions() {
+		fmt.Printf("  query %d: %-11s %-28s Δ=%.1f Δmin=%.1f B_I=%.1f reason=%s\n",
+			d.AtQuery, d.Kind, d.Index, d.Delta, d.DeltaMin, d.BuildCost, d.Reason)
+	}
+
+	fmt.Println("\n=== metrics snapshot ===")
+	js, err := db.Observability().Reg.SnapshotJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(js))
+
+	if *listen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", db.Observability().Reg.Handler())
+		fmt.Printf("serving metrics on http://%s/metrics\n", *listen)
+		if err := http.ListenAndServe(*listen, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Observability overhead benchmark: measures the per-statement cost of
+// statement tracing against the untraced baseline on the engine's
+// fastest statement — a cached point lookup, where any fixed overhead
+// is the largest relative fraction. The acceptance budget for the
+// tracing layer is set against these numbers: sampled tracing must stay
+// within a few percent of baseline, and disabled tracing must cost one
+// atomic load.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/obs"
+	"onlinetuner/internal/tpch"
+)
+
+// ObsBench is one measured tracing configuration.
+type ObsBench struct {
+	Name string `json:"name"`
+	// Stride is the sampling stride (0 = tracing disabled).
+	Stride      int     `json:"stride"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ObsReport is the tracing-overhead comparison, serialized to
+// BENCH_obs.json by cmd/experiments.
+type ObsReport struct {
+	Scale   float64    `json:"scale"`
+	Seed    int64      `json:"seed"`
+	Results []ObsBench `json:"results"`
+	// OverheadSampledPct and OverheadFullPct are the cached-seek
+	// slowdowns vs the disabled baseline, in percent, at the default
+	// sampling stride and at stride 1 (every statement traced).
+	OverheadSampledPct float64 `json:"overhead_sampled_pct"`
+	OverheadFullPct    float64 `json:"overhead_full_pct"`
+	// BatchOverheadSampledPct is the same comparison on a fixed-parameter
+	// TPC-H batch, where execution dominates and the overhead vanishes.
+	BatchOverheadSampledPct float64 `json:"batch_overhead_sampled_pct"`
+}
+
+// measureObs benchmarks replaying stmts round-robin on an
+// already-loaded database under the given tracing configuration
+// (stride 0 = disabled). All configurations of one workload share the
+// db — tracing toggles at runtime — so the comparison is not polluted
+// by per-instance memory-layout variance.
+func measureObs(db *engine.DB, stride int, stmts []string) (ObsBench, error) {
+	if stride > 0 {
+		db.Observability().EnableTracing(0, stride)
+	} else {
+		db.Observability().DisableTracing()
+	}
+	for _, q := range stmts {
+		if _, _, err := db.Exec(q); err != nil {
+			return ObsBench{}, fmt.Errorf("warm-up %q: %w", q, err)
+		}
+	}
+	var execErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec(stmts[i%len(stmts)]); err != nil {
+				execErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if execErr != nil {
+		return ObsBench{}, execErr
+	}
+	return ObsBench{
+		Stride:      stride,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// Obs runs the tracing-overhead matrix: cached point lookups (the
+// worst case for fixed overhead) and a fixed-parameter TPC-H batch
+// (the realistic case), each with tracing disabled, sampled at the
+// default stride, and tracing every statement.
+func Obs(scale tpch.Scale, seed int64) (*ObsReport, error) {
+	db := engine.Open()
+	gen := tpch.NewGenerator(scale, seed)
+	if err := gen.Load(db); err != nil {
+		return nil, err
+	}
+	db.SetPlanCacheMode(engine.CacheExact)
+	batch := gen.Batch()
+	seek := planCacheSeekStmts(1)
+
+	runs := []struct {
+		name   string
+		stride int
+		stmts  []string
+	}{
+		{"seek/disabled", 0, seek},
+		{"seek/sampled", obs.DefaultStride, seek},
+		{"seek/full", 1, seek},
+		{"batch/disabled", 0, batch},
+		{"batch/sampled", obs.DefaultStride, batch},
+	}
+
+	rep := &ObsReport{Scale: float64(scale), Seed: seed}
+	byName := make(map[string]ObsBench)
+	for _, r := range runs {
+		m, err := measureObs(db, r.stride, r.stmts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		m.Name = r.name
+		rep.Results = append(rep.Results, m)
+		byName[r.name] = m
+	}
+	if base := byName["seek/disabled"].NsPerOp; base > 0 {
+		rep.OverheadSampledPct = 100 * (byName["seek/sampled"].NsPerOp - base) / base
+		rep.OverheadFullPct = 100 * (byName["seek/full"].NsPerOp - base) / base
+	}
+	if base := byName["batch/disabled"].NsPerOp; base > 0 {
+		rep.BatchOverheadSampledPct = 100 * (byName["batch/sampled"].NsPerOp - base) / base
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_obs.json.
+func (r *ObsReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatObs renders the report as a text table.
+func FormatObs(r *ObsReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tracing overhead (TPC-H scale %.2g, seed %d)\n", r.Scale, r.Seed)
+	fmt.Fprintf(&sb, "%-16s %7s %12s %10s %12s\n",
+		"benchmark", "stride", "ns/op", "allocs/op", "bytes/op")
+	for _, b := range r.Results {
+		fmt.Fprintf(&sb, "%-16s %7d %12.0f %10d %12d\n",
+			b.Name, b.Stride, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+	}
+	fmt.Fprintf(&sb, "cached seek: %+.2f%% sampled (stride %d), %+.2f%% tracing every statement; TPC-H batch: %+.2f%% sampled\n",
+		r.OverheadSampledPct, obs.DefaultStride, r.OverheadFullPct, r.BatchOverheadSampledPct)
+	return sb.String()
+}

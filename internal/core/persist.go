@@ -79,7 +79,7 @@ func (t *Tuner) LoadState(r io.Reader) error {
 		return fmt.Errorf("core: tuner state version %d unsupported (want %d)", st.Version, stateVersion)
 	}
 	t.queries = st.Queries
-	t.metrics.Queries = st.Queries
+	t.mQueries.Add(st.Queries - t.mQueries.Value())
 	for _, e := range st.Tracked {
 		if t.env.Cat.Table(e.Table) == nil {
 			continue // table dropped since the snapshot

@@ -55,7 +55,7 @@ type CandidateEntry struct {
 func (t *Tuner) Report(topK int) Report {
 	r := Report{
 		Queries:        t.queries,
-		TransitionCost: t.metrics.TransitionCost,
+		TransitionCost: t.mTransitionCost.Value(),
 		BudgetBytes:    t.env.Mgr.Budget(),
 		UsedBytes:      t.env.Mgr.UsedBytes(),
 	}

@@ -11,6 +11,7 @@ import (
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/engine"
+	"onlinetuner/internal/obs"
 	"onlinetuner/internal/stats"
 	"onlinetuner/internal/storage"
 	"onlinetuner/internal/whatif"
@@ -127,8 +128,11 @@ func (e Event) String() string {
 	return "?"
 }
 
-// Metrics records the per-module overhead that Figure 9 reports, plus
-// background-build counters.
+// Metrics is a snapshot of the per-module overhead that Figure 9
+// reports, plus background-build counters. The live values are atomic
+// counters in the DB's obs registry (under "tuner.*"); this struct is
+// assembled on demand by Metrics() and is safe to read while statements
+// execute.
 type Metrics struct {
 	Queries        int64
 	Total          time.Duration
@@ -184,8 +188,27 @@ type Tuner struct {
 	queries  int64
 	analyses int64
 	events   []Event
-	metrics  Metrics
 	pending  *pendingBuild
+
+	// Overhead metrics live as atomic registry counters so readers
+	// (dashboards, benchmark reporters) never contend with — or race
+	// against — the observation path. Durations accumulate as
+	// nanoseconds; TransitionCost as a float counter.
+	mQueries         *obs.Counter
+	mTotalNS         *obs.Counter
+	mLine1NS         *obs.Counter
+	mLines28NS       *obs.Counter
+	mLines918NS      *obs.Counter
+	mLine18NS        *obs.Counter
+	mTransitionCost  *obs.FloatCounter
+	mBuildsStarted   *obs.Counter
+	mBuildsCompleted *obs.Counter
+	mBuildsAborted   *obs.Counter
+	mDecisions       *obs.Counter
+
+	// decisions is the structured log of every physical design change
+	// (and attempted change), with the Δ evidence behind it.
+	decisions *obs.DecisionLog
 	// cooldownUntil suppresses the analysis phase until this query count
 	// after a physical change.
 	cooldownUntil int64
@@ -215,14 +238,27 @@ func NewTuner(db *engine.DB, opts Options) *Tuner {
 	if opts.MaxCandidates <= 0 {
 		opts.MaxCandidates = 128
 	}
+	reg := db.Observability().Reg
 	return &Tuner{
-		db:             db,
-		env:            db.WhatIfEnv(),
-		opts:           opts,
-		tracked:        make(map[string]*IndexStats),
-		inConfig:       make(map[string]bool),
-		buildCostCache: make(map[string]buildCostEntry),
-		memo:           whatif.NewMemo(db.WhatIfEnv()),
+		db:               db,
+		env:              db.WhatIfEnv(),
+		opts:             opts,
+		tracked:          make(map[string]*IndexStats),
+		inConfig:         make(map[string]bool),
+		buildCostCache:   make(map[string]buildCostEntry),
+		memo:             whatif.NewMemo(db.WhatIfEnv()),
+		mQueries:         reg.Counter("tuner.queries"),
+		mTotalNS:         reg.Counter("tuner.total_ns"),
+		mLine1NS:         reg.Counter("tuner.line1_ns"),
+		mLines28NS:       reg.Counter("tuner.lines2_8_ns"),
+		mLines918NS:      reg.Counter("tuner.lines9_18_ns"),
+		mLine18NS:        reg.Counter("tuner.line18_ns"),
+		mTransitionCost:  reg.FloatCounter("tuner.transition_cost"),
+		mBuildsStarted:   reg.Counter("tuner.builds_started"),
+		mBuildsCompleted: reg.Counter("tuner.builds_completed"),
+		mBuildsAborted:   reg.Counter("tuner.builds_aborted"),
+		mDecisions:       reg.Counter("tuner.decisions"),
+		decisions:        obs.NewDecisionLog(0),
 	}
 }
 
@@ -240,11 +276,47 @@ func (t *Tuner) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
-// Metrics returns the overhead counters.
+// Metrics returns a snapshot of the overhead counters. All fields are
+// atomic registry counters, so this is safe to call at any time — from
+// a dashboard goroutine while statements execute, without taking the
+// tuner's mutex.
 func (t *Tuner) Metrics() Metrics {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.metrics
+	return Metrics{
+		Queries:         t.mQueries.Value(),
+		Total:           time.Duration(t.mTotalNS.Value()),
+		Line1:           time.Duration(t.mLine1NS.Value()),
+		Lines28:         time.Duration(t.mLines28NS.Value()),
+		Lines918:        time.Duration(t.mLines918NS.Value()),
+		Line18:          time.Duration(t.mLine18NS.Value()),
+		TransitionCost:  t.mTransitionCost.Value(),
+		BuildsStarted:   t.mBuildsStarted.Value(),
+		BuildsCompleted: t.mBuildsCompleted.Value(),
+		BuildsAborted:   t.mBuildsAborted.Value(),
+	}
+}
+
+// Decisions returns the structured decision log, oldest first: one
+// record per physical design change or attempted change, carrying the
+// Δ/Δmin/B_I evidence the rule fired on.
+func (t *Tuner) Decisions() []obs.Decision {
+	return t.decisions.Records()
+}
+
+// decide appends one structured record to the decision log (caller
+// holds the mutex; delta/deltaMin must be captured before OnCreated /
+// OnDropped reset them).
+func (t *Tuner) decide(kind string, ix *catalog.Index, delta, deltaMin, buildCost float64, reason string) {
+	t.mDecisions.Inc()
+	t.decisions.Append(obs.Decision{
+		AtQuery:   t.queries,
+		Kind:      kind,
+		Index:     ix.ID(),
+		Table:     ix.Table,
+		Delta:     delta,
+		DeltaMin:  deltaMin,
+		BuildCost: buildCost,
+		Reason:    reason,
+	})
 }
 
 // MemoStats returns the what-if cost memo's hit/miss counters.
@@ -320,7 +392,7 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 		return
 	}
 	t.queries++
-	t.metrics.Queries++
+	t.mQueries.Inc()
 	start := time.Now()
 	// One memo statement span: refresh the index-size snapshot, and keep
 	// (or drop) cost entries depending on whether the physical design or
@@ -332,7 +404,7 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 	tree := info.Result.Tree
 	reqs := tree.Requests()
 	shared := sharedORSet(tree)
-	t.metrics.Line1 += time.Since(l1)
+	t.mLine1NS.Add(time.Since(l1).Nanoseconds())
 
 	// Lines 2–8: update Δ values (in-memory scalars only).
 	l2 := time.Now()
@@ -359,7 +431,7 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 			t.noteUpdate(r)
 		}
 	}
-	t.metrics.Lines28 += time.Since(l2)
+	t.mLines28NS.Add(time.Since(l2).Nanoseconds())
 
 	if t.opts.Async {
 		t.progressBuild(info.EstCost)
@@ -385,9 +457,9 @@ func (t *Tuner) OnExecuted(info *engine.QueryInfo) {
 				t.cooldownUntil = t.queries + int64(cd)
 			}
 		}
-		t.metrics.Lines918 += time.Since(l9)
+		t.mLines918NS.Add(time.Since(l9).Nanoseconds())
 	}
-	t.metrics.Total += time.Since(start)
+	t.mTotalNS.Add(time.Since(start).Nanoseconds())
 }
 
 // requestGroups partitions the tree's non-update requests into OR groups;
@@ -572,9 +644,16 @@ func (t *Tuner) buildCostFor(ix *catalog.Index) float64 {
 }
 
 // dropBadIndexes implements line 9: drop (or suspend) every
-// configuration index whose residual went negative.
+// configuration index whose residual went negative. Members are visited
+// in ID order so the decision log is deterministic for a deterministic
+// workload.
 func (t *Tuner) dropBadIndexes() {
+	ids := make([]string, 0, len(t.inConfig))
 	for id := range t.inConfig {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
 		st := t.tracked[id]
 		if st == nil {
 			continue
@@ -590,6 +669,7 @@ func (t *Tuner) dropBadIndexes() {
 // Section 3.2.1 drop adjustments to the remaining tracked indexes.
 func (t *Tuner) removeIndex(st *IndexStats, reason string) {
 	id := st.Ix.ID()
+	b := t.buildCostFor(st.Ix) // captured before the drop bumps the config version
 	kind := EvDrop
 	if t.opts.UseSuspend {
 		if err := t.env.Mgr.SuspendIndex(id); err != nil {
@@ -601,6 +681,7 @@ func (t *Tuner) removeIndex(st *IndexStats, reason string) {
 			return
 		}
 	}
+	t.decide(kind.String(), st.Ix, st.Delta(), st.DeltaMin, b, reason)
 	delete(t.inConfig, id)
 	beta := st.BetaFor()
 	st.OnDropped()
@@ -611,7 +692,6 @@ func (t *Tuner) removeIndex(st *IndexStats, reason string) {
 		other.AdjustAfterDrop(st.Ix, beta)
 	}
 	t.record(Event{Kind: kind, Index: st.Ix, AtQuery: t.queries})
-	_ = reason
 }
 
 // analyzeAndCreate implements lines 10–21: evaluate candidates (and
@@ -684,7 +764,7 @@ func (t *Tuner) analyzeAndCreate() {
 			t.generateMerges(st, queue, seenMerge, func(ms *IndexStats) {
 				queue = append(queue, ms)
 			})
-			t.metrics.Line18 += time.Since(l18)
+			t.mLine18NS.Add(time.Since(l18).Nanoseconds())
 		}
 	}
 
@@ -812,7 +892,12 @@ func (t *Tuner) candidateList() []*IndexStats {
 // evaluation's mode) or by starting an asynchronous background build.
 func (t *Tuner) createIndex(st *IndexStats, buildCost float64) {
 	if !t.opts.Async {
-		t.finishCreate(st, buildCost, nil)
+		// A synchronous creation is a build that starts and completes
+		// within the statement, so it moves both counters at once.
+		t.mBuildsStarted.Inc()
+		if t.finishCreate(st, buildCost, nil, "benefit") {
+			t.mBuildsCompleted.Inc()
+		}
 		return
 	}
 	pb := &pendingBuild{st: st, buildCost: buildCost, remaining: buildCost}
@@ -839,15 +924,18 @@ func (t *Tuner) createIndex(st *IndexStats, buildCost float64) {
 	st.Creating = true
 	st.deltaAtCreateStart = st.Delta()
 	t.pending = pb
-	t.metrics.BuildsStarted++
+	t.mBuildsStarted.Inc()
+	t.decide(EvBuildStart.String(), st.Ix, st.Delta(), st.DeltaMin, buildCost, "benefit")
 	t.notify(Event{Kind: EvBuildStart, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
 }
 
 // finishCreate materializes the index and applies the Section 3.2.1
 // create adjustments plus the shared-OR invalidation. For asynchronous
 // creations b carries the finished background build to publish;
-// synchronous creations and suspended restarts pass nil.
-func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build) bool {
+// synchronous creations and suspended restarts pass nil. reason names
+// the decision-log rule ("benefit" for synchronous creations,
+// "published" for asynchronous ones).
+func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build, reason string) bool {
 	id := st.Ix.ID()
 	kind := EvCreate
 	if pi := t.env.Mgr.Index(id); b == nil && pi != nil && pi.State() == storage.StateSuspended {
@@ -875,9 +963,10 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build
 			return false
 		}
 	}
+	t.decide(kind.String(), st.Ix, st.Delta(), st.DeltaMin, buildCost, reason)
 	t.inConfig[id] = true
 	st.OnCreated()
-	t.metrics.TransitionCost += buildCost
+	t.mTransitionCost.Add(buildCost)
 	t.record(Event{Kind: kind, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
 
 	sizeCreated := t.env.IndexBytes(st.Ix)
@@ -921,8 +1010,8 @@ func (t *Tuner) progressBuild(queryCost float64) {
 			return
 		}
 	}
-	if t.finishCreate(pb.st, pb.buildCost, pb.build) {
-		t.metrics.BuildsCompleted++
+	if t.finishCreate(pb.st, pb.buildCost, pb.build, "published") {
+		t.mBuildsCompleted.Inc()
 	}
 }
 
@@ -943,8 +1032,9 @@ func (t *Tuner) abortBuild() {
 	st := pb.st
 	wasted := pb.buildCost - pb.remaining
 	st.Creating = false
-	t.metrics.TransitionCost += wasted
-	t.metrics.BuildsAborted++
+	t.mTransitionCost.Add(wasted)
+	t.mBuildsAborted.Inc()
+	t.decide(EvAbort.String(), st.Ix, st.Delta(), st.DeltaMin, pb.buildCost, "erosion")
 	t.record(Event{Kind: EvAbort, Index: st.Ix, Cost: wasted, AtQuery: t.queries})
 }
 
@@ -1079,9 +1169,10 @@ func (t *Tuner) ManualCreate(ix *catalog.Index) error {
 		st = NewIndexStats(ix)
 		t.tracked[id] = st
 	}
+	t.decide(EvCreate.String(), ix, st.Delta(), st.DeltaMin, b, "manual")
 	t.inConfig[id] = true
 	st.OnCreated()
-	t.metrics.TransitionCost += b
+	t.mTransitionCost.Add(b)
 	t.record(Event{Kind: EvCreate, Index: ix, Cost: b, AtQuery: t.queries})
 	sizeCreated := t.env.IndexBytes(ix)
 	for oid, other := range t.tracked {
@@ -1109,6 +1200,7 @@ func (t *Tuner) ManualDrop(name string) error {
 	if err := t.db.DropIndex(ix); err != nil {
 		return err
 	}
+	t.decide(EvDrop.String(), ix, st.Delta(), st.DeltaMin, t.buildCostFor(ix), "manual")
 	delete(t.inConfig, id)
 	beta := st.BetaFor()
 	st.OnDropped()

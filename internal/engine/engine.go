@@ -7,14 +7,17 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/executor"
+	"onlinetuner/internal/obs"
 	"onlinetuner/internal/optimizer"
 	"onlinetuner/internal/plan"
 	"onlinetuner/internal/sql"
@@ -61,6 +64,17 @@ type DB struct {
 
 	locks *tableLocks
 	pc    *planCache
+	ob    *obs.Obs
+
+	// Always-on pipeline counters; single atomic adds on the hot path.
+	statements   *obs.Counter
+	execErrors   *obs.Counter
+	staleRetries *obs.Counter
+
+	// Timed metrics, recorded only for traced statements: the extra
+	// clock reads they need already happened for the trace's spans.
+	execLatency *obs.Histogram
+	lockWaitNS  *obs.Counter
 
 	obsMu    sync.RWMutex
 	observer Observer
@@ -72,17 +86,28 @@ func Open() *DB {
 	mgr := storage.NewManager(cat)
 	st := stats.NewStore()
 	env := whatif.NewEnv(cat, st, mgr)
+	ob := obs.New()
 	return &DB{
-		Cat:   cat,
-		Mgr:   mgr,
-		Stats: st,
-		Env:   env,
-		Opt:   optimizer.New(env),
-		Exe:   executor.New(cat, mgr),
-		locks: newTableLocks(),
-		pc:    newPlanCache(),
+		Cat:          cat,
+		Mgr:          mgr,
+		Stats:        st,
+		Env:          env,
+		Opt:          optimizer.New(env),
+		Exe:          executor.New(cat, mgr),
+		locks:        newTableLocks(),
+		pc:           newPlanCache(ob.Reg),
+		ob:           ob,
+		statements:   ob.Reg.Counter("engine.statements"),
+		execErrors:   ob.Reg.Counter("engine.errors"),
+		staleRetries: ob.Reg.Counter("engine.stale_retries"),
+		execLatency:  ob.Reg.Histogram("engine.exec_ns", obs.DefaultLatencyBuckets),
+		lockWaitNS:   ob.Reg.Counter("engine.lock_wait_ns"),
 	}
 }
+
+// Observability exposes the engine's metrics registry and statement
+// tracer.
+func (db *DB) Observability() *obs.Obs { return db.ob }
 
 // SetObserver installs the post-execution observer (the online tuner).
 func (db *DB) SetObserver(o Observer) {
@@ -102,11 +127,31 @@ func (db *DB) getObserver() Observer {
 // AST and fingerprint are immutable after construction, so they are
 // shared read-only across executions.
 func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
+	return db.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec accepting a context. A trace attached with
+// obs.WithTrace records the statement's pipeline spans into the
+// caller's trace; otherwise the engine's sampler decides whether this
+// statement is traced into the ring.
+func (db *DB) ExecContext(ctx context.Context, text string) (*executor.ResultSet, *QueryInfo, error) {
+	tr, owned := db.startTrace(ctx, text)
+	if owned {
+		defer db.ob.FinishTrace(tr)
+	}
+	var parseSpan obs.SpanRef
+	if tr != nil {
+		parseSpan = tr.Phase("parse")
+	}
 	if e := db.pc.lookupStmt(text); e != nil {
-		return db.execStmtFP(text, e.stmt, e.fp)
+		if tr != nil {
+			parseSpan.SetAttr("stmt-cache hit")
+		}
+		return db.execStmtFP(text, e.stmt, e.fp, tr)
 	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
+		db.noteErr(tr, err)
 		return nil, nil, err
 	}
 	var fp *sql.Fingerprint
@@ -115,24 +160,61 @@ func (db *DB) Exec(text string) (*executor.ResultSet, *QueryInfo, error) {
 		fp = &f
 	}
 	db.pc.storeStmt(&stmtEntry{text: text, stmt: stmt, fp: fp})
-	return db.execStmtFP(text, stmt, fp)
+	return db.execStmtFP(text, stmt, fp, tr)
 }
 
 // ExecStmt runs an already-parsed statement (callers that replay
 // workloads avoid re-parsing). It holds the statement's table locks for
 // the whole optimize→execute→observe span.
 func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *QueryInfo, error) {
-	return db.execStmtFP(text, stmt, nil)
+	tr, owned := db.startTrace(context.Background(), text)
+	if owned {
+		defer db.ob.FinishTrace(tr)
+	}
+	return db.execStmtFP(text, stmt, nil, tr)
 }
 
-func (db *DB) execStmtFP(text string, stmt sql.Statement, fp *sql.Fingerprint) (*executor.ResultSet, *QueryInfo, error) {
+// startTrace resolves the statement's trace: a context-carried trace
+// belongs to the caller; otherwise the sampler may start one the engine
+// owns (and must finish into the ring).
+func (db *DB) startTrace(ctx context.Context, text string) (tr *obs.Trace, owned bool) {
+	if t := obs.FromContext(ctx); t != nil {
+		return t, false
+	}
+	t := db.ob.StartStatementTrace(text)
+	return t, t != nil
+}
+
+// noteErr records a statement failure on the counters and the trace.
+func (db *DB) noteErr(tr *obs.Trace, err error) {
+	db.execErrors.Inc()
+	if tr != nil && err != nil {
+		tr.Err = err.Error()
+	}
+}
+
+func (db *DB) execStmtFP(text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
 	reads, writes := db.lockTablesFor(stmt)
+	var lockStart time.Time
+	if tr != nil {
+		tr.Phase("lock-wait")
+		lockStart = time.Now()
+	}
 	release := db.locks.acquire(reads, writes)
 	defer release()
-	return db.execLocked(text, stmt, fp)
+	if tr != nil {
+		db.lockWaitNS.Add(time.Since(lockStart).Nanoseconds())
+	}
+	return db.execLocked(text, stmt, fp, tr)
 }
 
-func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint) (*executor.ResultSet, *QueryInfo, error) {
+func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
+	db.statements.Inc()
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+		defer func() { db.execLatency.Observe(float64(time.Since(start).Nanoseconds())) }()
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return db.execCreateTable(s)
@@ -152,30 +234,69 @@ func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint) (
 	var rs *executor.ResultSet
 	var res *optimizer.Result
 	var err error
+	var execSpan obs.SpanRef
 	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			db.staleRetries.Inc()
+		}
 		// A retry after ErrStaleIndex revalidates naturally: the drop that
 		// invalidated the plan bumped the config version, so the cache
 		// probe misses and the statement is optimized fresh.
+		var optSpan obs.SpanRef
+		if tr != nil {
+			optSpan = tr.Phase("optimize")
+		}
 		res, err = db.optimizeMaybeCached(stmt, &fp)
 		if err != nil {
+			db.noteErr(tr, err)
 			return nil, nil, err
+		}
+		if tr != nil {
+			tr.Provenance = provenanceOf(res)
+			tr.Requests = len(res.Requests())
+			optSpan.SetAttr(tr.Provenance)
+			execSpan = tr.Phase("execute")
 		}
 		rs, err = db.Exe.Run(res.Plan)
 		if err == nil {
 			break
 		}
 		if !errors.Is(err, executor.ErrStaleIndex) {
+			db.noteErr(tr, err)
 			return nil, nil, err
 		}
 	}
 	if err != nil {
+		db.noteErr(tr, err)
 		return nil, nil, err
+	}
+	if tr != nil {
+		execSpan.SetRows(int64(len(rs.Rows)) + int64(rs.Affected))
 	}
 	info := &QueryInfo{SQL: text, Stmt: stmt, Result: res, EstCost: res.Cost}
 	if o := db.getObserver(); o != nil {
+		if tr != nil {
+			tr.Phase("observe")
+		}
 		o.OnExecuted(info)
 	}
+	if tr != nil {
+		tr.EndPhase()
+	}
 	return rs, info, nil
+}
+
+// provenanceOf names a result's plan-cache provenance: "fresh",
+// "cached (exact)" or "cached (rebound)".
+func provenanceOf(res *optimizer.Result) string {
+	switch {
+	case res.Rebound:
+		return "cached (rebound)"
+	case res.FromCache:
+		return "cached (exact)"
+	default:
+		return "fresh"
+	}
 }
 
 // MustExec runs a statement and panics on error; for tests and examples.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"onlinetuner/internal/datum"
+	"onlinetuner/internal/obs"
 	"onlinetuner/internal/optimizer"
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/storage"
@@ -99,16 +100,26 @@ type planCache struct {
 	plans [planShards]planShard
 	stmts [planShards]stmtShard
 
-	hits          atomic.Int64
-	rebindHits    atomic.Int64
-	misses        atomic.Int64
-	invalidations atomic.Int64
-	evictions     atomic.Int64
-	stmtHits      atomic.Int64
+	// The counters ARE the registry's metrics (not mirrors of them):
+	// PlanCacheStats and the obs snapshot read the same atomics, so the
+	// two views reconcile exactly by construction.
+	hits          *obs.Counter
+	rebindHits    *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
+	evictions     *obs.Counter
+	stmtHits      *obs.Counter
 }
 
-func newPlanCache() *planCache {
-	pc := &planCache{}
+func newPlanCache(reg *obs.Registry) *planCache {
+	pc := &planCache{
+		hits:          reg.Counter("plancache.hits"),
+		rebindHits:    reg.Counter("plancache.rebind_hits"),
+		misses:        reg.Counter("plancache.misses"),
+		invalidations: reg.Counter("plancache.invalidations"),
+		evictions:     reg.Counter("plancache.evictions"),
+		stmtHits:      reg.Counter("plancache.stmt_hits"),
+	}
 	for i := range pc.plans {
 		pc.plans[i].ll = list.New()
 		pc.plans[i].byHash = make(map[uint64]*list.Element)
@@ -129,12 +140,12 @@ func (db *DB) PlanCacheMode() CacheMode { return CacheMode(db.pc.mode.Load()) }
 // PlanCacheStats returns a snapshot of the cache counters.
 func (db *DB) PlanCacheStats() PlanCacheStats {
 	return PlanCacheStats{
-		Hits:          db.pc.hits.Load(),
-		RebindHits:    db.pc.rebindHits.Load(),
-		Misses:        db.pc.misses.Load(),
-		Invalidations: db.pc.invalidations.Load(),
-		Evictions:     db.pc.evictions.Load(),
-		StmtHits:      db.pc.stmtHits.Load(),
+		Hits:          db.pc.hits.Value(),
+		RebindHits:    db.pc.rebindHits.Value(),
+		Misses:        db.pc.misses.Value(),
+		Invalidations: db.pc.invalidations.Value(),
+		Evictions:     db.pc.evictions.Value(),
+		StmtHits:      db.pc.stmtHits.Value(),
 	}
 }
 
@@ -165,7 +176,7 @@ func (pc *planCache) lookupStmt(text string) *stmtEntry {
 		return nil
 	}
 	sh.ll.MoveToFront(el)
-	pc.stmtHits.Add(1)
+	pc.stmtHits.Inc()
 	return el.Value.(*stmtEntry)
 }
 
@@ -199,45 +210,45 @@ func (db *DB) lookupPlan(fp *sql.Fingerprint, mode CacheMode, cfgV, statsE int64
 	el, ok := sh.byHash[fp.Hash]
 	if !ok {
 		sh.mu.Unlock()
-		pc.misses.Add(1)
+		pc.misses.Inc()
 		return nil
 	}
 	e := el.Value.(*planEntry)
 	if e.template != fp.Template {
 		sh.mu.Unlock() // hash collision: treat as a plain miss
-		pc.misses.Add(1)
+		pc.misses.Inc()
 		return nil
 	}
 	if e.cfgVersion != cfgV || e.statsEpoch != statsE {
 		sh.ll.Remove(el)
 		delete(sh.byHash, fp.Hash)
 		sh.mu.Unlock()
-		pc.invalidations.Add(1)
-		pc.misses.Add(1)
+		pc.invalidations.Inc()
+		pc.misses.Inc()
 		return nil
 	}
 	if e.sizeSig == sizeSig && bindingsEqual(e.bindings, fp.Bindings) {
 		sh.ll.MoveToFront(el)
 		res := e.res
 		sh.mu.Unlock()
-		pc.hits.Add(1)
+		pc.hits.Inc()
 		out := *res
 		out.FromCache = true
 		return &out
 	}
 	if mode != CacheRebind || !e.res.Generic {
 		sh.mu.Unlock()
-		pc.misses.Add(1)
+		pc.misses.Inc()
 		return nil
 	}
 	sh.ll.MoveToFront(el)
 	res, lits := e.res, e.lits
 	sh.mu.Unlock()
 	if out, ok := db.Opt.Rebind(res, lits, fp.Bindings); ok {
-		pc.rebindHits.Add(1)
+		pc.rebindHits.Inc()
 		return out
 	}
-	pc.misses.Add(1)
+	pc.misses.Inc()
 	return nil
 }
 
@@ -255,7 +266,7 @@ func (pc *planCache) storePlan(e *planEntry) {
 		back := sh.ll.Back()
 		delete(sh.byHash, back.Value.(*planEntry).hash)
 		sh.ll.Remove(back)
-		pc.evictions.Add(1)
+		pc.evictions.Inc()
 	}
 }
 

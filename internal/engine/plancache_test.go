@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"onlinetuner/internal/executor"
+	"onlinetuner/internal/obs"
 )
 
 // canonRows renders a result set order-independently for comparison.
@@ -210,7 +211,7 @@ func TestPlanCacheInsertNotCached(t *testing.T) {
 }
 
 func TestPlanCacheLRUBound(t *testing.T) {
-	pc := newPlanCache()
+	pc := newPlanCache(obs.NewRegistry())
 	// Hashes that all land in shard 0 overflow its capacity.
 	for i := 0; i < 3*planShardCap; i++ {
 		pc.storePlan(&planEntry{hash: uint64(i * planShards), template: fmt.Sprint(i)})
@@ -222,7 +223,7 @@ func TestPlanCacheLRUBound(t *testing.T) {
 	if len(sh.byHash) != planShardCap {
 		t.Fatalf("shard map holds %d entries, want cap %d", len(sh.byHash), planShardCap)
 	}
-	if ev := pc.evictions.Load(); ev != 2*planShardCap {
+	if ev := pc.evictions.Value(); ev != 2*planShardCap {
 		t.Fatalf("evictions = %d, want %d", ev, 2*planShardCap)
 	}
 	// The most recent entries survived.

@@ -1,0 +1,57 @@
+package executor
+
+import (
+	"time"
+
+	"onlinetuner/internal/plan"
+)
+
+// NodeStats records the actual execution of one plan operator, for
+// EXPLAIN ANALYZE. Duration is cumulative (it includes children),
+// matching the cumulative estimated cost the plan nodes carry.
+type NodeStats struct {
+	// Rows is the operator's actual output cardinality.
+	Rows int64
+	// Scanned counts the heap rows or index entries the operator
+	// examined at the storage layer before residual filtering. Zero for
+	// interior operators, which only consume their children's output.
+	Scanned int64
+	// Pages is the accounted page traffic of a leaf operator: the full
+	// structure size for scans, and the touched key pages plus one page
+	// per heap fetch for seeks (the cost model's random-I/O unit).
+	Pages int64
+	// Duration is the operator's elapsed time including its children.
+	Duration time.Duration
+}
+
+// Collector gathers per-operator NodeStats during one plan execution.
+// It is owned by the executing statement's goroutine: not safe for
+// concurrent use, and meant to be used for a single Run.
+type Collector struct {
+	stats map[plan.Node]*NodeStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{stats: make(map[plan.Node]*NodeStats)}
+}
+
+// Stats returns the recorded stats for a plan node, or nil.
+func (c *Collector) Stats(n plan.Node) *NodeStats {
+	if c == nil {
+		return nil
+	}
+	return c.stats[n]
+}
+
+// at returns the mutable stats slot for a node, creating it on first
+// use. Interior operators may execute a node once; INLJoin-style leaves
+// accumulate across invocations into the same slot.
+func (c *Collector) at(n plan.Node) *NodeStats {
+	s := c.stats[n]
+	if s == nil {
+		s = &NodeStats{}
+		c.stats[n] = s
+	}
+	return s
+}

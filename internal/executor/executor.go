@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
@@ -39,55 +40,92 @@ type ResultSet struct {
 
 // Run executes a plan and returns its result set.
 func (e *Executor) Run(p plan.Node) (*ResultSet, error) {
+	return e.RunCollected(p, nil)
+}
+
+// RunCollected executes a plan recording per-operator actuals (rows,
+// scanned entries, page traffic, timings) into the collector — the
+// execution side of EXPLAIN ANALYZE. A nil collector makes it
+// equivalent to Run: the instrumentation reduces to a nil check.
+func (e *Executor) RunCollected(p plan.Node, c *Collector) (*ResultSet, error) {
 	switch n := p.(type) {
 	case *plan.InsertNode:
-		return e.runInsert(n)
+		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runInsert(n, c) })
 	case *plan.UpdateNode:
-		return e.runUpdate(n)
+		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runUpdate(n) })
 	case *plan.DeleteNode:
-		return e.runDelete(n)
+		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runDelete(n) })
 	}
-	rows, err := e.exec(p)
+	rows, err := e.exec(p, c)
 	if err != nil {
 		return nil, err
 	}
 	return &ResultSet{Columns: schemaColumns(p.Schema()), Rows: rows}, nil
 }
 
-// exec evaluates a read-only operator subtree.
-func (e *Executor) exec(p plan.Node) ([]datum.Row, error) {
+// timedDML wraps a DML root so its affected-row count and duration are
+// collected like any other operator's.
+func (e *Executor) timedDML(p plan.Node, c *Collector, run func() (*ResultSet, error)) (*ResultSet, error) {
+	if c == nil {
+		return run()
+	}
+	start := time.Now()
+	rs, err := run()
+	st := c.at(p)
+	st.Duration += time.Since(start)
+	if rs != nil {
+		st.Rows += int64(rs.Affected)
+	}
+	return rs, err
+}
+
+// exec evaluates a read-only operator subtree, recording actuals into
+// the collector when one is attached.
+func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
+	if c == nil {
+		return e.execNode(p, nil)
+	}
+	start := time.Now()
+	rows, err := e.execNode(p, c)
+	st := c.at(p)
+	st.Duration += time.Since(start)
+	st.Rows += int64(len(rows))
+	return rows, err
+}
+
+func (e *Executor) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
 	switch n := p.(type) {
 	case *plan.SeqScan:
-		return e.seqScan(n)
+		return e.seqScan(n, c)
 	case *plan.IndexScan:
-		return e.indexScan(n)
+		return e.indexScan(n, c)
 	case *plan.IndexSeek:
-		return e.indexSeek(n)
+		return e.indexSeek(n, c)
 	case *plan.Filter:
-		return e.filter(n)
+		return e.filter(n, c)
 	case *plan.Project:
-		return e.project(n)
+		return e.project(n, c)
 	case *plan.Sort:
-		return e.sortNode(n)
+		return e.sortNode(n, c)
 	case *plan.Limit:
-		return e.limit(n)
+		return e.limit(n, c)
 	case *plan.Distinct:
-		return e.distinct(n)
+		return e.distinct(n, c)
 	case *plan.HashJoin:
-		return e.hashJoin(n)
+		return e.hashJoin(n, c)
 	case *plan.MergeJoin:
-		return e.mergeJoin(n)
+		return e.mergeJoin(n, c)
 	case *plan.CrossJoin:
-		return e.crossJoin(n)
+		return e.crossJoin(n, c)
 	case *plan.INLJoin:
-		return e.inlJoin(n)
+		return e.inlJoin(n, c)
 	case *plan.HashAgg:
-		return e.hashAgg(n)
+		return e.hashAgg(n, c)
 	}
 	return nil, fmt.Errorf("executor: unsupported node %T", p)
 }
 
-func (e *Executor) seqScan(n *plan.SeqScan) ([]datum.Row, error) {
+func (e *Executor) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	h := e.mgr.Heap(n.Table)
 	if h == nil {
 		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
@@ -97,8 +135,10 @@ func (e *Executor) seqScan(n *plan.SeqScan) ([]datum.Row, error) {
 		return nil, err
 	}
 	var out []datum.Row
+	var scanned int64
 	var scanErr error
 	h.Scan(func(_ storage.RID, r datum.Row) bool {
+		scanned++
 		ok, err := pred(r)
 		if err != nil {
 			scanErr = err
@@ -109,10 +149,15 @@ func (e *Executor) seqScan(n *plan.SeqScan) ([]datum.Row, error) {
 		}
 		return true
 	})
+	if c != nil {
+		st := c.at(n)
+		st.Scanned += scanned
+		st.Pages += h.Pages() // a full scan reads the whole heap
+	}
 	return out, scanErr
 }
 
-func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
+func (e *Executor) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
@@ -122,7 +167,9 @@ func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
 		return nil, err
 	}
 	var out []datum.Row
+	var scanned int64
 	for it := pi.Tree().Scan(); it.Valid(); it.Next() {
+		scanned++
 		row := it.Entry().Key
 		ok, err := pred(row)
 		if err != nil {
@@ -132,10 +179,15 @@ func (e *Executor) indexScan(n *plan.IndexScan) ([]datum.Row, error) {
 			out = append(out, row)
 		}
 	}
+	if c != nil {
+		st := c.at(n)
+		st.Scanned += scanned
+		st.Pages += pi.Pages() // a full scan reads the whole index
+	}
 	return out, nil
 }
 
-func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
+func (e *Executor) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
@@ -170,14 +222,18 @@ func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
 		}
 	}
 	var out []datum.Row
+	var scanned, keyBytes, fetches int64
 	for ; it.Valid(); it.Next() {
 		ent := it.Entry()
+		scanned++
+		keyBytes += int64(ent.Key.Width())
 		var row datum.Row
 		if n.Fetch || n.Index.Primary {
 			row = h.Get(ent.RID)
 			if row == nil {
 				return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
 			}
+			fetches++
 		} else {
 			row = ent.Key
 		}
@@ -189,11 +245,18 @@ func (e *Executor) indexSeek(n *plan.IndexSeek) ([]datum.Row, error) {
 			out = append(out, row)
 		}
 	}
+	if c != nil {
+		// Key pages actually traversed, plus one random heap page per
+		// fetched row — the cost model's random-I/O unit.
+		st := c.at(n)
+		st.Scanned += scanned
+		st.Pages += storage.PagesFor(keyBytes) + fetches
+	}
 	return out, nil
 }
 
-func (e *Executor) filter(n *plan.Filter) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -214,8 +277,8 @@ func (e *Executor) filter(n *plan.Filter) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) project(n *plan.Project) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +305,8 @@ func (e *Executor) project(n *plan.Project) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) sortNode(n *plan.Sort) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -290,8 +353,8 @@ func (e *Executor) sortNode(n *plan.Sort) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) limit(n *plan.Limit) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) limit(n *plan.Limit, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -301,8 +364,8 @@ func (e *Executor) limit(n *plan.Limit) ([]datum.Row, error) {
 	return in, nil
 }
 
-func (e *Executor) distinct(n *plan.Distinct) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -328,12 +391,12 @@ func rowKey(r datum.Row) string {
 	return sb.String()
 }
 
-func (e *Executor) hashJoin(n *plan.HashJoin) ([]datum.Row, error) {
-	left, err := e.exec(n.Left)
+func (e *Executor) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
+	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.exec(n.Right)
+	right, err := e.exec(n.Right, c)
 	if err != nil {
 		return nil, err
 	}
@@ -396,12 +459,12 @@ func keyOf(r datum.Row, fns []evalFunc) (string, bool, error) {
 // the optimizer believes an input is pre-ordered) and merges them with
 // group-wise matching so duplicate keys produce the full cross product
 // of their groups. Rows with NULL keys never match, as in every join.
-func (e *Executor) mergeJoin(n *plan.MergeJoin) ([]datum.Row, error) {
-	left, err := e.exec(n.Left)
+func (e *Executor) mergeJoin(n *plan.MergeJoin, c *Collector) ([]datum.Row, error) {
+	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.exec(n.Right)
+	right, err := e.exec(n.Right, c)
 	if err != nil {
 		return nil, err
 	}
@@ -486,12 +549,12 @@ func sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keye
 	return out, nil
 }
 
-func (e *Executor) crossJoin(n *plan.CrossJoin) ([]datum.Row, error) {
-	left, err := e.exec(n.Left)
+func (e *Executor) crossJoin(n *plan.CrossJoin, c *Collector) ([]datum.Row, error) {
+	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.exec(n.Right)
+	right, err := e.exec(n.Right, c)
 	if err != nil {
 		return nil, err
 	}
@@ -507,8 +570,8 @@ func (e *Executor) crossJoin(n *plan.CrossJoin) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
-	outer, err := e.exec(n.Outer)
+func (e *Executor) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
+	outer, err := e.exec(n.Outer, c)
 	if err != nil {
 		return nil, err
 	}
@@ -529,6 +592,7 @@ func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
 	}
 	fetch := n.Fetch || n.Index.Primary
 	var out []datum.Row
+	var scanned, keyBytes, fetches int64
 	for _, orow := range outer {
 		key := make(datum.Row, len(keyFns))
 		null := false
@@ -548,12 +612,15 @@ func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
 		}
 		for it := pi.Tree().Seek(key, true, key, true); it.Valid(); it.Next() {
 			ent := it.Entry()
+			scanned++
+			keyBytes += int64(ent.Key.Width())
 			var irow datum.Row
 			if fetch {
 				irow = h.Get(ent.RID)
 				if irow == nil {
 					return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
 				}
+				fetches++
 			} else {
 				irow = ent.Key
 			}
@@ -568,6 +635,11 @@ func (e *Executor) inlJoin(n *plan.INLJoin) ([]datum.Row, error) {
 				out = append(out, combined)
 			}
 		}
+	}
+	if c != nil {
+		st := c.at(n)
+		st.Scanned += scanned
+		st.Pages += storage.PagesFor(keyBytes) + fetches
 	}
 	return out, nil
 }
@@ -647,8 +719,8 @@ func (a *aggState) result(fn string) datum.Datum {
 	return datum.Null
 }
 
-func (e *Executor) hashAgg(n *plan.HashAgg) ([]datum.Row, error) {
-	in, err := e.exec(n.Child)
+func (e *Executor) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
+	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
 	}
@@ -729,10 +801,10 @@ func (e *Executor) hashAgg(n *plan.HashAgg) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) runInsert(n *plan.InsertNode) (*ResultSet, error) {
+func (e *Executor) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, error) {
 	rows := n.Literals
 	if n.Source != nil {
-		src, err := e.exec(n.Source)
+		src, err := e.exec(n.Source, c)
 		if err != nil {
 			return nil, err
 		}

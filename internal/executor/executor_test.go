@@ -68,7 +68,7 @@ func TestSeqScanWithPreds(t *testing.T) {
 	cat, _, ex, _ := fixture(t, 100, false)
 	n := &plan.SeqScan{Table: "R", Alias: "R", Preds: []sql.Expr{expr(t, "a = 3")}}
 	n.Out = rSchema(cat)
-	rows, err := ex.exec(n)
+	rows, err := ex.exec(n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestIndexSeekCoveringAndBounds(t *testing.T) {
 	eq := datum.NewInt(7)
 	n := &plan.IndexSeek{Index: ix, Alias: "R", EqVals: []datum.Datum{eq}}
 	n.Out = plan.IndexSchema(ix, "R")
-	rows, err := ex.exec(n)
+	rows, err := ex.exec(n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestIndexSeekFetch(t *testing.T) {
 	eq := datum.NewInt(7)
 	n := &plan.IndexSeek{Index: ix, Alias: "R", EqVals: []datum.Datum{eq}, Fetch: true}
 	n.Out = rSchema(cat)
-	rows, err := ex.exec(n)
+	rows, err := ex.exec(n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestIndexSeekRangeBounds(t *testing.T) {
 	lo, hi := datum.NewInt(3), datum.NewInt(5)
 	n := &plan.IndexSeek{Index: ix, Alias: "R", Lo: &lo, Hi: &hi, LoInc: true, HiInc: false}
 	n.Out = plan.IndexSchema(ix, "R")
-	rows, err := ex.exec(n)
+	rows, err := ex.exec(n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestIndexSeekInactiveIndexFails(t *testing.T) {
 	}
 	n := &plan.IndexSeek{Index: ix, Alias: "R", EqVals: []datum.Datum{datum.NewInt(1)}}
 	n.Out = plan.IndexSchema(ix, "R")
-	if _, err := ex.exec(n); err == nil {
+	if _, err := ex.exec(n, nil); err == nil {
 		t.Error("seek on suspended index should fail")
 	}
 }
@@ -156,7 +156,7 @@ func TestHashJoinNullKeysDropped(t *testing.T) {
 		RightKeys: []sql.Expr{&sql.ColumnRef{Table: "r", Column: "a"}},
 	}
 	j.Out = append(append([]plan.ColRef(nil), left.Out...), right.Out...)
-	rows, err := ex.exec(j)
+	rows, err := ex.exec(j, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestSortDescAndLimit(t *testing.T) {
 	s.Out = scan.Out
 	l := &plan.Limit{Child: s, N: 3}
 	l.Out = s.Out
-	rows, err := ex.exec(l)
+	rows, err := ex.exec(l, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestHashAggFunctions(t *testing.T) {
 		},
 	}
 	agg.Out = []plan.ColRef{{Column: "b"}, {Column: "n"}, {Column: "s"}, {Column: "mn"}, {Column: "mx"}, {Column: "av"}}
-	rows, err := ex.exec(agg)
+	rows, err := ex.exec(agg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestAggNullHandling(t *testing.T) {
 		{Func: "SUM", Arg: &sql.ColumnRef{Column: "a"}, Name: "s"},
 	}}
 	agg.Out = []plan.ColRef{{Column: "c"}, {Column: "s"}}
-	rows, err := ex.exec(agg)
+	rows, err := ex.exec(agg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestComparisonWithNullIsFalse(t *testing.T) {
 	}
 	n := &plan.SeqScan{Table: "R", Alias: "R", Preds: []sql.Expr{expr(t, "a = 0")}}
 	n.Out = rSchema(cat)
-	rows, err := ex.exec(n)
+	rows, err := ex.exec(n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestComparisonWithNullIsFalse(t *testing.T) {
 	// IS NULL does.
 	n2 := &plan.SeqScan{Table: "R", Alias: "R", Preds: []sql.Expr{expr(t, "a IS NULL")}}
 	n2.Out = rSchema(cat)
-	rows, err = ex.exec(n2)
+	rows, err = ex.exec(n2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +363,7 @@ func TestDistinctOperator(t *testing.T) {
 	p.Out = []plan.ColRef{{Column: "b"}}
 	d := &plan.Distinct{Child: p}
 	d.Out = p.Out
-	rows, err := ex.exec(d)
+	rows, err := ex.exec(d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +380,7 @@ func TestCrossJoin(t *testing.T) {
 	r.Out = plan.TableSchema(cat.Table("R"), "r")
 	cj := &plan.CrossJoin{Left: l, Right: r}
 	cj.Out = append(append([]plan.ColRef(nil), l.Out...), r.Out...)
-	rows, err := ex.exec(cj)
+	rows, err := ex.exec(cj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func BenchmarkSeqScan10k(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.exec(n); err != nil {
+		if _, err := ex.exec(n, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,7 +409,7 @@ func BenchmarkIndexSeek10k(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := ex.exec(n); err != nil {
+		if _, err := ex.exec(n, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

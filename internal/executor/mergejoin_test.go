@@ -28,13 +28,13 @@ func buildMJ(t *testing.T, rows int) (*Executor, *plan.MergeJoin) {
 
 func TestMergeJoinMatchesHashJoin(t *testing.T) {
 	ex, mj := buildMJ(t, 50)
-	mjRows, err := ex.exec(mj)
+	mjRows, err := ex.exec(mj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hj := &plan.HashJoin{Left: mj.Left, Right: mj.Right, LeftKeys: mj.LeftKeys, RightKeys: mj.RightKeys}
 	hj.Out = mj.Out
-	hjRows, err := ex.exec(hj)
+	hjRows, err := ex.exec(hj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestMergeJoinDuplicateGroups(t *testing.T) {
 	// 50 rows with a = i%10: each key has 5 rows on both sides → 10 keys
 	// × 25 pairs = 250.
 	ex, mj := buildMJ(t, 50)
-	rows, err := ex.exec(mj)
+	rows, err := ex.exec(mj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestMergeJoinNullKeysDropped(t *testing.T) {
 		RightKeys: []sql.Expr{&sql.ColumnRef{Table: "r", Column: "a"}},
 	}
 	mj.Out = append(append([]plan.ColRef(nil), l.Out...), r.Out...)
-	rows, err := ex.exec(mj)
+	rows, err := ex.exec(mj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestMergeJoinNullKeysDropped(t *testing.T) {
 
 func TestMergeJoinEmptySides(t *testing.T) {
 	ex, mj := buildMJ(t, 0)
-	rows, err := ex.exec(mj)
+	rows, err := ex.exec(mj, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,185 @@
+// Package difftest is the differential harness for the plan cache: the
+// cache is an optimization, so every caching mode must be semantically
+// invisible. The same workload is replayed against fresh databases in
+// CacheExact, CacheRebind and CacheOff modes, and the result sets AND
+// the tuner's structured decision logs are required to agree.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/obs"
+	"onlinetuner/internal/tpch"
+)
+
+const (
+	scale    = 0.1
+	dataSeed = 42
+)
+
+// replay loads the same TPC-H instance into a fresh database, attaches
+// an online tuner, sets the cache mode, and executes every statement,
+// returning the per-statement canonical results, the tuner decision
+// log, and the database for further inspection.
+func replay(t *testing.T, mode engine.CacheMode, stmts []string) ([]string, []obs.Decision, *engine.DB, *core.Tuner) {
+	t.Helper()
+	db := engine.Open()
+	db.SetPlanCacheMode(mode)
+	if err := tpch.NewGenerator(scale, dataSeed).Load(db); err != nil {
+		t.Fatal(err)
+	}
+	tn := core.Attach(db, core.DefaultOptions())
+	out := make([]string, len(stmts))
+	for i, s := range stmts {
+		rs, _, err := db.Exec(s)
+		if err != nil {
+			t.Fatalf("mode %v stmt %d %q: %v", mode, i, s, err)
+		}
+		out[i] = canon(rs.Rows, rs.Affected)
+	}
+	return out, tn.Decisions(), db, tn
+}
+
+// canon renders a result in execution order, byte for byte.
+func canon(rows []datum.Row, affected int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "affected=%d\n", affected)
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			fmt.Fprintf(&sb, "%v", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// sortLines reduces a canonical result to an order-insensitive form.
+func sortLines(s string) string {
+	lines := strings.Split(s, "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func sameDecisions(t *testing.T, name string, a, b []obs.Decision) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: decision logs diverge: %d vs %d records\nA: %+v\nB: %+v", name, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: decision %d diverges:\nA: %+v\nB: %+v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestDifferentialFixedWorkload replays one batch of the 22 TPC-H query
+// templates three times with FIXED parameters. All three cache modes
+// must produce byte-identical per-statement results in execution order,
+// and the tuner must make the identical sequence of decisions — same
+// indexes, same Δ evidence, same reasons, at the same query counts.
+func TestDifferentialFixedWorkload(t *testing.T) {
+	batch := tpch.NewGenerator(scale, 7).Batch()
+	var stmts []string
+	for r := 0; r < 3; r++ {
+		stmts = append(stmts, batch...)
+	}
+
+	resExact, decExact, dbExact, _ := replay(t, engine.CacheExact, stmts)
+	resRebind, decRebind, _, _ := replay(t, engine.CacheRebind, stmts)
+	resOff, decOff, _, _ := replay(t, engine.CacheOff, stmts)
+
+	for i := range stmts {
+		if resExact[i] != resOff[i] {
+			t.Fatalf("stmt %d %q: exact differs from off:\n%s\nvs\n%s", i, stmts[i], resExact[i], resOff[i])
+		}
+		if resRebind[i] != resOff[i] {
+			t.Fatalf("stmt %d %q: rebind differs from off:\n%s\nvs\n%s", i, stmts[i], resRebind[i], resOff[i])
+		}
+	}
+	sameDecisions(t, "exact vs off", decExact, decOff)
+	sameDecisions(t, "rebind vs off", decRebind, decOff)
+
+	// The comparison only means something if caching actually happened.
+	if st := dbExact.PlanCacheStats(); st.Hits == 0 {
+		t.Errorf("exact mode never hit the cache: %+v", st)
+	}
+}
+
+// TestDifferentialVaryingWorkloadWithDML is the harder variant: three
+// batches with FRESH parameters per template, interleaved with
+// disruptive updates and refresh streams, then a parameter sweep on one
+// template to force generic-plan rebinds. CacheExact must stay
+// byte-identical to CacheOff (same decisions too); CacheRebind may pick
+// differently-costed but equivalent plans, so its results are compared
+// as order-insensitive sets — and it must actually rebind.
+func TestDifferentialVaryingWorkloadWithDML(t *testing.T) {
+	g := tpch.NewGenerator(scale, 11)
+	var stmts []string
+	for r := 0; r < 3; r++ {
+		stmts = append(stmts, g.Batch()...)
+		stmts = append(stmts, g.DisruptiveUpdates(4)...)
+		stmts = append(stmts, g.RefreshInsert(2)...)
+		stmts = append(stmts, g.RefreshDelete(1)...)
+	}
+	// Parameter sweep: same template, different literals, back to back.
+	for i := 0; i < 15; i++ {
+		stmts = append(stmts, g.Query(6))
+	}
+
+	resExact, decExact, _, _ := replay(t, engine.CacheExact, stmts)
+	resRebind, _, dbRebind, _ := replay(t, engine.CacheRebind, stmts)
+	resOff, decOff, _, _ := replay(t, engine.CacheOff, stmts)
+
+	for i := range stmts {
+		if resExact[i] != resOff[i] {
+			t.Fatalf("stmt %d %q: exact differs from off:\n%s\nvs\n%s", i, stmts[i], resExact[i], resOff[i])
+		}
+		if sortLines(resRebind[i]) != sortLines(resOff[i]) {
+			t.Fatalf("stmt %d %q: rebind result set differs from off:\n%s\nvs\n%s", i, stmts[i], resRebind[i], resOff[i])
+		}
+	}
+	sameDecisions(t, "exact vs off", decExact, decOff)
+
+	if st := dbRebind.PlanCacheStats(); st.RebindHits == 0 {
+		t.Errorf("rebind mode never rebound a generic plan: %+v", st)
+	}
+}
+
+// TestTunerSnapshotReconciliationUnderWorkload reruns a short workload
+// and checks the registry snapshot agrees exactly with both the plan
+// cache's and the tuner's own accessors — across packages, after real
+// tuning activity.
+func TestTunerSnapshotReconciliationUnderWorkload(t *testing.T) {
+	g := tpch.NewGenerator(scale, 3)
+	stmts := g.Batch()
+	res, decs, db, tn := replay(t, engine.CacheExact, append(stmts, stmts...))
+	if len(res) == 0 {
+		t.Fatal("no statements ran")
+	}
+
+	snap := db.Observability().Reg.Snapshot()
+	pcs := db.PlanCacheStats()
+	if snap["plancache.hits"] != pcs.Hits || snap["plancache.misses"] != pcs.Misses {
+		t.Errorf("plan cache counters drifted: snapshot %v/%v, stats %+v",
+			snap["plancache.hits"], snap["plancache.misses"], pcs)
+	}
+	m := tn.Metrics()
+	if snap["tuner.queries"] != m.Queries {
+		t.Errorf("tuner.queries = %v, Metrics says %d", snap["tuner.queries"], m.Queries)
+	}
+	if snap["tuner.builds_started"] != m.BuildsStarted {
+		t.Errorf("tuner.builds_started = %v, Metrics says %d", snap["tuner.builds_started"], m.BuildsStarted)
+	}
+	if snap["tuner.decisions"] != int64(len(decs)) {
+		t.Errorf("tuner.decisions = %v but log holds %d", snap["tuner.decisions"], len(decs))
+	}
+}

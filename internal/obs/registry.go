@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// safe for concurrent use; a Counter costs one atomic add per update,
+// which is why hot-path code (the plan cache, the tuner's per-module
+// accounting) can hold these directly instead of private fields.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be non-negative for the value to stay monotone).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatCounter accumulates a float64 sum atomically (CAS loop).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates d.
+func (f *FloatCounter) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (f *FloatCounter) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets (the
+// last bucket is implicit +Inf). Observations also accumulate into
+// Sum/Count so averages are recoverable from a snapshot.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    FloatCounter
+	count  Counter
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Inc()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Value() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// HistogramSnapshot is a histogram's JSON-safe state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// DefaultLatencyBuckets are exponential nanosecond buckets from 1µs to
+// ~1s, suitable for the statement hot path.
+var DefaultLatencyBuckets = func() []float64 {
+	var b []float64
+	for v := 1e3; v <= 1e9; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Registry is a named collection of metrics. Metric construction is
+// get-or-create and panics on a kind mismatch (a programming error);
+// reads take a snapshot so JSON export never blocks writers beyond one
+// atomic load per metric.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	names   []string // registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+func (r *Registry) getOrCreate(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	r.names = append(r.names, name)
+	return m
+}
+
+// Counter returns the counter with the given name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.getOrCreate(name, func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not Counter", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.getOrCreate(name, func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not Gauge", name, m))
+	}
+	return g
+}
+
+// FloatCounter returns the float counter with the given name, creating
+// it if needed.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	m := r.getOrCreate(name, func() any { return &FloatCounter{} })
+	f, ok := m.(*FloatCounter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not FloatCounter", name, m))
+	}
+	return f
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bounds if needed (the bounds of an existing histogram are
+// kept).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.getOrCreate(name, func() any { return NewHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not Histogram", name, m))
+	}
+	return h
+}
+
+// Snapshot returns a JSON-marshalable point-in-time copy of every
+// metric, keyed by name: counters and gauges as int64, float counters
+// as float64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			out[n] = m.Value()
+		case *Gauge:
+			out[n] = m.Value()
+		case *FloatCounter:
+			out[n] = m.Value()
+		case *Histogram:
+			out[n] = m.Snapshot()
+		}
+	}
+	return out
+}
+
+// SnapshotJSON renders Snapshot as sorted, indented JSON.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// Handler serves the snapshot as JSON over HTTP (expvar-style, without
+// importing expvar so the process's global state stays untouched).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		b, err := r.SnapshotJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+}

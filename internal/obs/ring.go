@@ -1,0 +1,59 @@
+package obs
+
+import "sync"
+
+// TraceRing retains the most recent N finished traces. It is safe for
+// concurrent use: many statement goroutines add while readers snapshot.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	count int
+	added int64
+}
+
+// NewTraceRing returns a ring holding up to n traces (minimum 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*Trace, n)}
+}
+
+// Cap returns the ring's capacity.
+func (r *TraceRing) Cap() int { return len(r.buf) }
+
+// Added returns the total number of traces ever added (including those
+// already overwritten).
+func (r *TraceRing) Added() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Add stores a finished trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Traces returns the retained traces, oldest first.
+func (r *TraceRing) Traces() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
