@@ -21,6 +21,7 @@ import (
 	"onlinetuner/internal/core"
 	"onlinetuner/internal/core/singleindex"
 	"onlinetuner/internal/engine"
+	"onlinetuner/internal/fault"
 	"onlinetuner/internal/tpch"
 	"onlinetuner/internal/whatif"
 	"onlinetuner/internal/workload"
@@ -355,6 +356,44 @@ func BenchmarkHotPathSeekCachedTraced(b *testing.B) {
 func BenchmarkHotPathSeekCachedTracedAll(b *testing.B) {
 	db, _ := hotPathDB(b, engine.CacheExact)
 	db.Observability().EnableTracing(0, 1)
+	runHotPath(b, db, seekStmts(1))
+}
+
+// idleFaultInjector plans every injection site at probability zero, so
+// the engine takes the fault layer's full bookkeeping path without any
+// fault ever firing.
+func idleFaultInjector() *fault.Injector {
+	inj := fault.New(1)
+	for _, site := range []fault.Site{
+		fault.PageRead, fault.PageWrite, fault.PageAlloc,
+		fault.BTreeSplit, fault.BuildStep, fault.BuildFinish, fault.ExecStmt,
+	} {
+		inj.Plan(site, fault.Rule{Prob: 0})
+	}
+	return inj
+}
+
+// BenchmarkHotPathSeekCachedFaultDisabled is the fault-layer overhead
+// probe on the engine's fastest statement: the cached seek with an
+// injector installed but disarmed — the production configuration, where
+// every site is a single atomic load. The acceptance budget is ≤ 1%
+// over BenchmarkHotPathSeekCached (BENCH_fault.json records the
+// measured matrix).
+func BenchmarkHotPathSeekCachedFaultDisabled(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheExact)
+	inj := idleFaultInjector()
+	db.SetFaults(inj)
+	inj.Disarm()
+	runHotPath(b, db, seekStmts(1))
+}
+
+// BenchmarkHotPathSeekCachedFaultArmedIdle bounds the armed-but-never-
+// firing path: every site draws from its seeded schedule and declines.
+func BenchmarkHotPathSeekCachedFaultArmedIdle(b *testing.B) {
+	db, _ := hotPathDB(b, engine.CacheExact)
+	inj := idleFaultInjector()
+	db.SetFaults(inj)
+	inj.Arm()
 	runHotPath(b, db, seekStmts(1))
 }
 

@@ -10,7 +10,9 @@
 // plancache benchmarks the engine's statement/plan cache on
 // repeated-template TPC-H workloads and, with -out FILE, writes the
 // report as JSON (the recorded BENCH_plancache.json). obs does the same
-// for statement-tracing overhead (the recorded BENCH_obs.json).
+// for statement-tracing overhead (the recorded BENCH_obs.json), and
+// fault for fault-injection-layer overhead with the injector disabled
+// (the recorded BENCH_fault.json).
 //
 // Flags scale the TPC-H workload (the defaults reproduce the shapes at
 // laptop scale in minutes):
@@ -65,6 +67,13 @@ func main() {
 		}
 		return
 	}
+	if cmd == "fault" {
+		if err := faultOverhead(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cmd, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -110,7 +119,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|all)", cmd)
 }
 
 func table1() error {
@@ -217,6 +226,27 @@ func obsOverhead(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatObs(rep))
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// faultOverhead runs the fault-layer overhead matrix (see planCache for
+// why it is not part of "all").
+func faultOverhead(opts workload.TPCHOptions, out string) error {
+	rep, err := bench.Fault(opts.Scale, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFault(rep))
 	if out != "" {
 		js, err := rep.JSON()
 		if err != nil {

@@ -398,6 +398,38 @@ func TestStabilization(t *testing.T) {
 	}
 }
 
+// TestFaultReportSmoke exercises the report plumbing (not the timings —
+// those are machine-dependent and recorded in BENCH_fault.json).
+func TestFaultReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark nine times")
+	}
+	rep, err := Fault(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: no timing", r.Name)
+		}
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"overhead_disabled_pct", "seek/no-injector", "seek/disabled", "seek/armed-idle"} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+	if out := FormatFault(rep); !strings.Contains(out, "cached seek") {
+		t.Errorf("format incomplete:\n%s", out)
+	}
+}
+
 // TestOnlineRunsAreDeterministic: identical workloads and options must
 // produce byte-identical schedules — the property that makes every
 // number in EXPERIMENTS.md reproducible.

@@ -84,6 +84,12 @@ type IndexStats struct {
 
 	// Creating marks an asynchronous build in progress (Section 3.3).
 	Creating bool
+	// FailStreak counts consecutive failed builds of this candidate
+	// (storage errors, injected faults). Each failure doubles the build
+	// cost the benefit rule must overcome (FailPenalty), so a candidate
+	// whose build keeps failing backs off exponentially instead of
+	// re-arming every analysis round. A successful creation resets it.
+	FailStreak int
 	// createRemaining is the simulated build work left (cost units).
 	createRemaining float64
 	// deltaAtCreateStart snapshots Δ when the async build began, for the
@@ -165,6 +171,22 @@ func (s *IndexStats) AtPeak() bool {
 func (s *IndexStats) OnCreated() {
 	s.DeltaMax = s.Delta()
 	s.Creating = false
+	s.FailStreak = 0
+}
+
+// FailPenalty is the build-cost multiplier after FailStreak consecutive
+// failed builds: 2^min(FailStreak, 6). The cap bounds the penalty at
+// 64× so a candidate is never permanently locked out — a transient
+// storage problem that clears lets strong evidence re-arm the build.
+func (s *IndexStats) FailPenalty() float64 {
+	n := s.FailStreak
+	if n <= 0 {
+		return 1
+	}
+	if n > 6 {
+		n = 6
+	}
+	return float64(int(1) << n)
 }
 
 // OnDropped resets the trackers on a 1→0 transition (Δmin = Δ).

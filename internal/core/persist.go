@@ -30,6 +30,11 @@ type savedIndexState struct {
 	OrN      float64    `json:"or_n"`
 	InConfig bool       `json:"in_config"`
 	Derived  bool       `json:"derived,omitempty"`
+	// FailStreak carries build-failure backoff across restarts, so a
+	// candidate whose build failed repeatedly before the restart does not
+	// immediately hot-loop after it. Omitted when zero; the format stays
+	// readable by version-1 loaders.
+	FailStreak int `json:"fail_streak,omitempty"`
 }
 
 const stateVersion = 1
@@ -44,16 +49,17 @@ func (t *Tuner) SaveState(w io.Writer) error {
 			continue
 		}
 		st.Tracked = append(st.Tracked, savedIndexState{
-			Name:     s.Ix.Name,
-			Table:    s.Ix.Table,
-			Columns:  s.Ix.Columns,
-			O:        s.O,
-			N:        s.N,
-			DeltaMin: s.DeltaMin,
-			DeltaMax: s.DeltaMax,
-			OrN:      s.orN,
-			InConfig: t.inConfig[id],
-			Derived:  s.Derived,
+			Name:       s.Ix.Name,
+			Table:      s.Ix.Table,
+			Columns:    s.Ix.Columns,
+			O:          s.O,
+			N:          s.N,
+			DeltaMin:   s.DeltaMin,
+			DeltaMax:   s.DeltaMax,
+			OrN:        s.orN,
+			InConfig:   t.inConfig[id],
+			Derived:    s.Derived,
+			FailStreak: s.FailStreak,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -90,6 +96,7 @@ func (t *Tuner) LoadState(r io.Reader) error {
 		s.DeltaMin, s.DeltaMax = e.DeltaMin, e.DeltaMax
 		s.orN = e.OrN
 		s.Derived = e.Derived
+		s.FailStreak = e.FailStreak
 		id := ix.ID()
 		t.tracked[id] = s
 		if e.InConfig {

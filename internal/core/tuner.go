@@ -83,6 +83,11 @@ const (
 	// It is delivered to subscribers but not part of the change schedule
 	// (the schedule records completed physical changes only).
 	EvBuildStart
+	// EvFail marks a build that failed (storage error, injected fault)
+	// rather than being aborted by the erosion rule. The candidate's
+	// evidence is reset and its build cost is penalized exponentially,
+	// so a persistently failing build cannot hot-loop.
+	EvFail
 )
 
 func (k EventKind) String() string {
@@ -99,6 +104,8 @@ func (k EventKind) String() string {
 		return "abort"
 	case EvBuildStart:
 		return "build-start"
+	case EvFail:
+		return "build-failed"
 	}
 	return "?"
 }
@@ -124,6 +131,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("A(%s)[%.2f]", e.Index, e.Cost)
 	case EvBuildStart:
 		return fmt.Sprintf("B(%s)[%.2f]", e.Index, e.Cost)
+	case EvFail:
+		return fmt.Sprintf("F(%s)[%.2f]", e.Index, e.Cost)
 	}
 	return "?"
 }
@@ -145,6 +154,7 @@ type Metrics struct {
 	BuildsStarted   int64 // asynchronous builds started
 	BuildsCompleted int64 // asynchronous builds published
 	BuildsAborted   int64 // asynchronous builds cancelled (erosion)
+	BuildsFailed    int64 // builds that errored (storage fault)
 }
 
 // pendingBuild tracks one asynchronous index creation. The index becomes
@@ -204,6 +214,7 @@ type Tuner struct {
 	mBuildsStarted   *obs.Counter
 	mBuildsCompleted *obs.Counter
 	mBuildsAborted   *obs.Counter
+	mBuildsFailed    *obs.Counter
 	mDecisions       *obs.Counter
 
 	// decisions is the structured log of every physical design change
@@ -257,6 +268,7 @@ func NewTuner(db *engine.DB, opts Options) *Tuner {
 		mBuildsStarted:   reg.Counter("tuner.builds_started"),
 		mBuildsCompleted: reg.Counter("tuner.builds_completed"),
 		mBuildsAborted:   reg.Counter("tuner.builds_aborted"),
+		mBuildsFailed:    reg.Counter("tuner.builds_failed"),
 		mDecisions:       reg.Counter("tuner.decisions"),
 		decisions:        obs.NewDecisionLog(0),
 	}
@@ -292,6 +304,7 @@ func (t *Tuner) Metrics() Metrics {
 		BuildsStarted:   t.mBuildsStarted.Value(),
 		BuildsCompleted: t.mBuildsCompleted.Value(),
 		BuildsAborted:   t.mBuildsAborted.Value(),
+		BuildsFailed:    t.mBuildsFailed.Value(),
 	}
 }
 
@@ -643,6 +656,33 @@ func (t *Tuner) buildCostFor(ix *catalog.Index) float64 {
 	return full
 }
 
+// effectiveBuildCost is B_I^s scaled by the candidate's failure
+// penalty: a build that keeps failing must earn exponentially more
+// evidence before the tuner tries it again.
+func (t *Tuner) effectiveBuildCost(st *IndexStats) float64 {
+	return t.buildCostFor(st.Ix) * st.FailPenalty()
+}
+
+// noteBuildFailure is the graceful-degradation bookkeeping for a build
+// that errored (as opposed to an erosion abort): the candidate's
+// evidence is reset to the creation threshold, its failure streak grows
+// (doubling the effective build cost the benefit rule must clear), and
+// the failure is surfaced through the metric, the decision log, and an
+// EvFail event. The tuner itself keeps serving — a failed build never
+// propagates past this point.
+func (t *Tuner) noteBuildFailure(st *IndexStats, buildCost float64, err error) {
+	st.Creating = false
+	st.FailStreak++
+	st.DeltaMin = st.Delta()
+	t.mBuildsFailed.Inc()
+	reason := "build-failed"
+	if err != nil {
+		reason = fmt.Sprintf("build-failed: %v", err)
+	}
+	t.decide(EvFail.String(), st.Ix, st.Delta(), st.DeltaMin, buildCost, reason)
+	t.record(Event{Kind: EvFail, Index: st.Ix, Cost: buildCost, AtQuery: t.queries})
+}
+
 // dropBadIndexes implements line 9: drop (or suspend) every
 // configuration index whose residual went negative. Members are visited
 // in ID order so the decision log is deterministic for a deterministic
@@ -715,7 +755,7 @@ func (t *Tuner) analyzeAndCreate() {
 		if t.inConfig[id] || st.Creating {
 			continue
 		}
-		if st.Benefit(t.buildCostFor(st.Ix)) > 0 {
+		if st.Benefit(t.effectiveBuildCost(st)) > 0 {
 			queue = append(queue, st)
 		}
 	}
@@ -729,7 +769,10 @@ func (t *Tuner) analyzeAndCreate() {
 	for qi := 0; qi < len(queue); qi++ {
 		st := queue[qi]
 		bCost := t.buildCostFor(st.Ix)
-		b := st.Benefit(bCost)
+		// Scoring clears the failure-penalized cost, but the transition
+		// accounting below uses the real B_I^s: the penalty gates when a
+		// failing build re-arms, it is not work actually paid.
+		b := st.Benefit(bCost * st.FailPenalty())
 		if b <= 0 {
 			continue
 		}
@@ -860,7 +903,13 @@ func (t *Tuner) generateMerges(st *IndexStats, queue []*IndexStats, seen map[str
 				return t.env.IndexBytes(ix)
 			})
 			ms.Derived = true
-			if ms.Benefit(t.buildCostFor(m)) > 0 {
+			// Re-inference rebuilds the aggregates, but a failure streak is
+			// history, not evidence — it survives regeneration so failed
+			// merge builds back off like any other candidate's.
+			if prev := t.tracked[id]; prev != nil {
+				ms.FailStreak = prev.FailStreak
+			}
+			if ms.Benefit(t.effectiveBuildCost(ms)) > 0 {
 				// Track only merges whose inferred evidence already clears
 				// the threshold: others are regenerated on demand, and
 				// keeping them would flood the candidate set.
@@ -908,9 +957,11 @@ func (t *Tuner) createIndex(st *IndexStats, buildCost float64) {
 		// captured by the build's delta log, off the statement hot path.
 		b, err := t.env.Mgr.StartBuild(st.Ix)
 		if err != nil {
-			// Budget race or similar: reset the candidate's evidence so it
-			// does not retry every query.
-			st.DeltaMin = st.Delta()
+			// Budget race or storage fault: the attempt counts as a started
+			// build that immediately failed, so the metric reconciliation
+			// started == completed + aborted + failed (+pending) holds.
+			t.mBuildsStarted.Inc()
+			t.noteBuildFailure(st, buildCost, err)
 			return
 		}
 		ctx, cancel := context.WithCancel(context.Background())
@@ -940,7 +991,7 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build
 	kind := EvCreate
 	if pi := t.env.Mgr.Index(id); b == nil && pi != nil && pi.State() == storage.StateSuspended {
 		if _, err := t.env.Mgr.RestartIndex(id); err != nil {
-			st.Creating = false
+			t.noteBuildFailure(st, buildCost, err)
 			return false
 		}
 		kind = EvRestart
@@ -956,10 +1007,9 @@ func (t *Tuner) finishCreate(st *IndexStats, buildCost float64, b *storage.Build
 			err = t.db.CreateIndex(st.Ix)
 		}
 		if err != nil {
-			// Budget race or similar: reset the candidate's evidence so it
-			// does not retry every query.
-			st.Creating = false
-			st.DeltaMin = st.Delta()
+			// Budget race or storage fault: reset the candidate's evidence
+			// and penalize its next attempt so it does not retry every query.
+			t.noteBuildFailure(st, buildCost, err)
 			return false
 		}
 	}
@@ -1003,10 +1053,12 @@ func (t *Tuner) progressBuild(queryCost float64) {
 	if pb.build != nil {
 		if err := <-pb.done; err != nil {
 			// The build goroutine itself failed (nobody cancelled it —
-			// erosion aborts go through abortBuild). Discard and back off.
+			// erosion aborts go through abortBuild). The abort path rolls
+			// back the reservation and delta log; the catalog never saw the
+			// index, so the configuration is untouched and the tuner keeps
+			// serving with the candidate cooled down.
 			t.env.Mgr.AbortBuild(pb.build)
-			pb.st.Creating = false
-			pb.st.DeltaMin = pb.st.Delta()
+			t.noteBuildFailure(pb.st, pb.buildCost, err)
 			return
 		}
 	}

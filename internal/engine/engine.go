@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/executor"
+	"onlinetuner/internal/fault"
 	"onlinetuner/internal/obs"
 	"onlinetuner/internal/optimizer"
 	"onlinetuner/internal/plan"
@@ -67,9 +69,15 @@ type DB struct {
 	ob    *obs.Obs
 
 	// Always-on pipeline counters; single atomic adds on the hot path.
-	statements   *obs.Counter
-	execErrors   *obs.Counter
-	staleRetries *obs.Counter
+	statements       *obs.Counter
+	execErrors       *obs.Counter
+	staleRetries     *obs.Counter
+	transientRetries *obs.Counter
+
+	// retryBackoffNS is the base delay before re-running a statement that
+	// failed with a transient fault; it doubles per attempt. Atomic so
+	// tests can shrink it while statements are in flight.
+	retryBackoffNS atomic.Int64
 
 	// Timed metrics, recorded only for traced statements: the extra
 	// clock reads they need already happened for the trace's spans.
@@ -87,21 +95,52 @@ func Open() *DB {
 	st := stats.NewStore()
 	env := whatif.NewEnv(cat, st, mgr)
 	ob := obs.New()
-	return &DB{
-		Cat:          cat,
-		Mgr:          mgr,
-		Stats:        st,
-		Env:          env,
-		Opt:          optimizer.New(env),
-		Exe:          executor.New(cat, mgr),
-		locks:        newTableLocks(),
-		pc:           newPlanCache(ob.Reg),
-		ob:           ob,
-		statements:   ob.Reg.Counter("engine.statements"),
-		execErrors:   ob.Reg.Counter("engine.errors"),
-		staleRetries: ob.Reg.Counter("engine.stale_retries"),
-		execLatency:  ob.Reg.Histogram("engine.exec_ns", obs.DefaultLatencyBuckets),
-		lockWaitNS:   ob.Reg.Counter("engine.lock_wait_ns"),
+	db := &DB{
+		Cat:              cat,
+		Mgr:              mgr,
+		Stats:            st,
+		Env:              env,
+		Opt:              optimizer.New(env),
+		Exe:              executor.New(cat, mgr),
+		locks:            newTableLocks(),
+		pc:               newPlanCache(ob.Reg),
+		ob:               ob,
+		statements:       ob.Reg.Counter("engine.statements"),
+		execErrors:       ob.Reg.Counter("engine.errors"),
+		staleRetries:     ob.Reg.Counter("engine.stale_retries"),
+		transientRetries: ob.Reg.Counter("engine.transient_retries"),
+		execLatency:      ob.Reg.Histogram("engine.exec_ns", obs.DefaultLatencyBuckets),
+		lockWaitNS:       ob.Reg.Counter("engine.lock_wait_ns"),
+	}
+	db.retryBackoffNS.Store(int64(50 * time.Microsecond))
+	return db
+}
+
+// SetFaults installs a fault injector on the storage layer; the engine
+// and executor consult the same injector. Pass nil to remove it.
+func (db *DB) SetFaults(inj *fault.Injector) { db.Mgr.SetFaults(inj) }
+
+// Faults returns the installed fault injector, or nil.
+func (db *DB) Faults() *fault.Injector { return db.Mgr.Faults() }
+
+// SetRetryBackoff sets the base delay before retrying a statement that
+// hit a transient fault (the delay doubles per attempt).
+func (db *DB) SetRetryBackoff(d time.Duration) { db.retryBackoffNS.Store(int64(d)) }
+
+// retryWait sleeps the transient-retry backoff for the given attempt,
+// abandoning the wait as soon as the context is cancelled.
+func (db *DB) retryWait(ctx context.Context, attempt int) error {
+	d := time.Duration(db.retryBackoffNS.Load()) << attempt
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -147,7 +186,7 @@ func (db *DB) ExecContext(ctx context.Context, text string) (*executor.ResultSet
 		if tr != nil {
 			parseSpan.SetAttr("stmt-cache hit")
 		}
-		return db.execStmtFP(text, e.stmt, e.fp, tr)
+		return db.execStmtFP(ctx, text, e.stmt, e.fp, tr)
 	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
@@ -160,7 +199,7 @@ func (db *DB) ExecContext(ctx context.Context, text string) (*executor.ResultSet
 		fp = &f
 	}
 	db.pc.storeStmt(&stmtEntry{text: text, stmt: stmt, fp: fp})
-	return db.execStmtFP(text, stmt, fp, tr)
+	return db.execStmtFP(ctx, text, stmt, fp, tr)
 }
 
 // ExecStmt runs an already-parsed statement (callers that replay
@@ -171,7 +210,7 @@ func (db *DB) ExecStmt(text string, stmt sql.Statement) (*executor.ResultSet, *Q
 	if owned {
 		defer db.ob.FinishTrace(tr)
 	}
-	return db.execStmtFP(text, stmt, nil, tr)
+	return db.execStmtFP(context.Background(), text, stmt, nil, tr)
 }
 
 // startTrace resolves the statement's trace: a context-carried trace
@@ -193,7 +232,11 @@ func (db *DB) noteErr(tr *obs.Trace, err error) {
 	}
 }
 
-func (db *DB) execStmtFP(text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
+func (db *DB) execStmtFP(ctx context.Context, text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
+	if err := ctx.Err(); err != nil {
+		db.noteErr(tr, err)
+		return nil, nil, err
+	}
 	reads, writes := db.lockTablesFor(stmt)
 	var lockStart time.Time
 	if tr != nil {
@@ -205,10 +248,10 @@ func (db *DB) execStmtFP(text string, stmt sql.Statement, fp *sql.Fingerprint, t
 	if tr != nil {
 		db.lockWaitNS.Add(time.Since(lockStart).Nanoseconds())
 	}
-	return db.execLocked(text, stmt, fp, tr)
+	return db.execLocked(ctx, text, stmt, fp, tr)
 }
 
-func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
+func (db *DB) execLocked(ctx context.Context, text string, stmt sql.Statement, fp *sql.Fingerprint, tr *obs.Trace) (*executor.ResultSet, *QueryInfo, error) {
 	db.statements.Inc()
 	var start time.Time
 	if tr != nil {
@@ -231,13 +274,21 @@ func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint, t
 	// we re-optimize under the current configuration. Two retries bound
 	// the loop — each retry needs a fresh drop of a freshly chosen
 	// index, which the tuner's cooldown makes vanishingly rare.
+	//
+	// The same bounded loop retries transient injected faults — the
+	// model for recoverable I/O hiccups — after an exponential backoff.
+	// Permanent faults and real errors return immediately; the executor
+	// guarantees a failed attempt left no partial mutations, so a retry
+	// re-runs the statement from scratch.
+	const maxAttempts = 3
 	var rs *executor.ResultSet
 	var res *optimizer.Result
 	var err error
 	var execSpan obs.SpanRef
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			db.staleRetries.Inc()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			db.noteErr(tr, cerr)
+			return nil, nil, cerr
 		}
 		// A retry after ErrStaleIndex revalidates naturally: the drop that
 		// invalidated the plan bumped the config version, so the cache
@@ -257,11 +308,25 @@ func (db *DB) execLocked(text string, stmt sql.Statement, fp *sql.Fingerprint, t
 			optSpan.SetAttr(tr.Provenance)
 			execSpan = tr.Phase("execute")
 		}
-		rs, err = db.Exe.Run(res.Plan)
+		// The statement-level injection site sits between planning and
+		// execution, where a real engine would submit the plan for
+		// execution and could be told "try again".
+		if err = db.Mgr.Faults().Hit(fault.ExecStmt); err == nil {
+			rs, err = db.Exe.RunContext(ctx, res.Plan, nil)
+		}
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, executor.ErrStaleIndex) {
+		switch {
+		case errors.Is(err, executor.ErrStaleIndex) && attempt < maxAttempts-1:
+			db.staleRetries.Inc()
+		case fault.IsTransient(err) && attempt < maxAttempts-1:
+			db.transientRetries.Inc()
+			if werr := db.retryWait(ctx, attempt); werr != nil {
+				db.noteErr(tr, werr)
+				return nil, nil, werr
+			}
+		default:
 			db.noteErr(tr, err)
 			return nil, nil, err
 		}

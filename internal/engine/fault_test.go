@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/fault"
+)
+
+// counterVal reads one counter out of the registry snapshot.
+func counterVal(t *testing.T, db *DB, name string) int64 {
+	t.Helper()
+	v, ok := db.Observability().Reg.Snapshot()[name]
+	if !ok {
+		return 0
+	}
+	n, ok := v.(int64)
+	if !ok {
+		t.Fatalf("metric %s is %T, not int64", name, v)
+	}
+	return n
+}
+
+// TestTransientFaultRetried plants a single transient statement-level
+// fault; the engine's retry loop must absorb it and the statement must
+// still succeed, with the retry counted.
+func TestTransientFaultRetried(t *testing.T) {
+	db := openRS(t, 200)
+	db.SetRetryBackoff(time.Microsecond)
+	inj := fault.New(7).Plan(fault.ExecStmt, fault.Rule{Prob: 1, Count: 1, Transient: true})
+	db.SetFaults(inj)
+	inj.Arm()
+
+	rs := db.MustExec("SELECT id FROM R WHERE a = 42")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rs.Rows))
+	}
+	if got := counterVal(t, db, "engine.transient_retries"); got != 1 {
+		t.Fatalf("transient_retries = %d, want 1", got)
+	}
+	if fired := inj.FiredTotal(); fired != 1 {
+		t.Fatalf("faults fired = %d, want 1", fired)
+	}
+}
+
+// TestPermanentFaultFailsStatement checks a non-transient fault is not
+// retried: the statement fails, and the engine keeps serving afterward.
+func TestPermanentFaultFailsStatement(t *testing.T) {
+	db := openRS(t, 200)
+	inj := fault.New(7).Plan(fault.ExecStmt, fault.Rule{Prob: 1, Count: 1})
+	db.SetFaults(inj)
+	inj.Arm()
+
+	if _, _, err := db.Exec("SELECT id FROM R WHERE a = 42"); !fault.Is(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if got := counterVal(t, db, "engine.transient_retries"); got != 0 {
+		t.Fatalf("transient_retries = %d, want 0 (permanent faults must not retry)", got)
+	}
+	// The fault is spent; the engine serves the next statement normally.
+	rs := db.MustExec("SELECT id FROM R WHERE a = 42")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows after fault = %d, want 2", len(rs.Rows))
+	}
+}
+
+// TestTransientFaultExhaustsRetries plants more transient faults than
+// the retry budget; the statement must fail with the fault surfaced,
+// not loop forever.
+func TestTransientFaultExhaustsRetries(t *testing.T) {
+	db := openRS(t, 200)
+	db.SetRetryBackoff(time.Microsecond)
+	inj := fault.New(7).Plan(fault.ExecStmt, fault.Rule{Prob: 1, Transient: true})
+	db.SetFaults(inj)
+	inj.Arm()
+
+	if _, _, err := db.Exec("SELECT id FROM R"); !fault.IsTransient(err) {
+		t.Fatalf("err = %v, want transient fault after exhausted retries", err)
+	}
+	if got := counterVal(t, db, "engine.transient_retries"); got != 2 {
+		t.Fatalf("transient_retries = %d, want 2 (3 attempts)", got)
+	}
+}
+
+// TestTransientDMLRetryNoDuplicates: a transient write fault on an
+// INSERT is retried by the engine. The failed attempt must have rolled
+// back completely, so the retry cannot create duplicate rows.
+func TestTransientDMLRetryNoDuplicates(t *testing.T) {
+	db := openRS(t, 100)
+	db.SetRetryBackoff(time.Microsecond)
+	inj := fault.New(3).Plan(fault.PageWrite, fault.Rule{Prob: 1, Count: 1, Transient: true})
+	db.SetFaults(inj)
+	inj.Arm()
+
+	db.MustExec("INSERT INTO R VALUES (9001, 1, 2, 3, 4, 5)")
+	if fired := inj.FiredTotal(); fired != 1 {
+		t.Fatalf("faults fired = %d, want 1", fired)
+	}
+	rs := db.MustExec("SELECT id FROM R WHERE id = 9001")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows with id 9001 = %d, want exactly 1", len(rs.Rows))
+	}
+	rs = db.MustExec("SELECT id FROM R")
+	if len(rs.Rows) != 101 {
+		t.Fatalf("total rows = %d, want 101", len(rs.Rows))
+	}
+}
+
+// TestContextCancellation: a cancelled context fails the statement
+// before (or during) execution with the context error, and the engine
+// serves subsequent statements normally.
+func TestContextCancellation(t *testing.T) {
+	db := openRS(t, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.ExecContext(ctx, "SELECT id FROM R"); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	rs := db.MustExec("SELECT id FROM R")
+	if len(rs.Rows) != 200 {
+		t.Fatalf("rows after cancellation = %d, want 200", len(rs.Rows))
+	}
+}
+
+// TestContextDeadlineMidStatement: a deadline that expires during a
+// long statement aborts it (either at an operator boundary or a row
+// tick) instead of running to completion.
+func TestContextDeadlineMidStatement(t *testing.T) {
+	db := openRS(t, 5000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := db.ExecContext(ctx, "SELECT count(*) FROM R, S WHERE R.a = S.x"); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFaultDoesNotPoisonPlanCache fails the first execution of a
+// cached query; the cached plan must stay usable, and a later
+// fault-free run of the same text returns correct results.
+func TestFaultDoesNotPoisonPlanCache(t *testing.T) {
+	db := openRS(t, 200)
+	const q = "SELECT id FROM R WHERE a = 42"
+	rs := db.MustExec(q) // warm the statement and plan caches
+	want := len(rs.Rows)
+
+	inj := fault.New(11).Plan(fault.ExecStmt, fault.Rule{Prob: 1, Count: 1})
+	db.SetFaults(inj)
+	inj.Arm()
+	if _, _, err := db.Exec(q); !fault.Is(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	inj.Disarm()
+
+	rs = db.MustExec(q)
+	if len(rs.Rows) != want {
+		t.Fatalf("cached query after fault: rows = %d, want %d", len(rs.Rows), want)
+	}
+}

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
+	"onlinetuner/internal/fault"
 	"onlinetuner/internal/plan"
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/storage"
@@ -40,7 +42,7 @@ type ResultSet struct {
 
 // Run executes a plan and returns its result set.
 func (e *Executor) Run(p plan.Node) (*ResultSet, error) {
-	return e.RunCollected(p, nil)
+	return e.RunContext(context.Background(), p, nil)
 }
 
 // RunCollected executes a plan recording per-operator actuals (rows,
@@ -48,24 +50,73 @@ func (e *Executor) Run(p plan.Node) (*ResultSet, error) {
 // execution side of EXPLAIN ANALYZE. A nil collector makes it
 // equivalent to Run: the instrumentation reduces to a nil check.
 func (e *Executor) RunCollected(p plan.Node, c *Collector) (*ResultSet, error) {
+	return e.RunContext(context.Background(), p, c)
+}
+
+// ctxCheckEvery bounds how many rows an operator processes between
+// context polls: cancellation and deadlines take effect mid-scan, not
+// only at operator boundaries.
+const ctxCheckEvery = 1024
+
+// run is the per-execution state threaded through the operator tree:
+// the caller's context, the storage layer's fault injector (resolved
+// once per statement), and the row countdown to the next context poll.
+// It embeds the shared Executor, so operator code reads e.cat/e.mgr
+// unchanged.
+type run struct {
+	*Executor
+	ctx       context.Context
+	faults    *fault.Injector
+	countdown int
+}
+
+// tick is called once per scanned row; every ctxCheckEvery rows it
+// polls the context so a cancelled statement stops promptly.
+func (e *run) tick() error {
+	e.countdown--
+	if e.countdown > 0 {
+		return nil
+	}
+	e.countdown = ctxCheckEvery
+	return e.ctx.Err()
+}
+
+// RunContext executes a plan under a context: cancellation or deadline
+// expiry aborts the statement between operators and (for scans) every
+// ctxCheckEvery rows. Read operators consult the storage manager's
+// fault injector (PageRead), so injected read failures surface here as
+// statement errors with nothing to roll back.
+func (e *Executor) RunContext(ctx context.Context, p plan.Node, c *Collector) (*ResultSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &run{Executor: e, ctx: ctx, faults: e.mgr.Faults(), countdown: ctxCheckEvery}
 	switch n := p.(type) {
 	case *plan.InsertNode:
-		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runInsert(n, c) })
+		return r.timedDML(p, c, func() (*ResultSet, error) { return r.runInsert(n, c) })
 	case *plan.UpdateNode:
-		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runUpdate(n) })
+		return r.timedDML(p, c, func() (*ResultSet, error) { return r.runUpdate(n) })
 	case *plan.DeleteNode:
-		return e.timedDML(p, c, func() (*ResultSet, error) { return e.runDelete(n) })
+		return r.timedDML(p, c, func() (*ResultSet, error) { return r.runDelete(n) })
 	}
-	rows, err := e.exec(p, c)
+	rows, err := r.exec(p, c)
 	if err != nil {
 		return nil, err
 	}
 	return &ResultSet{Columns: schemaColumns(p.Schema()), Rows: rows}, nil
 }
 
+// exec evaluates a read-only subtree outside a full statement run —
+// unit tests and internal callers that hold a plan fragment rather
+// than a statement root.
+func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
+	r := &run{Executor: e, ctx: context.Background(), faults: e.mgr.Faults(), countdown: ctxCheckEvery}
+	return r.exec(p, c)
+}
+
 // timedDML wraps a DML root so its affected-row count and duration are
 // collected like any other operator's.
-func (e *Executor) timedDML(p plan.Node, c *Collector, run func() (*ResultSet, error)) (*ResultSet, error) {
+func (e *run) timedDML(p plan.Node, c *Collector, run func() (*ResultSet, error)) (*ResultSet, error) {
 	if c == nil {
 		return run()
 	}
@@ -81,7 +132,7 @@ func (e *Executor) timedDML(p plan.Node, c *Collector, run func() (*ResultSet, e
 
 // exec evaluates a read-only operator subtree, recording actuals into
 // the collector when one is attached.
-func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
+func (e *run) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
 	if c == nil {
 		return e.execNode(p, nil)
 	}
@@ -93,7 +144,7 @@ func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
 	return rows, err
 }
 
-func (e *Executor) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
+func (e *run) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
 	switch n := p.(type) {
 	case *plan.SeqScan:
 		return e.seqScan(n, c)
@@ -125,10 +176,13 @@ func (e *Executor) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
 	return nil, fmt.Errorf("executor: unsupported node %T", p)
 }
 
-func (e *Executor) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
+func (e *run) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	h := e.mgr.Heap(n.Table)
 	if h == nil {
 		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
+	}
+	if err := e.faults.Hit(fault.PageRead); err != nil {
+		return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, err)
 	}
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
@@ -139,6 +193,10 @@ func (e *Executor) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	var scanErr error
 	h.Scan(func(_ storage.RID, r datum.Row) bool {
 		scanned++
+		if err := e.tick(); err != nil {
+			scanErr = err
+			return false
+		}
 		ok, err := pred(r)
 		if err != nil {
 			scanErr = err
@@ -157,10 +215,13 @@ func (e *Executor) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	return out, scanErr
 }
 
-func (e *Executor) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
+func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
+	}
+	if err := e.faults.Hit(fault.PageRead); err != nil {
+		return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, err)
 	}
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
@@ -170,6 +231,9 @@ func (e *Executor) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, erro
 	var scanned int64
 	for it := pi.Tree().Scan(); it.Valid(); it.Next() {
 		scanned++
+		if err := e.tick(); err != nil {
+			return nil, err
+		}
 		row := it.Entry().Key
 		ok, err := pred(row)
 		if err != nil {
@@ -187,10 +251,13 @@ func (e *Executor) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, erro
 	return out, nil
 }
 
-func (e *Executor) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
+func (e *run) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
+	}
+	if err := e.faults.Hit(fault.PageRead); err != nil {
+		return nil, fmt.Errorf("executor: seek on index %s: %w", n.Index.Name, err)
 	}
 	h := e.mgr.Heap(n.Index.Table)
 	pred, err := compilePreds(n.Preds, n.Schema())
@@ -226,6 +293,9 @@ func (e *Executor) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, erro
 	for ; it.Valid(); it.Next() {
 		ent := it.Entry()
 		scanned++
+		if err := e.tick(); err != nil {
+			return nil, err
+		}
 		keyBytes += int64(ent.Key.Width())
 		var row datum.Row
 		if n.Fetch || n.Index.Primary {
@@ -255,7 +325,7 @@ func (e *Executor) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, erro
 	return out, nil
 }
 
-func (e *Executor) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
+func (e *run) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -277,7 +347,7 @@ func (e *Executor) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
+func (e *run) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -305,7 +375,7 @@ func (e *Executor) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
+func (e *run) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -353,7 +423,7 @@ func (e *Executor) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) limit(n *plan.Limit, c *Collector) ([]datum.Row, error) {
+func (e *run) limit(n *plan.Limit, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -364,7 +434,7 @@ func (e *Executor) limit(n *plan.Limit, c *Collector) ([]datum.Row, error) {
 	return in, nil
 }
 
-func (e *Executor) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
+func (e *run) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -391,7 +461,7 @@ func rowKey(r datum.Row) string {
 	return sb.String()
 }
 
-func (e *Executor) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
+func (e *run) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
 	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
@@ -459,7 +529,7 @@ func keyOf(r datum.Row, fns []evalFunc) (string, bool, error) {
 // the optimizer believes an input is pre-ordered) and merges them with
 // group-wise matching so duplicate keys produce the full cross product
 // of their groups. Rows with NULL keys never match, as in every join.
-func (e *Executor) mergeJoin(n *plan.MergeJoin, c *Collector) ([]datum.Row, error) {
+func (e *run) mergeJoin(n *plan.MergeJoin, c *Collector) ([]datum.Row, error) {
 	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
@@ -549,7 +619,7 @@ func sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keye
 	return out, nil
 }
 
-func (e *Executor) crossJoin(n *plan.CrossJoin, c *Collector) ([]datum.Row, error) {
+func (e *run) crossJoin(n *plan.CrossJoin, c *Collector) ([]datum.Row, error) {
 	left, err := e.exec(n.Left, c)
 	if err != nil {
 		return nil, err
@@ -570,7 +640,7 @@ func (e *Executor) crossJoin(n *plan.CrossJoin, c *Collector) ([]datum.Row, erro
 	return out, nil
 }
 
-func (e *Executor) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
+func (e *run) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
 	outer, err := e.exec(n.Outer, c)
 	if err != nil {
 		return nil, err
@@ -578,6 +648,9 @@ func (e *Executor) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
+	}
+	if err := e.faults.Hit(fault.PageRead); err != nil {
+		return nil, fmt.Errorf("executor: lookup join on index %s: %w", n.Index.Name, err)
 	}
 	h := e.mgr.Heap(n.Index.Table)
 	keyFns := make([]evalFunc, len(n.OuterKeys))
@@ -613,6 +686,9 @@ func (e *Executor) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
 		for it := pi.Tree().Seek(key, true, key, true); it.Valid(); it.Next() {
 			ent := it.Entry()
 			scanned++
+			if err := e.tick(); err != nil {
+				return nil, err
+			}
 			keyBytes += int64(ent.Key.Width())
 			var irow datum.Row
 			if fetch {
@@ -719,7 +795,7 @@ func (a *aggState) result(fn string) datum.Datum {
 	return datum.Null
 }
 
-func (e *Executor) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
+func (e *run) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
 	in, err := e.exec(n.Child, c)
 	if err != nil {
 		return nil, err
@@ -801,7 +877,7 @@ func (e *Executor) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
-func (e *Executor) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, error) {
+func (e *run) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, error) {
 	rows := n.Literals
 	if n.Source != nil {
 		src, err := e.exec(n.Source, c)
@@ -814,18 +890,33 @@ func (e *Executor) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, erro
 	if t == nil {
 		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
 	}
+	// Statement-level atomicity: a failure on any row (injected write
+	// fault, cancellation) retracts every row this statement already
+	// applied, so a failed INSERT inserts nothing.
+	var applied []storage.RID
 	for _, r := range rows {
 		if len(r) != len(t.Columns) {
 			return nil, fmt.Errorf("executor: INSERT arity %d != %d for %s", len(r), len(t.Columns), n.Table)
 		}
-		if _, _, err := e.mgr.Insert(n.Table, r.Clone()); err != nil {
+		rid, _, err := e.mgr.Insert(n.Table, r.Clone())
+		if err == nil {
+			err = e.tick()
+			if err != nil {
+				applied = append(applied, rid)
+			}
+		}
+		if err != nil {
+			for i := len(applied) - 1; i >= 0; i-- {
+				e.mgr.UndoInsert(n.Table, applied[i])
+			}
 			return nil, err
 		}
+		applied = append(applied, rid)
 	}
 	return &ResultSet{Affected: len(rows)}, nil
 }
 
-func (e *Executor) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
+func (e *run) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
 	t := e.cat.Table(n.Table)
 	if t == nil {
 		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
@@ -872,23 +963,40 @@ func (e *Executor) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
 	if scanErr != nil {
 		return nil, scanErr
 	}
+	type appliedUpdate struct {
+		rid storage.RID
+		old datum.Row
+	}
+	var applied []appliedUpdate
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			e.mgr.UndoUpdate(n.Table, applied[i].rid, applied[i].old)
+		}
+	}
 	for _, mt := range matches {
 		newRow := mt.row.Clone()
 		for i, f := range setFns {
 			v, err := f(mt.row)
 			if err != nil {
+				rollback()
 				return nil, err
 			}
 			newRow[setOrds[i]] = v
 		}
 		if _, err := e.mgr.Update(n.Table, mt.rid, newRow); err != nil {
+			rollback()
+			return nil, err
+		}
+		applied = append(applied, appliedUpdate{rid: mt.rid, old: mt.row})
+		if err := e.tick(); err != nil {
+			rollback()
 			return nil, err
 		}
 	}
 	return &ResultSet{Affected: len(matches)}, nil
 }
 
-func (e *Executor) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
+func (e *run) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
 	t := e.cat.Table(n.Table)
 	if t == nil {
 		return nil, fmt.Errorf("executor: unknown table %s", n.Table)
@@ -901,7 +1009,11 @@ func (e *Executor) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rids []storage.RID
+	type doomed struct {
+		rid storage.RID
+		row datum.Row
+	}
+	var targets []doomed
 	var scanErr error
 	h.Scan(func(rid storage.RID, r datum.Row) bool {
 		ok, err := pred(r)
@@ -910,19 +1022,31 @@ func (e *Executor) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
 			return false
 		}
 		if ok {
-			rids = append(rids, rid)
+			targets = append(targets, doomed{rid: rid, row: r})
 		}
 		return true
 	})
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	for _, rid := range rids {
-		if _, err := e.mgr.Delete(n.Table, rid); err != nil {
+	var applied []doomed
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			e.mgr.UndoDelete(n.Table, applied[i].rid, applied[i].row)
+		}
+	}
+	for _, d := range targets {
+		if _, err := e.mgr.Delete(n.Table, d.rid); err != nil {
+			rollback()
+			return nil, err
+		}
+		applied = append(applied, d)
+		if err := e.tick(); err != nil {
+			rollback()
 			return nil, err
 		}
 	}
-	return &ResultSet{Affected: len(rids)}, nil
+	return &ResultSet{Affected: len(targets)}, nil
 }
 
 var _ = sql.Statement(nil)

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNilAndDisarmedNeverFire: the inert fast path.
+func TestNilAndDisarmedNeverFire(t *testing.T) {
+	var nilInj *Injector
+	for i := 0; i < 1000; i++ {
+		if err := nilInj.Hit(PageWrite); err != nil {
+			t.Fatalf("nil injector fired: %v", err)
+		}
+	}
+	inj := New(1).Plan(PageWrite, Rule{Prob: 1})
+	for i := 0; i < 1000; i++ {
+		if err := inj.Hit(PageWrite); err != nil {
+			t.Fatalf("disarmed injector fired: %v", err)
+		}
+	}
+	if got := inj.Stats()[PageWrite].Hits; got != 0 {
+		t.Fatalf("disarmed injector counted %d hits", got)
+	}
+	nilInj.Disarm() // must not panic
+	if nilInj.Armed() {
+		t.Fatal("nil injector armed")
+	}
+	if nilInj.FiredTotal() != 0 {
+		t.Fatal("nil injector fired totals")
+	}
+	_ = nilInj.String()
+}
+
+// TestDeterminism: same seed and hit sequence, same firing pattern.
+func TestDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		inj := New(seed).
+			Plan(PageWrite, Rule{Prob: 0.3}).
+			Plan(PageRead, Rule{Prob: 0.1})
+		inj.Arm()
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, inj.Hit(PageWrite) != nil)
+			out = append(out, inj.Hit(PageRead) != nil)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged between identical seeds", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 1000-draw patterns")
+	}
+}
+
+// TestSiteStreamsIndependent: draws at one site do not perturb another
+// site's schedule.
+func TestSiteStreamsIndependent(t *testing.T) {
+	run := func(interleave bool) []bool {
+		inj := New(7).
+			Plan(PageWrite, Rule{Prob: 0.25}).
+			Plan(PageRead, Rule{Prob: 0.5})
+		inj.Arm()
+		var out []bool
+		for i := 0; i < 300; i++ {
+			if interleave {
+				inj.Hit(PageRead)
+			}
+			out = append(out, inj.Hit(PageWrite) != nil)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("PageWrite draw %d perturbed by PageRead traffic", i)
+		}
+	}
+}
+
+// TestExactHitScheduling: Prob 1 + After + Count pins a fault to an
+// exact hit.
+func TestExactHitScheduling(t *testing.T) {
+	inj := New(1).Plan(BTreeSplit, Rule{Prob: 1, After: 4, Count: 1})
+	inj.Arm()
+	for i := 1; i <= 20; i++ {
+		err := inj.Hit(BTreeSplit)
+		if i == 5 {
+			if err == nil {
+				t.Fatalf("hit 5 did not fire")
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != BTreeSplit || fe.Hit != 5 {
+				t.Fatalf("wrong error: %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d fired unexpectedly: %v", i, err)
+		}
+	}
+	st := inj.Stats()[BTreeSplit]
+	if st.Hits != 20 || st.Fired != 1 {
+		t.Fatalf("stats = %+v, want 20 hits / 1 fired", st)
+	}
+}
+
+// TestTransientClassification: IsTransient follows the rule, also
+// through wrapping.
+func TestTransientClassification(t *testing.T) {
+	inj := New(1).
+		Plan(ExecStmt, Rule{Prob: 1, Transient: true}).
+		Plan(PageWrite, Rule{Prob: 1})
+	inj.Arm()
+	terr := inj.Hit(ExecStmt)
+	perr := inj.Hit(PageWrite)
+	if !Is(terr) || !Is(perr) {
+		t.Fatal("Is() missed an injected fault")
+	}
+	if !IsTransient(terr) {
+		t.Fatal("transient fault not classified transient")
+	}
+	if IsTransient(perr) {
+		t.Fatal("permanent fault classified transient")
+	}
+	wrapped := fmt.Errorf("executor: scan failed: %w", terr)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapping hid the fault")
+	}
+	if Is(errors.New("plain")) || IsTransient(nil) {
+		t.Fatal("false positive")
+	}
+}
+
+// TestProbabilityRoughlyHonored: a p=0.2 rule fires near 20% of hits.
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	inj := New(99).Plan(PageAlloc, Rule{Prob: 0.2})
+	inj.Arm()
+	fired := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if inj.Hit(PageAlloc) != nil {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("fire rate %.3f far from 0.2", rate)
+	}
+}
+
+// TestConcurrentHits: Hit is safe (and live) under concurrency; counts
+// reconcile exactly.
+func TestConcurrentHits(t *testing.T) {
+	inj := New(5).Plan(PageWrite, Rule{Prob: 0.5})
+	inj.Arm()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	fired := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if inj.Hit(PageWrite) != nil {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, f := range fired {
+		total += f
+	}
+	st := inj.Stats()[PageWrite]
+	if st.Hits != workers*per {
+		t.Fatalf("hits = %d, want %d", st.Hits, workers*per)
+	}
+	if st.Fired != total {
+		t.Fatalf("fired counter %d != observed %d", st.Fired, total)
+	}
+}
+
+// TestCountCap: Count bounds total fires under Prob 1.
+func TestCountCap(t *testing.T) {
+	inj := New(3).Plan(BuildStep, Rule{Prob: 1, Count: 3})
+	inj.Arm()
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if inj.Hit(BuildStep) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}

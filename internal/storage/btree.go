@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"onlinetuner/internal/datum"
+	"onlinetuner/internal/fault"
 )
 
 // Fanout is the maximum number of entries per B+-tree node. It is chosen
@@ -66,6 +67,11 @@ type BTree struct {
 	count  atomic.Int64
 	// keyBytes tracks total key payload bytes for page accounting.
 	keyBytes atomic.Int64
+	// faults is the optional injection layer consulted by Insert (page
+	// allocation and leaf splits). Nil means no injection. Written only
+	// while the tree is private or under the manager lock; read on
+	// mutation paths, which hold the same locks.
+	faults *fault.Injector
 }
 
 // NewBTree returns an empty tree.
@@ -84,8 +90,21 @@ func (t *BTree) KeyBytes() int64 { return t.keyBytes.Load() }
 
 // Insert adds an entry. Inserting an exact duplicate (same key and RID)
 // is an error: index maintenance must never double-insert a row.
+//
+// Insert is atomic under fault injection: allocation and split faults
+// are consulted before any node is touched, so a failed Insert leaves
+// the tree exactly as it was.
 func (t *BTree) Insert(e Entry) error {
-	newChild, sep, err := t.insert(t.root, e)
+	return t.insertWith(e, t.faults)
+}
+
+// insertWith is Insert under an explicit injector; rollback paths pass
+// nil so compensation can never itself fault.
+func (t *BTree) insertWith(e Entry, inj *fault.Injector) error {
+	if err := inj.Hit(fault.PageAlloc); err != nil {
+		return err
+	}
+	newChild, sep, err := t.insert(t.root, e, inj)
 	if err != nil {
 		return err
 	}
@@ -105,11 +124,19 @@ func (t *BTree) Insert(e Entry) error {
 
 // insert descends into n; on split it returns the new right sibling and
 // its separator entry.
-func (t *BTree) insert(n *node, e Entry) (*node, Entry, error) {
+func (t *BTree) insert(n *node, e Entry, inj *fault.Injector) (*node, Entry, error) {
 	if n.leaf {
 		pos, found := findEntry(n.entries, e)
 		if found {
 			return nil, Entry{}, fmt.Errorf("storage: duplicate btree entry %v rid=%d", e.Key, e.RID)
+		}
+		// A full leaf will split: consult the split fault before the
+		// entry lands, so a refused split never strands an over-full
+		// page.
+		if len(n.entries) >= Fanout {
+			if err := inj.Hit(fault.BTreeSplit); err != nil {
+				return nil, Entry{}, err
+			}
 		}
 		n.entries = append(n.entries, Entry{})
 		copy(n.entries[pos+1:], n.entries[pos:])
@@ -120,7 +147,7 @@ func (t *BTree) insert(n *node, e Entry) (*node, Entry, error) {
 		return nil, Entry{}, nil
 	}
 	ci := childIndex(n.keys, e)
-	newChild, sep, err := t.insert(n.children[ci], e)
+	newChild, sep, err := t.insert(n.children[ci], e, inj)
 	if err != nil {
 		return nil, Entry{}, err
 	}

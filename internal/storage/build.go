@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/fault"
 )
 
 // This file implements online (background) index creation, the real
@@ -47,6 +48,12 @@ func (d *buildDelta) log(del bool, e Entry) {
 	d.ops = append(d.ops, deltaOp{del: del, e: e})
 }
 
+// unlog drops the n most recently logged ops; DML rollback uses it to
+// retract delta entries from a statement that failed mid-maintenance.
+func (d *buildDelta) unlog(n int) {
+	d.ops = d.ops[:len(d.ops)-n]
+}
+
 // Build is the handle for one background index build, returned by
 // StartBuild. Exactly one goroutine may call Run; Finish/Abort are then
 // called by the coordinating tuner.
@@ -79,6 +86,9 @@ func (m *Manager) StartBuild(ix *catalog.Index) (*Build, error) {
 	if ts == nil {
 		return nil, fmt.Errorf("storage: table %s not materialized", ix.Table)
 	}
+	if err := m.faults.Load().Hit(fault.PageAlloc); err != nil {
+		return nil, err
+	}
 	est := int64(ts.def.ColumnsWidth(ix.Columns)+8) * int64(ts.heap.Len())
 	if m.budget > 0 && m.usedLocked()+est > m.budget {
 		return nil, &ErrBudget{Index: ix.Name, Need: est, Free: m.budget - m.usedLocked()}
@@ -108,15 +118,22 @@ func (m *Manager) StartBuild(ix *catalog.Index) (*Build, error) {
 
 // Run constructs the B+-tree from the snapshot. It holds no locks —
 // queries and DML proceed concurrently — and checks ctx periodically so
-// an eroded build can be cancelled mid-flight.
+// an eroded build can be cancelled mid-flight. A BuildStep fault (one
+// draw per snapshot row) models a mid-snapshot I/O failure: Run returns
+// the error, the private tree is discarded, and the caller is expected
+// to AbortBuild.
 func (b *Build) Run(ctx context.Context) error {
 	const cancelCheckEvery = 256
+	inj := b.m.Faults()
 	tree := NewBTree()
 	for i, hr := range b.snap {
 		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if err := tree.Insert(Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID}); err != nil {
+		if err := inj.Hit(fault.BuildStep); err != nil {
+			return err
+		}
+		if err := tree.insertWith(Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID}, nil); err != nil {
 			return err
 		}
 	}
@@ -137,18 +154,27 @@ func (m *Manager) FinishBuild(b *Build) (*BuildStats, error) {
 	if b.tree == nil {
 		return nil, fmt.Errorf("storage: build of %s has not run", b.ix.Name)
 	}
+	// A BuildFinish fault (one draw per delta op) models a mid-delta
+	// failure. The index is still StateBuilding and unpublished when it
+	// fires, so the caller aborts with no visible state change; the
+	// partially replayed private tree is simply discarded.
+	inj := m.faults.Load()
 	for _, op := range b.pi.building.ops {
+		if err := inj.Hit(fault.BuildFinish); err != nil {
+			return nil, err
+		}
 		if op.del {
 			if !b.tree.Delete(op.e) {
 				return nil, fmt.Errorf("storage: build of %s: delta delete missed rid %d", b.ix.Name, op.e.RID)
 			}
 		} else {
-			if err := b.tree.Insert(op.e); err != nil {
+			if err := b.tree.insertWith(op.e, nil); err != nil {
 				return nil, err
 			}
 		}
 	}
 	b.pi.building = nil
+	b.tree.faults = inj
 	b.pi.tree.Store(b.tree)
 	b.pi.estBytes.Store(0)
 	b.pi.setState(StateActive)

@@ -78,6 +78,26 @@ func (h *Heap) Insert(r datum.Row) RID {
 	return RID(len(h.rows) - 1)
 }
 
+// InsertAt restores a row at a tombstoned RID — the inverse of Delete,
+// used only by statement rollback. The RID must currently be free.
+func (h *Heap) InsertAt(rid RID, r datum.Row) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if rid < 0 || int(rid) >= len(h.rows) || h.rows[rid] != nil {
+		return fmt.Errorf("storage: restore at occupied or invalid rid %d", rid)
+	}
+	for i := len(h.free) - 1; i >= 0; i-- {
+		if h.free[i] == rid {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+			break
+		}
+	}
+	h.rows[rid] = r
+	h.count.Add(1)
+	h.bytes.Add(int64(r.Width()) + RowOverhead)
+	return nil
+}
+
 // Get returns the row at rid, or nil if deleted/out of range.
 func (h *Heap) Get(rid RID) datum.Row {
 	h.mu.RLock()

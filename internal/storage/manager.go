@@ -9,6 +9,7 @@ import (
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
+	"onlinetuner/internal/fault"
 )
 
 // IndexState tracks the lifecycle of a physical index structure.
@@ -121,6 +122,33 @@ type Manager struct {
 	// physical-design snapshot: a plan chosen under ConfigVersion() == v
 	// saw exactly the structures that exist while the version stays v.
 	configVersion atomic.Int64
+	// faults is the optional fault-injection layer. Atomic so the
+	// executor's read paths can consult it without the manager lock.
+	faults atomic.Pointer[fault.Injector]
+}
+
+// SetFaults installs (or, with nil, removes) the fault-injection layer.
+// The injector propagates to every existing index tree and to trees
+// created afterwards.
+func (m *Manager) SetFaults(inj *fault.Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults.Store(inj)
+	for _, pi := range m.indexes {
+		if t := pi.Tree(); t != nil {
+			t.faults = inj
+		}
+	}
+}
+
+// Faults returns the installed fault injector, or nil.
+func (m *Manager) Faults() *fault.Injector { return m.faults.Load() }
+
+// newTreeLocked returns an empty tree wired to the manager's injector.
+func (m *Manager) newTreeLocked() *BTree {
+	t := NewBTree()
+	t.faults = m.faults.Load()
+	return t
 }
 
 // ConfigVersion returns the current physical-design version. It
@@ -198,7 +226,7 @@ func (m *Manager) CreateTable(name string) error {
 		return fmt.Errorf("storage: table %s has no primary index", name)
 	}
 	pi := &PhysicalIndex{Def: pk}
-	pi.tree.Store(NewBTree())
+	pi.tree.Store(m.newTreeLocked())
 	pi.setState(StateActive)
 	pi.colOrds = ordinalsFor(t, pk)
 	m.indexes[pk.ID()] = pi
@@ -265,9 +293,38 @@ func (m *Manager) KeyFor(t *catalog.Table, ix *catalog.Index, row datum.Row) dat
 	return keyFor(ordinalsFor(t, ix), row)
 }
 
+// dmlUndo records the side effects of a partially applied DML statement
+// so a mid-statement failure can be compensated. Rollback runs the
+// recorded actions in reverse and must never fail: tree compensation
+// bypasses the fault injector (insertWith(nil)) and only reverses
+// operations that are known to have applied.
+type dmlUndo struct {
+	applied  []func()
+	deferred []*PhysicalIndex // suspended indexes whose pendingOps was bumped
+	logged   []*PhysicalIndex // building indexes whose delta log grew
+	loggedN  []int
+}
+
+func (u *dmlUndo) rollback() {
+	for i := len(u.applied) - 1; i >= 0; i-- {
+		u.applied[i]()
+	}
+	for i, pi := range u.logged {
+		pi.building.unlog(u.loggedN[i])
+	}
+	for _, pi := range u.deferred {
+		pi.pendingOps.Add(-1)
+	}
+}
+
 // Insert adds a row to a table and maintains all active indexes. It
 // returns the RID and the number of index structures touched (for update
 // cost accounting).
+//
+// Insert is all-or-nothing: if any index maintenance step fails (e.g.
+// under fault injection), every structure already touched — including
+// the heap row — is compensated before the error returns, so a failed
+// statement leaves no partial mutations behind.
 func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -278,8 +335,12 @@ func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
 	if len(row) != len(ts.def.Columns) {
 		return 0, 0, fmt.Errorf("storage: table %s: row arity %d != %d", table, len(row), len(ts.def.Columns))
 	}
+	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
+		return 0, 0, err
+	}
 	rid := ts.heap.Insert(row)
 	touched := 0
+	var undo dmlUndo
 	for _, pi := range m.indexes {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
@@ -287,19 +348,27 @@ func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
 		switch pi.State() {
 		case StateSuspended:
 			pi.pendingOps.Add(1)
+			undo.deferred = append(undo.deferred, pi)
 		case StateBuilding:
 			pi.building.log(false, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
+			undo.logged = append(undo.logged, pi)
+			undo.loggedN = append(undo.loggedN, 1)
 		case StateActive:
-			if err := pi.Tree().Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+			t, e := pi.Tree(), Entry{Key: keyFor(pi.colOrds, row), RID: rid}
+			if err := t.Insert(e); err != nil {
+				undo.rollback()
+				_ = ts.heap.Delete(rid)
 				return 0, 0, err
 			}
+			undo.applied = append(undo.applied, func() { t.Delete(e) })
 			touched++
 		}
 	}
 	return rid, touched, nil
 }
 
-// Delete removes the row at rid and maintains all active indexes.
+// Delete removes the row at rid and maintains all active indexes. Like
+// Insert, it compensates every applied step if a later one fails.
 func (m *Manager) Delete(table string, rid RID) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -311,7 +380,15 @@ func (m *Manager) Delete(table string, rid RID) (int, error) {
 	if row == nil {
 		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
 	}
+	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
+		return 0, err
+	}
 	touched := 0
+	var undo dmlUndo
+	fail := func(err error) (int, error) {
+		undo.rollback()
+		return 0, err
+	}
 	for _, pi := range m.indexes {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
@@ -319,17 +396,22 @@ func (m *Manager) Delete(table string, rid RID) (int, error) {
 		switch pi.State() {
 		case StateSuspended:
 			pi.pendingOps.Add(1)
+			undo.deferred = append(undo.deferred, pi)
 		case StateBuilding:
 			pi.building.log(true, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
+			undo.logged = append(undo.logged, pi)
+			undo.loggedN = append(undo.loggedN, 1)
 		case StateActive:
-			if !pi.Tree().Delete(Entry{Key: keyFor(pi.colOrds, row), RID: rid}) {
-				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
+			t, e := pi.Tree(), Entry{Key: keyFor(pi.colOrds, row), RID: rid}
+			if !t.Delete(e) {
+				return fail(fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid))
 			}
+			undo.applied = append(undo.applied, func() { _ = t.insertWith(e, nil) })
 			touched++
 		}
 	}
 	if err := ts.heap.Delete(rid); err != nil {
-		return 0, err
+		return fail(err)
 	}
 	return touched, nil
 }
@@ -347,7 +429,15 @@ func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
 	if old == nil {
 		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
 	}
+	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
+		return 0, err
+	}
 	touched := 0
+	var undo dmlUndo
+	fail := func(err error) (int, error) {
+		undo.rollback()
+		return 0, err
+	}
 	for _, pi := range m.indexes {
 		if !strings.EqualFold(pi.Def.Table, table) {
 			continue
@@ -355,6 +445,7 @@ func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
 		switch pi.State() {
 		case StateSuspended:
 			pi.pendingOps.Add(1)
+			undo.deferred = append(undo.deferred, pi)
 		case StateBuilding:
 			oldKey := keyFor(pi.colOrds, old)
 			newKey := keyFor(pi.colOrds, newRow)
@@ -363,25 +454,132 @@ func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
 			}
 			pi.building.log(true, Entry{Key: oldKey, RID: rid})
 			pi.building.log(false, Entry{Key: newKey, RID: rid})
+			undo.logged = append(undo.logged, pi)
+			undo.loggedN = append(undo.loggedN, 2)
 		case StateActive:
 			oldKey := keyFor(pi.colOrds, old)
 			newKey := keyFor(pi.colOrds, newRow)
 			if oldKey.Compare(newKey) == 0 {
 				continue
 			}
-			if !pi.Tree().Delete(Entry{Key: oldKey, RID: rid}) {
-				return 0, fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid)
+			t := pi.Tree()
+			oldE := Entry{Key: oldKey, RID: rid}
+			newE := Entry{Key: newKey, RID: rid}
+			if !t.Delete(oldE) {
+				return fail(fmt.Errorf("storage: index %s missing entry for rid %d", pi.Def.Name, rid))
 			}
-			if err := pi.Tree().Insert(Entry{Key: newKey, RID: rid}); err != nil {
-				return 0, err
+			if err := t.Insert(newE); err != nil {
+				_ = t.insertWith(oldE, nil)
+				return fail(err)
 			}
+			undo.applied = append(undo.applied, func() {
+				t.Delete(newE)
+				_ = t.insertWith(oldE, nil)
+			})
 			touched++
 		}
 	}
 	if _, err := ts.heap.Update(rid, newRow); err != nil {
-		return 0, err
+		return fail(err)
 	}
 	return touched, nil
+}
+
+// UndoInsert retracts a row applied earlier in the same statement — the
+// executor's statement-level rollback. Undo paths bypass the fault
+// layer entirely (compensation must never itself fail) and, for a
+// building index, log the inverse delta op rather than unlogging, which
+// is correct under any interleaving.
+func (m *Manager) UndoInsert(table string, rid RID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return
+	}
+	row := ts.heap.Get(rid)
+	if row == nil {
+		return
+	}
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		e := Entry{Key: keyFor(pi.colOrds, row), RID: rid}
+		switch pi.State() {
+		case StateSuspended:
+			pi.pendingOps.Add(1)
+		case StateBuilding:
+			pi.building.log(true, e)
+		case StateActive:
+			pi.Tree().Delete(e)
+		}
+	}
+	_ = ts.heap.Delete(rid)
+}
+
+// UndoDelete restores a row removed earlier in the same statement at
+// its original RID.
+func (m *Manager) UndoDelete(table string, rid RID, row datum.Row) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return
+	}
+	if err := ts.heap.InsertAt(rid, row); err != nil {
+		return
+	}
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		e := Entry{Key: keyFor(pi.colOrds, row), RID: rid}
+		switch pi.State() {
+		case StateSuspended:
+			pi.pendingOps.Add(1)
+		case StateBuilding:
+			pi.building.log(false, e)
+		case StateActive:
+			_ = pi.Tree().insertWith(e, nil)
+		}
+	}
+}
+
+// UndoUpdate restores a row's previous value after a later step of the
+// same statement failed.
+func (m *Manager) UndoUpdate(table string, rid RID, oldRow datum.Row) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return
+	}
+	cur := ts.heap.Get(rid)
+	if cur == nil {
+		return
+	}
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) {
+			continue
+		}
+		curKey := keyFor(pi.colOrds, cur)
+		oldKey := keyFor(pi.colOrds, oldRow)
+		if curKey.Compare(oldKey) == 0 {
+			continue
+		}
+		switch pi.State() {
+		case StateSuspended:
+			pi.pendingOps.Add(1)
+		case StateBuilding:
+			pi.building.log(true, Entry{Key: curKey, RID: rid})
+			pi.building.log(false, Entry{Key: oldKey, RID: rid})
+		case StateActive:
+			pi.Tree().Delete(Entry{Key: curKey, RID: rid})
+			_ = pi.Tree().insertWith(Entry{Key: oldKey, RID: rid}, nil)
+		}
+	}
+	_, _ = ts.heap.Update(rid, oldRow)
 }
 
 // EstimateIndexBytes estimates the byte size a (possibly hypothetical)
@@ -411,6 +609,10 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	if ts == nil {
 		return nil, fmt.Errorf("storage: table %s not materialized", ix.Table)
 	}
+	inj := m.faults.Load()
+	if err := inj.Hit(fault.PageAlloc); err != nil {
+		return nil, err
+	}
 	est := int64(ts.def.ColumnsWidth(ix.Columns)+8) * int64(ts.heap.Len())
 	if m.budget > 0 && m.usedLocked()+est > m.budget {
 		return nil, &ErrBudget{Index: ix.Name, Need: est, Free: m.budget - m.usedLocked()}
@@ -436,10 +638,18 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 
 	pi := &PhysicalIndex{Def: ix}
 	pi.colOrds = ordinalsFor(ts.def, ix)
+	// The bulk build is all-or-nothing: the tree stays private until the
+	// scan completes, so a mid-scan fault (BuildStep per row) discards it
+	// with no published state. Per-insert alloc faults are bypassed so
+	// one site controls build failures.
 	tree := NewBTree()
 	var buildErr error
 	ts.heap.Scan(func(rid RID, row datum.Row) bool {
-		if err := tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); err != nil {
+		if err := inj.Hit(fault.BuildStep); err != nil {
+			buildErr = err
+			return false
+		}
+		if err := tree.insertWith(Entry{Key: keyFor(pi.colOrds, row), RID: rid}, nil); err != nil {
 			buildErr = err
 			return false
 		}
@@ -448,6 +658,7 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	tree.faults = inj
 	pi.tree.Store(tree)
 	pi.setState(StateActive)
 	stats.NewPages = pi.Pages()
@@ -524,11 +735,22 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	if pi.State() != StateSuspended {
 		return 0, fmt.Errorf("storage: index %s is %s, not suspended", pi.Def.Name, pi.State())
 	}
+	inj := m.faults.Load()
+	if err := inj.Hit(fault.PageAlloc); err != nil {
+		return 0, err
+	}
 	ts := m.tables[strings.ToLower(pi.Def.Table)]
+	// Like BuildIndex, the replacement tree stays private until complete:
+	// a mid-replay fault leaves the index suspended with its old
+	// structure and pending count intact.
 	tree := NewBTree()
 	var err error
 	ts.heap.Scan(func(rid RID, row datum.Row) bool {
-		if e := tree.Insert(Entry{Key: keyFor(pi.colOrds, row), RID: rid}); e != nil {
+		if e := inj.Hit(fault.BuildStep); e != nil {
+			err = e
+			return false
+		}
+		if e := tree.insertWith(Entry{Key: keyFor(pi.colOrds, row), RID: rid}, nil); e != nil {
 			err = e
 			return false
 		}
@@ -538,6 +760,7 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 		return 0, err
 	}
 	ops := pi.pendingOps.Load()
+	tree.faults = inj
 	pi.tree.Store(tree)
 	pi.setState(StateActive)
 	pi.pendingOps.Store(0)

@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/fault"
+)
+
+// This file holds the model-based property tests for the storage layer:
+// randomized DML/DDL sequences run against the real manager under
+// injected faults, mirrored into a trivial in-memory model. After every
+// operation the outcome must agree with the model (all-or-nothing: a
+// failed op changes nothing), and the structural invariant checkers
+// must pass throughout.
+
+// propModel mirrors the live rows the manager should hold.
+type propModel struct {
+	rows map[RID]datum.Row
+}
+
+// TestBTreePropertyUnderFaults drives a bare B+-tree with random
+// inserts and deletes under alloc/split faults and checks the full
+// structural invariant set after every operation.
+func TestBTreePropertyUnderFaults(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		inj := fault.New(uint64(seed)).
+			Plan(fault.PageAlloc, fault.Rule{Prob: 0.02}).
+			Plan(fault.BTreeSplit, fault.Rule{Prob: 0.2})
+		inj.Arm()
+		tree := NewBTree()
+		tree.faults = inj
+
+		entryKey := func(e Entry) string {
+			return fmt.Sprintf("%v|%d", e.Key, e.RID)
+		}
+		model := map[string]bool{}
+		var present []Entry
+		for op := 0; op < 4000; op++ {
+			if len(present) == 0 || rng.Intn(3) != 0 {
+				e := Entry{
+					Key: datum.Row{datum.NewInt(rng.Int63n(500)), datum.NewInt(rng.Int63n(1000))},
+					RID: RID(op),
+				}
+				err := tree.Insert(e)
+				if err == nil {
+					model[entryKey(e)] = true
+					present = append(present, e)
+				} else if !fault.Is(err) {
+					t.Fatalf("seed %d op %d: unexpected insert error: %v", seed, op, err)
+				}
+			} else {
+				i := rng.Intn(len(present))
+				e := present[i]
+				if !tree.Delete(e) {
+					t.Fatalf("seed %d op %d: delete of present entry %v failed", seed, op, e)
+				}
+				delete(model, entryKey(e))
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+			}
+			if op%97 == 0 {
+				if err := tree.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		if tree.Len() != len(model) {
+			t.Fatalf("seed %d: tree has %d entries, model %d", seed, tree.Len(), len(model))
+		}
+		for it := tree.Scan(); it.Valid(); it.Next() {
+			if !model[entryKey(it.Entry())] {
+				t.Fatalf("seed %d: tree holds entry %v not in model", seed, it.Entry())
+			}
+		}
+		if inj.FiredTotal() == 0 {
+			t.Fatalf("seed %d: no faults fired; schedule too weak to test anything", seed)
+		}
+	}
+}
+
+// TestManagerPropertyUnderFaults runs a randomized DML + index-DDL
+// sequence against the manager under write/alloc/split faults. The
+// all-or-nothing contract is checked op by op against a model, and
+// CheckConsistency validates cross-structure agreement throughout.
+func TestManagerPropertyUnderFaults(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		cat, m := newTestDB(t)
+		inj := fault.New(uint64(seed)).
+			Plan(fault.PageWrite, fault.Rule{Prob: 0.05}).
+			Plan(fault.PageAlloc, fault.Rule{Prob: 0.01}).
+			Plan(fault.BTreeSplit, fault.Rule{Prob: 0.3}).
+			Plan(fault.BuildStep, fault.Rule{Prob: 0.001})
+		m.SetFaults(inj)
+		inj.Arm()
+
+		// Two secondary indexes so every DML touches several trees and a
+		// mid-loop fault has partial state to roll back.
+		ixA := &catalog.Index{Table: "R", Name: "ix_a", Columns: []string{"a"}}
+		ixB := &catalog.Index{Table: "R", Name: "ix_ab", Columns: []string{"a", "b"}}
+		for _, ix := range []*catalog.Index{ixA, ixB} {
+			if err := cat.AddIndex(ix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buildUntilOK := func(ix *catalog.Index) {
+			for {
+				if _, err := m.BuildIndex(ix); err == nil {
+					return
+				} else if !fault.Is(err) {
+					t.Fatalf("seed %d: build %s: %v", seed, ix.Name, err)
+				}
+			}
+		}
+		buildUntilOK(ixA)
+		buildUntilOK(ixB)
+
+		model := propModel{rows: map[RID]datum.Row{}}
+		var rids []RID
+		nextID := int64(0)
+		failed, applied := 0, 0
+		for op := 0; op < 3000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(rids) == 0: // insert
+				nextID++
+				row := row(nextID, rng.Int63n(200), rng.Int63n(1000))
+				rid, _, err := m.Insert("R", row)
+				if err != nil {
+					if !fault.Is(err) {
+						t.Fatalf("seed %d op %d: insert: %v", seed, op, err)
+					}
+					failed++
+					break
+				}
+				applied++
+				model.rows[rid] = row
+				rids = append(rids, rid)
+			case r < 7: // delete
+				i := rng.Intn(len(rids))
+				rid := rids[i]
+				if _, err := m.Delete("R", rid); err != nil {
+					if !fault.Is(err) {
+						t.Fatalf("seed %d op %d: delete: %v", seed, op, err)
+					}
+					failed++
+					break
+				}
+				applied++
+				delete(model.rows, rid)
+				rids[i] = rids[len(rids)-1]
+				rids = rids[:len(rids)-1]
+			case r < 9: // update
+				rid := rids[rng.Intn(len(rids))]
+				old := model.rows[rid]
+				newRow := row(old[0].Int(), rng.Int63n(200), rng.Int63n(1000))
+				if _, err := m.Update("R", rid, newRow); err != nil {
+					if !fault.Is(err) {
+						t.Fatalf("seed %d op %d: update: %v", seed, op, err)
+					}
+					failed++
+					break
+				}
+				applied++
+				model.rows[rid] = newRow
+			default: // index DDL churn: suspend → restart
+				if err := m.SuspendIndex(ixA.ID()); err != nil {
+					break
+				}
+				for {
+					if _, err := m.RestartIndex(ixA.ID()); err == nil {
+						break
+					} else if !fault.Is(err) {
+						t.Fatalf("seed %d op %d: restart: %v", seed, op, err)
+					}
+				}
+			}
+			if op%211 == 0 {
+				if err := m.CheckConsistency(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+		if failed == 0 {
+			t.Fatalf("seed %d: no faulted ops; schedule too weak", seed)
+		}
+		if applied == 0 {
+			t.Fatalf("seed %d: every op faulted; schedule too strong", seed)
+		}
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		// The surviving rows must be exactly the model's.
+		h := m.Heap("R")
+		if h.Len() != len(model.rows) {
+			t.Fatalf("seed %d: heap has %d rows, model %d", seed, h.Len(), len(model.rows))
+		}
+		h.Scan(func(rid RID, r datum.Row) bool {
+			want, ok := model.rows[rid]
+			if !ok {
+				t.Fatalf("seed %d: heap holds rid %d not in model", seed, rid)
+			}
+			if want.Compare(r) != 0 {
+				t.Fatalf("seed %d: rid %d holds %v, want %v", seed, rid, r, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestMidBuildFaultLeavesNoTrace injects a fault mid-way through an
+// online build (snapshot phase, then delta phase) and asserts the abort
+// path leaves no state behind: no index entry, reservation released,
+// consistency clean.
+func TestMidBuildFaultLeavesNoTrace(t *testing.T) {
+	for _, site := range []fault.Site{fault.BuildStep, fault.BuildFinish} {
+		cat, m := newTestDB(t)
+		for i := int64(0); i < 500; i++ {
+			if _, _, err := m.Insert("R", row(i, i%7, i%13)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ix := &catalog.Index{Table: "R", Name: "ix_fail", Columns: []string{"a"}}
+		if err := cat.AddIndex(ix); err != nil {
+			t.Fatal(err)
+		}
+		inj := fault.New(1).Plan(site, fault.Rule{Prob: 1, After: 20, Count: 1})
+		m.SetFaults(inj)
+		inj.Arm()
+
+		before := m.ConfigVersion()
+		b, err := m.StartBuild(ix)
+		if err != nil {
+			t.Fatalf("%s: StartBuild: %v", site, err)
+		}
+		// DML during the build populates the delta log (the BuildFinish
+		// case needs >20 delta ops for its fault to land mid-replay).
+		for i := int64(0); i < 60; i++ {
+			if _, _, err := m.Insert("R", row(1000+i, i, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runErr := b.Run(context.Background())
+		if site == fault.BuildStep {
+			if !fault.Is(runErr) {
+				t.Fatalf("BuildStep: Run err = %v, want injected fault", runErr)
+			}
+		} else {
+			if runErr != nil {
+				t.Fatalf("BuildFinish: Run err = %v", runErr)
+			}
+			if _, err := m.FinishBuild(b); !fault.Is(err) {
+				t.Fatalf("BuildFinish: FinishBuild err = %v, want injected fault", err)
+			}
+		}
+		m.AbortBuild(b)
+		if err := cat.DropIndex(ix.Name); err != nil {
+			t.Fatal(err)
+		}
+		if m.Index(ix.ID()) != nil {
+			t.Fatalf("%s: aborted index still materialized", site)
+		}
+		if m.ConfigVersion() != before {
+			t.Fatalf("%s: aborted build bumped ConfigVersion %d -> %d", site, before, m.ConfigVersion())
+		}
+		if used := m.UsedBytes(); used != 0 {
+			t.Fatalf("%s: aborted build leaked %d reserved bytes", site, used)
+		}
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", site, err)
+		}
+	}
+}
