@@ -406,6 +406,36 @@ func BenchmarkHotPathCachedTraced(b *testing.B) {
 	runHotPath(b, db, gen.Batch())
 }
 
+// parallelDB loads the TPC-H database the BenchmarkHotPathParallel*
+// family runs on with an explicit intra-query worker budget and the
+// plan cache off, so every op measures raw execution.
+func parallelDB(b *testing.B, workers int) (*engine.DB, *tpch.Generator) {
+	b.Helper()
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
+	gen := tpch.NewGenerator(0.2, 7)
+	if err := gen.Load(db); err != nil {
+		b.Fatal(err)
+	}
+	db.SetPlanCacheMode(engine.CacheOff)
+	return db, gen
+}
+
+// BenchmarkHotPathParallelSeq is the morsel-executor baseline: the
+// fixed-parameter TPC-H batch at ExecWorkers=1 (no extra workers — the
+// scheduler degrades to a plain sequential loop).
+func BenchmarkHotPathParallelSeq(b *testing.B) {
+	db, gen := parallelDB(b, 1)
+	runHotPath(b, db, gen.Batch())
+}
+
+// BenchmarkHotPathParallel4 replays the same batch with four intra-
+// query workers. cmd/experiments' exec subcommand records the full
+// 1/2/4/8 matrix as BENCH_parallel.json; this pair is the CI smoke.
+func BenchmarkHotPathParallel4(b *testing.B) {
+	db, gen := parallelDB(b, 4)
+	runHotPath(b, db, gen.Batch())
+}
+
 // BenchmarkOnlineSI measures the constant-time single-index observer.
 func BenchmarkOnlineSI(b *testing.B) {
 	on := singleindex.New(10)

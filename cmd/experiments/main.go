@@ -74,6 +74,13 @@ func main() {
 		}
 		return
 	}
+	if cmd == "exec" {
+		if err := execParallel(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cmd, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -119,7 +126,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|all)", cmd)
 }
 
 func table1() error {
@@ -247,6 +254,29 @@ func faultOverhead(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatFault(rep))
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// execParallel runs the morsel-parallel executor matrix, sequential vs
+// 1/2/4/8 workers on a fixed TPC-H batch (see planCache for why it is
+// not part of "all"). With -out FILE it writes the recorded
+// BENCH_parallel.json.
+func execParallel(opts workload.TPCHOptions, out string) error {
+	rep, err := bench.Parallel(opts.Scale, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatParallel(rep))
 	if out != "" {
 		js, err := rep.JSON()
 		if err != nil {

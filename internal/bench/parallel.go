@@ -1,0 +1,133 @@
+// Intra-query parallelism benchmark: replays a fixed-parameter TPC-H
+// batch at several ExecWorkers settings and reports the speedup over the
+// sequential executor. Results are byte-identical at every setting (the
+// morsel model guarantees it), so this comparison is purely about
+// wall-clock time.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+// ParallelBench is one measured worker setting.
+type ParallelBench struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is sequential ns/op divided by this setting's ns/op.
+	Speedup float64 `json:"speedup"`
+	// Morsels is the number of morsels dispatched to parallel regions
+	// during the measured run (engine.exec_parallel_morsels).
+	Morsels int64 `json:"morsels"`
+}
+
+// ParallelReport is the sequential-vs-parallel comparison, serialized to
+// BENCH_parallel.json by cmd/experiments. GOMAXPROCS is recorded because
+// the achievable speedup is bounded by it: on a single-core runner every
+// setting degenerates to the sequential loop.
+type ParallelReport struct {
+	Scale      float64         `json:"scale"`
+	Seed       int64           `json:"seed"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Results    []ParallelBench `json:"results"`
+	// SpeedupAt4 is the headline number: sequential time over
+	// 4-worker time on the fixed TPC-H batch.
+	SpeedupAt4 float64 `json:"speedup_at_4"`
+}
+
+// measureParallel loads a TPC-H database with ExecWorkers=workers and
+// benchmarks replaying the statement batch (one batch per op), after one
+// warm-up pass. The plan cache stays off so every op pays the same
+// optimize+execute cost and the comparison isolates execution time.
+func measureParallel(scale tpch.Scale, seed int64, workers int, stmts []string) (ParallelBench, error) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
+	gen := tpch.NewGenerator(scale, seed)
+	if err := gen.Load(db); err != nil {
+		return ParallelBench{}, err
+	}
+	db.SetPlanCacheMode(engine.CacheOff)
+	for _, q := range stmts {
+		if _, _, err := db.Exec(q); err != nil {
+			return ParallelBench{}, fmt.Errorf("warm-up %q: %w", q, err)
+		}
+	}
+	var execErr error
+	var morsels int64
+	r := testing.Benchmark(func(b *testing.B) {
+		before := db.Observability().Reg.Counter("engine.exec_parallel_morsels").Value()
+		for i := 0; i < b.N; i++ {
+			for _, q := range stmts {
+				if _, _, err := db.Exec(q); err != nil {
+					execErr = err
+					b.FailNow()
+				}
+			}
+		}
+		b.StopTimer()
+		morsels = db.Observability().Reg.Counter("engine.exec_parallel_morsels").Value() - before
+	})
+	if execErr != nil {
+		return ParallelBench{}, execErr
+	}
+	return ParallelBench{
+		Workers: workers,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+		Morsels: morsels,
+	}, nil
+}
+
+// Parallel runs the sequential-vs-parallel matrix on a fixed-parameter
+// TPC-H batch.
+func Parallel(scale tpch.Scale, seed int64) (*ParallelReport, error) {
+	gen := tpch.NewGenerator(scale, seed)
+	batch := gen.Batch()
+	rep := &ParallelReport{Scale: float64(scale), Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var seq float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		m, err := measureParallel(scale, seed, workers, batch)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		if workers == 1 {
+			m.Name = "batch/sequential"
+			seq = m.NsPerOp
+		} else {
+			m.Name = fmt.Sprintf("batch/parallel-%d", workers)
+		}
+		if seq > 0 && m.NsPerOp > 0 {
+			m.Speedup = seq / m.NsPerOp
+		}
+		rep.Results = append(rep.Results, m)
+		if workers == 4 {
+			rep.SpeedupAt4 = m.Speedup
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_parallel.json.
+func (r *ParallelReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatParallel renders the report as a text table.
+func FormatParallel(r *ParallelReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Morsel-parallel executor (TPC-H scale %.2g, seed %d, GOMAXPROCS=%d)\n",
+		r.Scale, r.Seed, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-20s %8s %14s %9s %10s\n", "benchmark", "workers", "ns/op", "speedup", "morsels")
+	for _, b := range r.Results {
+		fmt.Fprintf(&sb, "%-20s %8d %14.0f %8.2fx %10d\n",
+			b.Name, b.Workers, b.NsPerOp, b.Speedup, b.Morsels)
+	}
+	fmt.Fprintf(&sb, "speedup at 4 workers: %.2fx (bounded by GOMAXPROCS=%d)\n",
+		r.SpeedupAt4, r.GOMAXPROCS)
+	return sb.String()
+}

@@ -955,6 +955,11 @@ func (t *Tuner) createIndex(st *IndexStats, buildCost float64) {
 		// Fresh build: snapshot the table and hand the B+-tree
 		// construction to a background goroutine. DML from here on is
 		// captured by the build's delta log, off the statement hot path.
+		// The build itself sorts its snapshot with the manager's parallel
+		// worker budget (engine.SetExecWorkers) and bulk-loads the tree,
+		// producing an identical structure at every worker count — the
+		// build cost the tuner accounted (buildCost) stays the same
+		// sequential-equivalent estimate either way.
 		b, err := t.env.Mgr.StartBuild(st.Ix)
 		if err != nil {
 			// Budget race or storage fault: the attempt counts as a started

@@ -1,0 +1,70 @@
+package datum
+
+// BatchRows is the target row count per executor batch: large enough to
+// amortize per-batch costs (context ticks, fault draws, channel sends),
+// small enough to keep intermediate state cache-resident.
+const BatchRows = 1024
+
+// slabDatums sizes the backing arena slabs Alloc carves rows from.
+const slabDatums = 4096
+
+// Batch is a resizable run of rows backed by a datum arena. Rows built
+// with Alloc share large slabs instead of one heap allocation per row;
+// rows appended with Append keep whatever backing they arrived with.
+// When a slab is exhausted a new one is allocated — previously carved
+// rows keep pointing into the old slab, so references handed out by
+// Alloc stay valid for the life of the batch.
+type Batch struct {
+	rows []Row
+	slab []Datum
+}
+
+// NewBatch returns an empty batch with row capacity hint n.
+func NewBatch(n int) *Batch {
+	if n <= 0 {
+		n = BatchRows
+	}
+	return &Batch{rows: make([]Row, 0, n)}
+}
+
+// Len reports the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Row returns the i'th row.
+func (b *Batch) Row(i int) Row { return b.rows[i] }
+
+// Rows exposes the underlying row slice (valid until Reset).
+func (b *Batch) Rows() []Row { return b.rows }
+
+// Append adds an existing row to the batch without copying it.
+func (b *Batch) Append(r Row) { b.rows = append(b.rows, r) }
+
+// Alloc appends a zeroed row of width n carved from the batch arena and
+// returns it for the caller to fill.
+func (b *Batch) Alloc(n int) Row {
+	if len(b.slab)+n > cap(b.slab) {
+		sz := slabDatums
+		if n > sz {
+			sz = n
+		}
+		b.slab = make([]Datum, 0, sz)
+	}
+	lo := len(b.slab)
+	b.slab = b.slab[: lo+n : lo+n]
+	r := Row(b.slab[lo : lo+n])
+	for i := range r {
+		r[i] = Datum{}
+	}
+	b.rows = append(b.rows, r)
+	return r
+}
+
+// Reset empties the batch, retaining row capacity and the current slab
+// tail for reuse. Rows previously returned by Alloc or Rows must not be
+// used after Reset.
+func (b *Batch) Reset() {
+	b.rows = b.rows[:0]
+	// Keep the slab: Alloc re-carves from its tail, and full slabs are
+	// replaced on demand. Rows handed out before Reset are invalidated
+	// by contract, so rewinding would alias them; allocate forward only.
+}

@@ -1,0 +1,58 @@
+package datum
+
+import "testing"
+
+func TestBatchAllocCarvesValidRows(t *testing.T) {
+	b := NewBatch(0)
+	var rows []Row
+	// Cross several slab boundaries to prove old rows survive new slabs.
+	for i := 0; i < 3*slabDatums; i++ {
+		r := b.Alloc(3)
+		r[0] = NewInt(int64(i))
+		r[1] = NewString("x")
+		r[2] = NewFloat(float64(i) / 2)
+		rows = append(rows, r)
+	}
+	if b.Len() != 3*slabDatums {
+		t.Fatalf("Len = %d, want %d", b.Len(), 3*slabDatums)
+	}
+	for i, r := range rows {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d corrupted after slab growth: got %v", i, r[0])
+		}
+		if got := b.Row(i); &got[0] != &r[0] {
+			t.Fatalf("Row(%d) does not alias the allocated row", i)
+		}
+	}
+}
+
+func TestBatchAllocWiderThanSlab(t *testing.T) {
+	b := NewBatch(1)
+	r := b.Alloc(slabDatums + 10)
+	if len(r) != slabDatums+10 {
+		t.Fatalf("wide Alloc len = %d", len(r))
+	}
+	r2 := b.Alloc(2)
+	r2[0] = NewInt(7)
+	if r2[0].Int() != 7 || len(b.Rows()) != 2 {
+		t.Fatal("alloc after oversized row broken")
+	}
+}
+
+func TestBatchAppendAndReset(t *testing.T) {
+	b := NewBatch(4)
+	ext := Row{NewInt(1)}
+	b.Append(ext)
+	if b.Len() != 1 || &b.Row(0)[0] != &ext[0] {
+		t.Fatal("Append must not copy the row")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset should empty the batch")
+	}
+	r := b.Alloc(1)
+	r[0] = NewInt(9)
+	if b.Len() != 1 || b.Row(0)[0].Int() != 9 {
+		t.Fatal("batch unusable after Reset")
+	}
+}

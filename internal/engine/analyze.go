@@ -106,10 +106,10 @@ func annotate(a *Analysis, n plan.Node, col *executor.Collector, depth int) {
 		EstRows: n.EstRows(),
 	}
 	if st := col.Stats(n); st != nil {
-		node.ActualRows = st.Rows
-		node.Scanned = st.Scanned
-		node.Pages = st.Pages
-		node.Time = st.Duration
+		node.ActualRows = st.Rows()
+		node.Scanned = st.Scanned()
+		node.Pages = st.Pages()
+		node.Time = st.Duration()
 	}
 	a.Nodes = append(a.Nodes, node)
 	for _, c := range n.Children() {

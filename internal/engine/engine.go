@@ -88,8 +88,20 @@ type DB struct {
 	observer Observer
 }
 
-// Open creates an empty database.
-func Open() *DB {
+// Config carries engine construction options.
+type Config struct {
+	// ExecWorkers bounds intra-query parallelism: morsel-driven scans,
+	// joins, aggregation and sorts use up to this many workers per
+	// statement. Zero (or negative) selects GOMAXPROCS. Results are
+	// byte-identical at every setting; only wall-clock time changes.
+	ExecWorkers int
+}
+
+// Open creates an empty database with default configuration.
+func Open() *DB { return OpenConfig(Config{}) }
+
+// OpenConfig creates an empty database with the given configuration.
+func OpenConfig(cfg Config) *DB {
 	cat := catalog.New()
 	mgr := storage.NewManager(cat)
 	st := stats.NewStore()
@@ -113,8 +125,24 @@ func Open() *DB {
 		lockWaitNS:       ob.Reg.Counter("engine.lock_wait_ns"),
 	}
 	db.retryBackoffNS.Store(int64(50 * time.Microsecond))
+	morsels := ob.Reg.Counter("engine.exec_parallel_morsels")
+	busy := ob.Reg.Gauge("engine.exec_workers_busy")
+	db.Exe.SetParallelMetrics(morsels.Add, busy.Add)
+	db.SetExecWorkers(cfg.ExecWorkers)
 	return db
 }
+
+// SetExecWorkers reconfigures intra-query parallelism at runtime; n <= 0
+// selects GOMAXPROCS. The same worker budget also drives the parallel
+// sort inside index builds. In-flight statements finish on the pool they
+// started with.
+func (db *DB) SetExecWorkers(n int) {
+	db.Exe.SetWorkers(n)
+	db.Mgr.SetWorkers(n)
+}
+
+// ExecWorkers returns the current intra-query worker budget.
+func (db *DB) ExecWorkers() int { return db.Exe.Workers() }
 
 // SetFaults installs a fault injector on the storage layer; the engine
 // and executor consult the same injector. Pass nil to remove it.
@@ -312,7 +340,13 @@ func (db *DB) execLocked(ctx context.Context, text string, stmt sql.Statement, f
 		// execution, where a real engine would submit the plan for
 		// execution and could be told "try again".
 		if err = db.Mgr.Faults().Hit(fault.ExecStmt); err == nil {
-			rs, err = db.Exe.RunContext(ctx, res.Plan, nil)
+			execCtx := ctx
+			if tr != nil {
+				// Carry the trace into the executor so parallel regions can
+				// attach their exec.parallel / exec.worker spans.
+				execCtx = obs.WithTrace(ctx, tr)
+			}
+			rs, err = db.Exe.RunContext(execCtx, res.Plan, nil)
 		}
 		if err == nil {
 			break

@@ -1,0 +1,322 @@
+package engine_test
+
+// Tests for morsel-driven intra-query parallelism: results must be
+// byte-identical to the sequential executor at every ExecWorkers
+// setting, EXPLAIN ANALYZE actuals must stay exact under concurrent
+// morsel accounting, and a cancelled context must abort a long parallel
+// statement promptly (the per-batch cancellation tick).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/executor"
+	"onlinetuner/internal/tpch"
+)
+
+// renderRS renders a result set canonically so two executions can be
+// compared byte-for-byte (including row order and float formatting).
+func renderRS(rs *executor.ResultSet) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rs.Columns, ","))
+	sb.WriteByte('\n')
+	for _, r := range rs.Rows {
+		for _, d := range r {
+			sb.WriteString(d.String())
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// parallelProbeStmts is the TPC-H batch plus statements that pin down
+// the operators the batch exercises lightly (DISTINCT, MERGE-ordering
+// via multi-key sort, float SUM/AVG whose accumulation order matters).
+func parallelProbeStmts(gen *tpch.Generator) []string {
+	stmts := gen.Batch()
+	stmts = append(stmts,
+		"SELECT DISTINCT l_returnflag, l_linestatus FROM lineitem",
+		"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC, l_orderkey LIMIT 500",
+		"SELECT l_suppkey, SUM(l_extendedprice * l_discount), AVG(l_quantity), COUNT(*) FROM lineitem GROUP BY l_suppkey ORDER BY l_suppkey",
+	)
+	return stmts
+}
+
+// runBatchAt loads a fresh TPC-H database with the given worker budget
+// and renders every statement's result.
+func runBatchAt(t *testing.T, workers int, stmts []string) []string {
+	t.Helper()
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
+	gen := tpch.NewGenerator(0.2, 7)
+	if err := gen.Load(db); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got := db.ExecWorkers(); workers > 0 && got != workers {
+		t.Fatalf("ExecWorkers() = %d, want %d", got, workers)
+	}
+	out := make([]string, len(stmts))
+	for i, q := range stmts {
+		rs, _, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("workers=%d stmt %d %q: %v", workers, i, q, err)
+		}
+		out[i] = renderRS(rs)
+	}
+	return out
+}
+
+// TestParallelByteIdenticalAcrossWorkers is the identity property test:
+// the same workload must produce byte-identical results at ExecWorkers
+// 1, 2, 4 and 8. Worker pools are sized by the setting (not by the CPU
+// count), so the parallel scheduler is genuinely exercised even on a
+// single-core runner.
+func TestParallelByteIdenticalAcrossWorkers(t *testing.T) {
+	gen := tpch.NewGenerator(0.2, 7)
+	stmts := parallelProbeStmts(gen)
+	want := runBatchAt(t, 1, stmts)
+	for _, workers := range []int{2, 4, 8} {
+		got := runBatchAt(t, workers, stmts)
+		for i := range stmts {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: statement %d %q diverges from sequential\nseq:\n%s\npar:\n%s",
+					workers, i, stmts[i], clip(want[i]), clip(got[i]))
+			}
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}
+
+// TestExplainAnalyzeExactUnderParallel is the collector contract test:
+// per-operator actuals (rows, scanned, pages) must be exactly equal
+// under sequential and parallel execution — atomic accounting may not
+// lose or double-count a single row.
+func TestExplainAnalyzeExactUnderParallel(t *testing.T) {
+	q := `SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey AND o_orderdate >= DATE '1993-01-01'
+		GROUP BY l_returnflag ORDER BY l_returnflag`
+	type actual struct {
+		label   string
+		rows    int64
+		scanned int64
+		pages   int64
+	}
+	measure := func(workers int) []actual {
+		db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
+		gen := tpch.NewGenerator(0.2, 7)
+		if err := gen.Load(db); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		a, err := db.ExplainAnalyze(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]actual, len(a.Nodes))
+		for i, n := range a.Nodes {
+			out[i] = actual{label: n.Label, rows: n.ActualRows, scanned: n.Scanned, pages: n.Pages}
+		}
+		return out
+	}
+	want := measure(1)
+	for _, workers := range []int{4, 8} {
+		got := measure(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d node %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelCancelPrecheck: a context cancelled before execution never
+// reaches the storage layer.
+func TestParallelCancelPrecheck(t *testing.T) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: 4})
+	gen := tpch.NewGenerator(0.2, 7)
+	if err := gen.Load(db); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.ExecContext(ctx, "SELECT COUNT(*) FROM lineitem"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelCancelAbortsLongScan: cancellation lands mid-workload and
+// aborts the in-flight parallel statement via the per-morsel context
+// poll — the loop must stop far short of its sequential running time.
+func TestParallelCancelAbortsLongScan(t *testing.T) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: 4})
+	gen := tpch.NewGenerator(0.5, 7)
+	if err := gen.Load(db); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	q := `SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey GROUP BY l_suppkey ORDER BY l_suppkey`
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	deadline := time.Now().Add(30 * time.Second)
+	var err error
+	for time.Now().Before(deadline) {
+		if _, _, err = db.ExecContext(ctx, q); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestParallelStressWithBuildsAndDDL soaks the morsel-parallel executor
+// under concurrency (run with -race): reader goroutines replay TPC-H
+// batches while one goroutine churns CREATE/DROP INDEX through the
+// statement path and another runs the background build pipeline
+// (StartBuild → Run → PublishIndex → DropIndex). Statements may see
+// executor.ErrStaleIndex exhaust its retries under this deliberately
+// hostile churn; any other error fails the test.
+func TestParallelStressWithBuildsAndDDL(t *testing.T) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: 4})
+	gen := tpch.NewGenerator(0.15, 3)
+	if err := gen.Load(db); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var queries []string
+	for _, q := range gen.Batch() {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(q)), "SELECT") {
+			queries = append(queries, q)
+		}
+	}
+	iters := 2
+	if testing.Short() {
+		iters = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for j, q := range queries {
+					if (j+r)%2 == 0 { // interleave differently per reader
+						continue
+					}
+					if _, _, err := db.Exec(q); err != nil && !errors.Is(err, executor.ErrStaleIndex) {
+						report(fmt.Errorf("reader %d stmt %d: %w", r, j, err))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// Statement-path DDL churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := db.Exec("CREATE INDEX stress_ship ON lineitem (l_shipdate)"); err != nil {
+				report(fmt.Errorf("create index: %w", err))
+				return
+			}
+			if _, _, err := db.Exec("DROP INDEX stress_ship"); err != nil {
+				report(fmt.Errorf("drop index: %w", err))
+				return
+			}
+		}
+	}()
+	// Background build pipeline churn (the tuner's async path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ix := (&catalog.Index{Name: "stress_disc", Table: "lineitem", Columns: []string{"l_discount"}}).Canonicalize()
+		for i := 0; i < 4; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b, err := db.Mgr.StartBuild(ix)
+			if err != nil {
+				report(fmt.Errorf("start build: %w", err))
+				return
+			}
+			if err := b.Run(context.Background()); err != nil {
+				db.Mgr.AbortBuild(b)
+				report(fmt.Errorf("build run: %w", err))
+				return
+			}
+			if err := db.PublishIndex(ix, b); err != nil {
+				report(fmt.Errorf("publish: %w", err))
+				return
+			}
+			if err := db.DropIndex(ix); err != nil {
+				report(fmt.Errorf("drop built index: %w", err))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := db.Mgr.CheckConsistency(); err != nil {
+		t.Fatalf("post-stress consistency: %v", err)
+	}
+}
+
+// TestParallelMorselMetric: the engine counter moves when a parallel
+// region actually dispatches morsels to extra workers.
+func TestParallelMorselMetric(t *testing.T) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: 4})
+	db.MustExec("CREATE TABLE big (id INT, v INT, PRIMARY KEY (id))")
+	for i := 0; i < 90; i++ {
+		vals := make([]string, 0, 100)
+		for j := 0; j < 100; j++ {
+			id := i*100 + j
+			vals = append(vals, fmt.Sprintf("(%d, %d)", id, id%97))
+		}
+		db.MustExec("INSERT INTO big (id, v) VALUES " + strings.Join(vals, ", "))
+	}
+	before := db.Observability().Reg.Counter("engine.exec_parallel_morsels").Value()
+	db.MustExec("SELECT COUNT(*) FROM big WHERE v < 50")
+	after := db.Observability().Reg.Counter("engine.exec_parallel_morsels").Value()
+	// 9000 rows = 3 morsels; the scan must have been dispatched as a
+	// parallel region (the pool has free slots: nothing else runs).
+	if after <= before {
+		t.Fatalf("exec_parallel_morsels did not move (before=%d after=%d)", before, after)
+	}
+	if g := db.Observability().Reg.Gauge("engine.exec_workers_busy").Value(); g != 0 {
+		t.Fatalf("exec_workers_busy = %d after quiesce, want 0", g)
+	}
+}

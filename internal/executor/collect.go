@@ -1,6 +1,8 @@
 package executor
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"onlinetuner/internal/plan"
@@ -8,26 +10,44 @@ import (
 
 // NodeStats records the actual execution of one plan operator, for
 // EXPLAIN ANALYZE. Duration is cumulative (it includes children),
-// matching the cumulative estimated cost the plan nodes carry.
+// matching the cumulative estimated cost the plan nodes carry. The
+// cells are atomic: under parallel execution several morsel workers
+// account into the same operator slot concurrently, and the totals must
+// still be exact (satellite of the morsel-parallelism change).
 type NodeStats struct {
-	// Rows is the operator's actual output cardinality.
-	Rows int64
-	// Scanned counts the heap rows or index entries the operator
-	// examined at the storage layer before residual filtering. Zero for
-	// interior operators, which only consume their children's output.
-	Scanned int64
-	// Pages is the accounted page traffic of a leaf operator: the full
-	// structure size for scans, and the touched key pages plus one page
-	// per heap fetch for seeks (the cost model's random-I/O unit).
-	Pages int64
-	// Duration is the operator's elapsed time including its children.
-	Duration time.Duration
+	rows    atomic.Int64
+	scanned atomic.Int64
+	pages   atomic.Int64
+	durNS   atomic.Int64
 }
 
+// Rows is the operator's actual output cardinality.
+func (s *NodeStats) Rows() int64 { return s.rows.Load() }
+
+// Scanned counts the heap rows or index entries the operator examined
+// at the storage layer before residual filtering. Zero for interior
+// operators, which only consume their children's output.
+func (s *NodeStats) Scanned() int64 { return s.scanned.Load() }
+
+// Pages is the accounted page traffic of a leaf operator: the full
+// structure size for scans, and the touched key pages plus one page per
+// heap fetch for seeks (the cost model's random-I/O unit).
+func (s *NodeStats) Pages() int64 { return s.pages.Load() }
+
+// Duration is the operator's elapsed time including its children.
+func (s *NodeStats) Duration() time.Duration { return time.Duration(s.durNS.Load()) }
+
+func (s *NodeStats) addRows(n int64)             { s.rows.Add(n) }
+func (s *NodeStats) addScanned(n int64)          { s.scanned.Add(n) }
+func (s *NodeStats) addPages(n int64)            { s.pages.Add(n) }
+func (s *NodeStats) addDuration(d time.Duration) { s.durNS.Add(int64(d)) }
+
 // Collector gathers per-operator NodeStats during one plan execution.
-// It is owned by the executing statement's goroutine: not safe for
-// concurrent use, and meant to be used for a single Run.
+// The slot map is mutex-guarded and the cells are atomic, so morsel
+// workers may account concurrently; a collector is still meant for a
+// single Run.
 type Collector struct {
+	mu    sync.Mutex
 	stats map[plan.Node]*NodeStats
 }
 
@@ -41,13 +61,17 @@ func (c *Collector) Stats(n plan.Node) *NodeStats {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.stats[n]
 }
 
-// at returns the mutable stats slot for a node, creating it on first
-// use. Interior operators may execute a node once; INLJoin-style leaves
+// at returns the stats slot for a node, creating it on first use.
+// Interior operators may execute a node once; INLJoin-style leaves
 // accumulate across invocations into the same slot.
 func (c *Collector) at(n plan.Node) *NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	s := c.stats[n]
 	if s == nil {
 		s = &NodeStats{}

@@ -4,13 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/fault"
+	"onlinetuner/internal/par"
 	"onlinetuner/internal/plan"
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/storage"
@@ -22,15 +23,49 @@ import (
 // as retryable: it re-optimizes under the current configuration.
 var ErrStaleIndex = errors.New("index not active")
 
-// Executor runs physical plans against a storage manager.
+// Executor runs physical plans against a storage manager. Scans and
+// CPU-heavy operators execute morsel-parallel on a bounded worker pool
+// (see parallel.go); results are byte-identical to sequential execution
+// at every worker setting.
 type Executor struct {
 	cat *catalog.Catalog
 	mgr *storage.Manager
+	// pool bounds intra-query parallelism; swapped atomically so the
+	// engine can reconfigure while statements run (in-flight statements
+	// keep the pool they resolved at start).
+	pool atomic.Pointer[par.Pool]
+	// Metric hooks (nil = no-op): morselsAdd counts morsels dispatched
+	// to parallel regions, busyAdd tracks extra workers in flight. The
+	// executor cannot import the metrics registry (the engine owns it),
+	// so the engine injects adders.
+	morselsAdd atomic.Pointer[func(int64)]
+	busyAdd    atomic.Pointer[func(int64)]
 }
 
-// New returns an executor.
+// New returns an executor with a worker pool sized to GOMAXPROCS.
 func New(cat *catalog.Catalog, mgr *storage.Manager) *Executor {
-	return &Executor{cat: cat, mgr: mgr}
+	e := &Executor{cat: cat, mgr: mgr}
+	e.pool.Store(par.NewPool(0))
+	return e
+}
+
+// SetWorkers resizes the intra-query worker pool; n <= 0 selects
+// GOMAXPROCS. Results are byte-identical at every setting.
+func (e *Executor) SetWorkers(n int) { e.pool.Store(par.NewPool(n)) }
+
+// Workers returns the configured intra-query worker count.
+func (e *Executor) Workers() int { return e.pool.Load().Workers() }
+
+// SetParallelMetrics installs the engine's metric adders: morsels
+// receives the morsel count of each parallel region, busy the delta of
+// extra workers entering (+) and leaving (-) parallel regions.
+func (e *Executor) SetParallelMetrics(morsels, busy func(int64)) {
+	if morsels != nil {
+		e.morselsAdd.Store(&morsels)
+	}
+	if busy != nil {
+		e.busyAdd.Store(&busy)
+	}
 }
 
 // ResultSet is the materialized output of a statement.
@@ -67,7 +102,22 @@ type run struct {
 	*Executor
 	ctx       context.Context
 	faults    *fault.Injector
+	pool      *par.Pool
 	countdown int
+}
+
+// metricMorsels / metricBusy feed the engine-injected metric adders;
+// both are nil-safe no-ops when the engine has not wired metrics.
+func (e *run) metricMorsels(n int64) {
+	if f := e.morselsAdd.Load(); f != nil {
+		(*f)(n)
+	}
+}
+
+func (e *run) metricBusy(n int64) {
+	if f := e.busyAdd.Load(); f != nil {
+		(*f)(n)
+	}
 }
 
 // tick is called once per scanned row; every ctxCheckEvery rows it
@@ -90,7 +140,7 @@ func (e *Executor) RunContext(ctx context.Context, p plan.Node, c *Collector) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &run{Executor: e, ctx: ctx, faults: e.mgr.Faults(), countdown: ctxCheckEvery}
+	r := &run{Executor: e, ctx: ctx, faults: e.mgr.Faults(), pool: e.pool.Load(), countdown: ctxCheckEvery}
 	switch n := p.(type) {
 	case *plan.InsertNode:
 		return r.timedDML(p, c, func() (*ResultSet, error) { return r.runInsert(n, c) })
@@ -110,7 +160,7 @@ func (e *Executor) RunContext(ctx context.Context, p plan.Node, c *Collector) (*
 // unit tests and internal callers that hold a plan fragment rather
 // than a statement root.
 func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
-	r := &run{Executor: e, ctx: context.Background(), faults: e.mgr.Faults(), countdown: ctxCheckEvery}
+	r := &run{Executor: e, ctx: context.Background(), faults: e.mgr.Faults(), pool: e.pool.Load(), countdown: ctxCheckEvery}
 	return r.exec(p, c)
 }
 
@@ -123,9 +173,9 @@ func (e *run) timedDML(p plan.Node, c *Collector, run func() (*ResultSet, error)
 	start := time.Now()
 	rs, err := run()
 	st := c.at(p)
-	st.Duration += time.Since(start)
+	st.addDuration(time.Since(start))
 	if rs != nil {
-		st.Rows += int64(rs.Affected)
+		st.addRows(int64(rs.Affected))
 	}
 	return rs, err
 }
@@ -139,8 +189,8 @@ func (e *run) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
 	start := time.Now()
 	rows, err := e.execNode(p, c)
 	st := c.at(p)
-	st.Duration += time.Since(start)
-	st.Rows += int64(len(rows))
+	st.addDuration(time.Since(start))
+	st.addRows(int64(len(rows)))
 	return rows, err
 }
 
@@ -181,38 +231,57 @@ func (e *run) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	if h == nil {
 		return nil, fmt.Errorf("executor: table %s not materialized", n.Table)
 	}
-	if err := e.faults.Hit(fault.PageRead); err != nil {
+	// One unkeyed draw per scan, on the coordinator in plan order — the
+	// same stream the sequential executor consumed. Its ordinal then keys
+	// the per-morsel draws, so the same morsels fault at every worker
+	// count and interleaving.
+	ord, err := e.faults.HitOrd(fault.PageRead)
+	if err != nil {
 		return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, err)
 	}
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
 		return nil, err
 	}
+	var scanned atomic.Int64
 	var out []datum.Row
-	var scanned int64
-	var scanErr error
-	h.Scan(func(_ storage.RID, r datum.Row) bool {
-		scanned++
-		if err := e.tick(); err != nil {
-			scanErr = err
-			return false
-		}
-		ok, err := pred(r)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if ok {
-			out = append(out, r)
-		}
-		return true
-	})
+	err = runMorsels(e, "seqscan "+n.Table, chunkBounds(h.Slots()),
+		func(i int) (*datum.Batch, error) {
+			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
+				return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, ferr)
+			}
+			b := datum.NewBatch(0)
+			var sc int64
+			var werr error
+			h.ScanRange(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
+				func(_ storage.RID, r datum.Row) bool {
+					sc++
+					ok, perr := pred(r)
+					if perr != nil {
+						werr = perr
+						return false
+					}
+					if ok {
+						b.Append(r)
+					}
+					return true
+				})
+			scanned.Add(sc)
+			return b, werr
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
 	if c != nil {
 		st := c.at(n)
-		st.Scanned += scanned
-		st.Pages += h.Pages() // a full scan reads the whole heap
+		st.addScanned(scanned.Load())
+		st.addPages(h.Pages()) // a full scan reads the whole heap
 	}
-	return out, scanErr
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
@@ -220,33 +289,52 @@ func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
 	}
-	if err := e.faults.Hit(fault.PageRead); err != nil {
+	ord, err := e.faults.HitOrd(fault.PageRead)
+	if err != nil {
 		return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, err)
 	}
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
 		return nil, err
 	}
+	// Shards are leaf runs of the tree — a pure function of its contents,
+	// so the morsel decomposition (and the fault keys below) are identical
+	// at every worker count.
+	shards := pi.Tree().Shards(morselRows)
+	var scanned atomic.Int64
 	var out []datum.Row
-	var scanned int64
-	for it := pi.Tree().Scan(); it.Valid(); it.Next() {
-		scanned++
-		if err := e.tick(); err != nil {
-			return nil, err
-		}
-		row := it.Entry().Key
-		ok, err := pred(row)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, row)
-		}
-	}
+	err = runMorsels(e, "indexscan "+n.Index.Name, len(shards),
+		func(i int) (*datum.Batch, error) {
+			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
+				return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, ferr)
+			}
+			b := datum.NewBatch(0)
+			it := shards[i].It
+			for k := 0; k < shards[i].N; k++ {
+				row := it.Entry().Key
+				it.Next()
+				ok, perr := pred(row)
+				if perr != nil {
+					return nil, perr
+				}
+				if ok {
+					b.Append(row)
+				}
+			}
+			scanned.Add(int64(shards[i].N))
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
 	if c != nil {
 		st := c.at(n)
-		st.Scanned += scanned
-		st.Pages += pi.Pages() // a full scan reads the whole index
+		st.addScanned(scanned.Load())
+		st.addPages(pi.Pages()) // a full scan reads the whole index
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -293,8 +381,12 @@ func (e *run) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 	for ; it.Valid(); it.Next() {
 		ent := it.Entry()
 		scanned++
-		if err := e.tick(); err != nil {
-			return nil, err
+		// Per-batch cancellation tick: a seek is inherently ordered, so it
+		// stays sequential but polls the context every morselRows entries.
+		if scanned%morselRows == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		keyBytes += int64(ent.Key.Width())
 		var row datum.Row
@@ -319,8 +411,8 @@ func (e *run) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 		// Key pages actually traversed, plus one random heap page per
 		// fetched row — the cost model's random-I/O unit.
 		st := c.at(n)
-		st.Scanned += scanned
-		st.Pages += storage.PagesFor(keyBytes) + fetches
+		st.addScanned(scanned)
+		st.addPages(storage.PagesFor(keyBytes) + fetches)
 	}
 	return out, nil
 }
@@ -335,14 +427,26 @@ func (e *run) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
 		return nil, err
 	}
 	var out []datum.Row
-	for _, r := range in {
-		ok, err := pred(r)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
+	err = runMorsels(e, "filter", chunkBounds(len(in)),
+		func(i int) (*datum.Batch, error) {
+			b := datum.NewBatch(0)
+			for _, r := range chunkOf(in, i) {
+				ok, perr := pred(r)
+				if perr != nil {
+					return nil, perr
+				}
+				if ok {
+					b.Append(r)
+				}
+			}
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -361,16 +465,30 @@ func (e *run) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
 		fns[i] = f
 	}
 	out := make([]datum.Row, 0, len(in))
-	for _, r := range in {
-		row := make(datum.Row, len(fns))
-		for i, f := range fns {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	err = runMorsels(e, "project", chunkBounds(len(in)),
+		func(i int) (*datum.Batch, error) {
+			rows := chunkOf(in, i)
+			// Output rows are carved from the batch's arena slab instead of
+			// one allocation per row.
+			b := datum.NewBatch(len(rows))
+			for _, r := range rows {
+				row := b.Alloc(len(fns))
+				for j, f := range fns {
+					v, ferr := f(r)
+					if ferr != nil {
+						return nil, ferr
+					}
+					row[j] = v
+				}
 			}
-			row[i] = v
-		}
-		out = append(out, row)
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -392,30 +510,43 @@ func (e *run) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 		row  datum.Row
 		keys datum.Row
 	}
+	// Key extraction is chunk-parallel: workers write disjoint index
+	// ranges of ks, so no synchronization is needed beyond runMorsels'.
 	ks := make([]keyed, len(in))
-	for i, r := range in {
-		keys := make(datum.Row, len(fns))
-		for j, f := range fns {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	err = runMorsels(e, "sort-keys", chunkBounds(len(in)),
+		func(i int) (struct{}, error) {
+			lo := i * morselRows
+			for j, r := range chunkOf(in, i) {
+				keys := make(datum.Row, len(fns))
+				for k, f := range fns {
+					v, ferr := f(r)
+					if ferr != nil {
+						return struct{}{}, ferr
+					}
+					keys[k] = v
+				}
+				ks[lo+j] = keyed{row: r, keys: keys}
 			}
-			keys[j] = v
-		}
-		ks[i] = keyed{row: r, keys: keys}
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(ks, func(a, b int) bool {
+	// A stable sort's output is unique, so the parallel merge sort yields
+	// exactly what sort.SliceStable did.
+	par.SortStableFunc(ks, func(a, b keyed) int {
 		for j := range fns {
-			c := ks[a].keys[j].Compare(ks[b].keys[j])
+			c := a.keys[j].Compare(b.keys[j])
 			if n.Keys[j].Desc {
 				c = -c
 			}
 			if c != 0 {
-				return c < 0
+				return c
 			}
 		}
-		return false
-	})
+		return 0
+	}, e.pool.Workers())
 	out := make([]datum.Row, len(ks))
 	for i := range ks {
 		out[i] = ks[i].row
@@ -439,12 +570,27 @@ func (e *run) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Key rendering is the expensive part; parallelize it into disjoint
+	// ranges, then dedup sequentially in input order (first occurrence
+	// wins, as before).
+	keys := make([]string, len(in))
+	err = runMorsels(e, "distinct-keys", chunkBounds(len(in)),
+		func(i int) (struct{}, error) {
+			lo := i * morselRows
+			for j, r := range chunkOf(in, i) {
+				keys[lo+j] = rowKey(r)
+			}
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	var out []datum.Row
-	for _, r := range in {
-		k := rowKey(r)
-		if !seen[k] {
-			seen[k] = true
+	for i, r := range in {
+		if !seen[keys[i]] {
+			seen[keys[i]] = true
 			out = append(out, r)
 		}
 	}
@@ -480,32 +626,65 @@ func (e *run) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
 			return nil, err
 		}
 	}
-	table := make(map[string][]datum.Row, len(right))
-	for _, r := range right {
-		k, null, err := keyOf(r, rf)
-		if err != nil {
-			return nil, err
-		}
-		if null {
-			continue
-		}
-		table[k] = append(table[k], r)
+	// Build side: key evaluation is chunk-parallel; the map insert stays
+	// sequential in input order, so per-bucket row order (and therefore
+	// output order) matches the sequential executor.
+	type buildKey struct {
+		k    string
+		null bool
 	}
-	var out []datum.Row
-	for _, l := range left {
-		k, null, err := keyOf(l, lf)
-		if err != nil {
-			return nil, err
-		}
-		if null {
+	rkeys := make([]buildKey, len(right))
+	err = runMorsels(e, "hashjoin-build", chunkBounds(len(right)),
+		func(i int) (struct{}, error) {
+			lo := i * morselRows
+			for j, r := range chunkOf(right, i) {
+				k, null, kerr := keyOf(r, rf)
+				if kerr != nil {
+					return struct{}{}, kerr
+				}
+				rkeys[lo+j] = buildKey{k: k, null: null}
+			}
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string][]datum.Row, len(right))
+	for i, r := range right {
+		if rkeys[i].null {
 			continue
 		}
-		for _, r := range table[k] {
-			combined := make(datum.Row, 0, len(l)+len(r))
-			combined = append(combined, l...)
-			combined = append(combined, r...)
-			out = append(out, combined)
-		}
+		table[rkeys[i].k] = append(table[rkeys[i].k], r)
+	}
+	// Probe side: the table is read-only now; probe chunks of the left
+	// input in parallel and concatenate in probe order.
+	var out []datum.Row
+	err = runMorsels(e, "hashjoin-probe", chunkBounds(len(left)),
+		func(i int) (*datum.Batch, error) {
+			b := datum.NewBatch(0)
+			for _, l := range chunkOf(left, i) {
+				k, null, kerr := keyOf(l, lf)
+				if kerr != nil {
+					return nil, kerr
+				}
+				if null {
+					continue
+				}
+				for _, r := range table[k] {
+					combined := b.Alloc(len(l) + len(r))
+					copy(combined, l)
+					copy(combined[len(l):], r)
+				}
+			}
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -538,11 +717,11 @@ func (e *run) mergeJoin(n *plan.MergeJoin, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	lKeyed, err := sortByKeys(left, n.LeftKeys, n.Left.Schema())
+	lKeyed, err := e.sortByKeys(left, n.LeftKeys, n.Left.Schema())
 	if err != nil {
 		return nil, err
 	}
-	rKeyed, err := sortByKeys(right, n.RightKeys, n.Right.Schema())
+	rKeyed, err := e.sortByKeys(right, n.RightKeys, n.Right.Schema())
 	if err != nil {
 		return nil, err
 	}
@@ -585,8 +764,10 @@ type keyedRow struct {
 }
 
 // sortByKeys evaluates the join keys for each row, drops NULL-keyed rows
-// (they can never match), and sorts by key.
-func sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keyedRow, error) {
+// (they can never match), and sorts by key. Key evaluation is chunk-
+// parallel with in-order concatenation, and the sort is the parallel
+// stable merge sort, so the result is identical to the sequential path.
+func (e *run) sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keyedRow, error) {
 	fns := make([]evalFunc, len(keys))
 	for i, k := range keys {
 		f, err := compile(k, schema)
@@ -596,26 +777,39 @@ func sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef) ([]keye
 		fns[i] = f
 	}
 	out := make([]keyedRow, 0, len(rows))
-	for _, r := range rows {
-		key := make(datum.Row, len(fns))
-		null := false
-		for i, f := range fns {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
+	err := runMorsels(e, "mergejoin-keys", chunkBounds(len(rows)),
+		func(i int) ([]keyedRow, error) {
+			chunk := chunkOf(rows, i)
+			o := make([]keyedRow, 0, len(chunk))
+			for _, r := range chunk {
+				key := make(datum.Row, len(fns))
+				null := false
+				for k, f := range fns {
+					v, ferr := f(r)
+					if ferr != nil {
+						return nil, ferr
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					key[k] = v
+				}
+				if null {
+					continue
+				}
+				o = append(o, keyedRow{row: r, key: key})
 			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			key[i] = v
-		}
-		if null {
-			continue
-		}
-		out = append(out, keyedRow{row: r, key: key})
+			return o, nil
+		},
+		func(_ int, o []keyedRow) error {
+			out = append(out, o...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].key.Compare(out[b].key) < 0 })
+	par.SortStableFunc(out, func(a, b keyedRow) int { return a.key.Compare(b.key) }, e.pool.Workers())
 	return out, nil
 }
 
@@ -629,13 +823,24 @@ func (e *run) crossJoin(n *plan.CrossJoin, c *Collector) ([]datum.Row, error) {
 		return nil, err
 	}
 	var out []datum.Row
-	for _, l := range left {
-		for _, r := range right {
-			combined := make(datum.Row, 0, len(l)+len(r))
-			combined = append(combined, l...)
-			combined = append(combined, r...)
-			out = append(out, combined)
-		}
+	err = runMorsels(e, "crossjoin", chunkBounds(len(left)),
+		func(i int) (*datum.Batch, error) {
+			b := datum.NewBatch(0)
+			for _, l := range chunkOf(left, i) {
+				for _, r := range right {
+					combined := b.Alloc(len(l) + len(r))
+					copy(combined, l)
+					copy(combined[len(l):], r)
+				}
+			}
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -649,7 +854,8 @@ func (e *run) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
 	if pi == nil || pi.State() != storage.StateActive {
 		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
 	}
-	if err := e.faults.Hit(fault.PageRead); err != nil {
+	ord, err := e.faults.HitOrd(fault.PageRead)
+	if err != nil {
 		return nil, fmt.Errorf("executor: lookup join on index %s: %w", n.Index.Name, err)
 	}
 	h := e.mgr.Heap(n.Index.Table)
@@ -664,58 +870,78 @@ func (e *run) inlJoin(n *plan.INLJoin, c *Collector) ([]datum.Row, error) {
 		return nil, err
 	}
 	fetch := n.Fetch || n.Index.Primary
+	tree := pi.Tree()
+	var scanned, keyBytes, fetches atomic.Int64
 	var out []datum.Row
-	var scanned, keyBytes, fetches int64
-	for _, orow := range outer {
-		key := make(datum.Row, len(keyFns))
-		null := false
-		for i, f := range keyFns {
-			v, err := f(orow)
-			if err != nil {
-				return nil, err
+	err = runMorsels(e, "inljoin "+n.Index.Name, chunkBounds(len(outer)),
+		func(i int) (*datum.Batch, error) {
+			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
+				return nil, fmt.Errorf("executor: lookup join on index %s: %w", n.Index.Name, ferr)
 			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			key[i] = v
-		}
-		if null {
-			continue
-		}
-		for it := pi.Tree().Seek(key, true, key, true); it.Valid(); it.Next() {
-			ent := it.Entry()
-			scanned++
-			if err := e.tick(); err != nil {
-				return nil, err
-			}
-			keyBytes += int64(ent.Key.Width())
-			var irow datum.Row
-			if fetch {
-				irow = h.Get(ent.RID)
-				if irow == nil {
-					return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
+			b := datum.NewBatch(0)
+			var sc, kb, ft int64
+			var scratch datum.Row
+			for _, orow := range chunkOf(outer, i) {
+				key := make(datum.Row, len(keyFns))
+				null := false
+				for k, f := range keyFns {
+					v, ferr := f(orow)
+					if ferr != nil {
+						return nil, ferr
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					key[k] = v
 				}
-				fetches++
-			} else {
-				irow = ent.Key
+				if null {
+					continue
+				}
+				for it := tree.Seek(key, true, key, true); it.Valid(); it.Next() {
+					ent := it.Entry()
+					sc++
+					kb += int64(ent.Key.Width())
+					var irow datum.Row
+					if fetch {
+						irow = h.Get(ent.RID)
+						if irow == nil {
+							return nil, fmt.Errorf("executor: dangling rid %d in index %s", ent.RID, n.Index.Name)
+						}
+						ft++
+					} else {
+						irow = ent.Key
+					}
+					// Assemble in a scratch row so a predicate miss does not
+					// leave a dead row in the batch.
+					scratch = append(scratch[:0], orow...)
+					scratch = append(scratch, irow...)
+					ok, perr := pred(scratch)
+					if perr != nil {
+						return nil, perr
+					}
+					if ok {
+						combined := b.Alloc(len(scratch))
+						copy(combined, scratch)
+					}
+				}
 			}
-			combined := make(datum.Row, 0, len(orow)+len(irow))
-			combined = append(combined, orow...)
-			combined = append(combined, irow...)
-			ok, err := pred(combined)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, combined)
-			}
-		}
-	}
+			scanned.Add(sc)
+			keyBytes.Add(kb)
+			fetches.Add(ft)
+			return b, nil
+		},
+		func(_ int, b *datum.Batch) error {
+			out = append(out, b.Rows()...)
+			return nil
+		})
 	if c != nil {
 		st := c.at(n)
-		st.Scanned += scanned
-		st.Pages += storage.PagesFor(keyBytes) + fetches
+		st.addScanned(scanned.Load())
+		st.addPages(storage.PagesFor(keyBytes.Load()) + fetches.Load())
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -816,40 +1042,66 @@ func (e *run) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
 			return nil, err
 		}
 	}
+	// Parallel partial aggregation, split at the only safe seam: workers
+	// do the pure per-row work (group-key rendering and argument
+	// evaluation) over disjoint chunks, and the coordinator folds rows
+	// into groups sequentially in the original input order. Folding in
+	// input order keeps float accumulation (SUM/AVG) and group
+	// first-appearance order bit-identical to the sequential executor.
+	type evalRow struct {
+		gkey string
+		vals []datum.Datum
+	}
+	evald := make([]evalRow, len(in))
+	err = runMorsels(e, "hashagg-eval", chunkBounds(len(in)),
+		func(i int) (struct{}, error) {
+			lo := i * morselRows
+			for j, r := range chunkOf(in, i) {
+				gkey := make(datum.Row, len(groupFns))
+				for k, f := range groupFns {
+					v, ferr := f(r)
+					if ferr != nil {
+						return struct{}{}, ferr
+					}
+					gkey[k] = v
+				}
+				vals := make([]datum.Datum, len(n.Aggs))
+				for k, a := range n.Aggs {
+					if a.Star {
+						vals[k] = datum.NewInt(1)
+						continue
+					}
+					v, ferr := argFns[k](r)
+					if ferr != nil {
+						return struct{}{}, ferr
+					}
+					vals[k] = v
+				}
+				evald[lo+j] = evalRow{gkey: rowKey(gkey), vals: vals}
+			}
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		return nil, err
+	}
 	type group struct {
 		states []*aggState
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, r := range in {
-		gkey := make(datum.Row, len(groupFns))
-		for i, f := range groupFns {
-			v, err := f(r)
-			if err != nil {
-				return nil, err
-			}
-			gkey[i] = v
-		}
-		k := rowKey(gkey)
-		g, ok := groups[k]
+	for _, er := range evald {
+		g, ok := groups[er.gkey]
 		if !ok {
 			g = &group{states: make([]*aggState, len(n.Aggs))}
 			for i := range g.states {
 				g.states[i] = &aggState{}
 			}
-			groups[k] = g
-			order = append(order, k)
+			groups[er.gkey] = g
+			order = append(order, er.gkey)
 		}
-		for i, a := range n.Aggs {
-			if a.Star {
-				g.states[i].add(datum.NewInt(1))
-				continue
-			}
-			v, err := argFns[i](r)
-			if err != nil {
-				return nil, err
-			}
-			g.states[i].add(v)
+		for i := range n.Aggs {
+			g.states[i].add(er.vals[i])
 		}
 	}
 	// A global aggregate over zero rows still yields one row.

@@ -111,9 +111,26 @@ func fingerprint(rs *executor.ResultSet) string {
 	return strings.Join(lines, "\n")
 }
 
+// execWorkers reads the EXEC_WORKERS matrix dimension (CI runs the
+// chaos job at 1 and 4). Morsel execution is byte-identical at every
+// setting, so the oracle comparison holds unchanged; what the parallel
+// runs add is coverage of keyed fault draws and morsel scheduling under
+// the same seeds.
+func execWorkers(t *testing.T) int {
+	env := os.Getenv("EXEC_WORKERS")
+	if env == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(env))
+	if err != nil {
+		t.Fatalf("EXEC_WORKERS: %v", err)
+	}
+	return n
+}
+
 func loadChaosDB(t *testing.T, seed uint64) (*engine.DB, *tpch.Generator) {
 	t.Helper()
-	db := engine.Open()
+	db := engine.OpenConfig(engine.Config{ExecWorkers: execWorkers(t)})
 	g := tpch.NewGenerator(chaosScale, int64(seed))
 	if err := g.Load(db); err != nil {
 		t.Fatal(err)

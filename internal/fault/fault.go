@@ -114,10 +114,16 @@ type Rule struct {
 
 // siteState is one site's schedule plus its deterministic draw state.
 type siteState struct {
-	rule  Rule
-	prng  atomic.Uint64 // splitmix64 state; Add(gamma) then mix per draw
-	hits  atomic.Int64
-	fired atomic.Int64
+	rule    Rule
+	prng    atomic.Uint64 // splitmix64 state; Add(gamma) then mix per draw
+	hits    atomic.Int64
+	fired   atomic.Int64
+	keySeed uint64 // immutable per-site seed for HitKeyed draws
+	// Keyed traffic counts separately so the unkeyed ordinal stream
+	// (hits, and through it After/Count) stays independent of how many
+	// keyed draws happen or in what order workers make them.
+	khits  atomic.Int64
+	kfired atomic.Int64
 }
 
 // Injector decides, per site hit, whether to fail. The zero of use is a
@@ -149,7 +155,7 @@ func (i *Injector) Plan(site Site, r Rule) *Injector {
 	for k, v := range old {
 		next[k] = v
 	}
-	st := &siteState{rule: r}
+	st := &siteState{rule: r, keySeed: splitmix64(i.seed ^ hashSite(site) ^ 0xA5A5A5A5A5A5A5A5)}
 	st.prng.Store(splitmix64(i.seed ^ hashSite(site)))
 	next[site] = st
 	i.sites.Store(&next)
@@ -199,6 +205,70 @@ func (i *Injector) Hit(site Site) error {
 	return &Error{Site: site, Hit: n, Transient: r.Transient}
 }
 
+// HitOrd consults the site like Hit but also returns the 1-based hit
+// ordinal that was consumed, whether or not the fault fired. Callers use
+// the ordinal as a stable identity for the operation (e.g. the scan a
+// statement performs), typically to derive HitKeyed keys for its
+// sub-operations.
+func (i *Injector) HitOrd(site Site) (int64, error) {
+	if i == nil || !i.armed.Load() {
+		return 0, nil
+	}
+	s := (*i.sites.Load())[site]
+	if s == nil {
+		return 0, nil
+	}
+	// Re-implements Hit so the ordinal and the decision come from the
+	// same counter increment.
+	n := s.hits.Add(1)
+	r := s.rule
+	if n <= r.After {
+		return n, nil
+	}
+	if r.Count > 0 && s.fired.Load() >= r.Count {
+		return n, nil
+	}
+	if r.Prob < 1 {
+		z := splitmix64(s.prng.Add(0x9E3779B97F4A7C15))
+		if float64(z>>11)/(1<<53) >= r.Prob {
+			return n, nil
+		}
+	}
+	s.fired.Add(1)
+	return n, &Error{Site: site, Hit: n, Transient: r.Transient}
+}
+
+// HitKeyed consults the site's schedule for a keyed operation — one
+// whose identity is a stable value (a morsel id, a page range) rather
+// than an arrival ordinal. The decision is a pure function of (injector
+// seed, site, key): concurrent workers hitting the same keys in any
+// interleaving observe exactly the same faults, which is what keeps a
+// seeded chaos run reproducible under parallel execution. Only Prob and
+// Transient apply; After and Count are ordinal concepts and are ignored
+// for keyed draws. Error.Hit carries the key.
+func (i *Injector) HitKeyed(site Site, key uint64) error {
+	if i == nil || !i.armed.Load() {
+		return nil
+	}
+	s := (*i.sites.Load())[site]
+	if s == nil {
+		return nil
+	}
+	r := s.rule
+	s.khits.Add(1)
+	if r.Prob <= 0 {
+		return nil
+	}
+	if r.Prob < 1 {
+		z := splitmix64(s.keySeed ^ splitmix64(key))
+		if float64(z>>11)/(1<<53) >= r.Prob {
+			return nil
+		}
+	}
+	s.kfired.Add(1)
+	return &Error{Site: site, Hit: int64(key), Transient: r.Transient}
+}
+
 // SiteStats is one site's observed traffic.
 type SiteStats struct {
 	Hits  int64
@@ -212,7 +282,10 @@ func (i *Injector) Stats() map[Site]SiteStats {
 		return out
 	}
 	for site, s := range *i.sites.Load() {
-		out[site] = SiteStats{Hits: s.hits.Load(), Fired: s.fired.Load()}
+		out[site] = SiteStats{
+			Hits:  s.hits.Load() + s.khits.Load(),
+			Fired: s.fired.Load() + s.kfired.Load(),
+		}
 	}
 	return out
 }
@@ -240,8 +313,9 @@ func (i *Injector) String() string {
 	out := fmt.Sprintf("fault.Injector(seed=%d armed=%v", i.seed, i.Armed())
 	for _, name := range sites {
 		s := m[Site(name)]
-		out += fmt.Sprintf(" %s{p=%g after=%d count=%d hits=%d fired=%d}",
-			name, s.rule.Prob, s.rule.After, s.rule.Count, s.hits.Load(), s.fired.Load())
+		out += fmt.Sprintf(" %s{p=%g after=%d count=%d hits=%d fired=%d keyed=%d/%d}",
+			name, s.rule.Prob, s.rule.After, s.rule.Count,
+			s.hits.Load(), s.fired.Load(), s.kfired.Load(), s.khits.Load())
 	}
 	return out + ")"
 }

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHitKeyedDeterministic proves the keyed decision is a pure function
+// of (seed, site, key): any order, any repetition, any goroutine
+// interleaving yields the same per-key verdicts.
+func TestHitKeyedDeterministic(t *testing.T) {
+	const keys = 5000
+	verdict := func(order []uint64) map[uint64]bool {
+		inj := New(42).Plan(PageRead, Rule{Prob: 0.05})
+		inj.Arm()
+		out := map[uint64]bool{}
+		for _, k := range order {
+			out[k] = inj.HitKeyed(PageRead, k) != nil
+		}
+		return out
+	}
+	fwd := make([]uint64, keys)
+	rev := make([]uint64, keys)
+	for i := range fwd {
+		fwd[i] = uint64(i)
+		rev[i] = uint64(keys - 1 - i)
+	}
+	a, b := verdict(fwd), verdict(rev)
+	fired := 0
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("key %d: forward=%v reverse=%v", k, v, b[k])
+		}
+		if v {
+			fired++
+		}
+	}
+	if fired == 0 || fired == keys {
+		t.Fatalf("degenerate firing pattern: %d/%d", fired, keys)
+	}
+
+	// Concurrent draws agree with the sequential verdicts.
+	inj := New(42).Plan(PageRead, Rule{Prob: 0.05})
+	inj.Arm()
+	var wg sync.WaitGroup
+	got := make([]bool, keys)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < keys; k += 8 {
+				got[k] = inj.HitKeyed(PageRead, uint64(k)) != nil
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if got[k] != a[uint64(k)] {
+			t.Fatalf("key %d: concurrent=%v sequential=%v", k, got[k], a[uint64(k)])
+		}
+	}
+}
+
+// TestHitKeyedLeavesOrdinalsAlone proves keyed traffic does not perturb
+// the unkeyed hit counter, so After/Count schedules and Hit ordinals
+// stay independent of how many keyed draws parallel workers make.
+func TestHitKeyedLeavesOrdinalsAlone(t *testing.T) {
+	inj := New(7).Plan(PageWrite, Rule{Prob: 1, After: 2, Count: 1})
+	inj.Arm()
+	for k := uint64(0); k < 100; k++ {
+		inj.HitKeyed(PageWrite, k)
+	}
+	// After=2, Count=1: hits 1,2 pass, hit 3 fires, rest pass.
+	seq := []bool{false, false, true, false}
+	for i, want := range seq {
+		if got := inj.Hit(PageWrite) != nil; got != want {
+			t.Fatalf("unkeyed hit %d: fired=%v want %v (keyed draws leaked into ordinals)", i+1, got, want)
+		}
+	}
+}
+
+func TestHitKeyedDisarmedAndUnplanned(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.HitKeyed(PageRead, 1) != nil {
+		t.Fatal("nil injector must never fire")
+	}
+	inj := New(1).Plan(PageRead, Rule{Prob: 1})
+	if inj.HitKeyed(PageRead, 1) != nil {
+		t.Fatal("disarmed injector must never fire")
+	}
+	inj.Arm()
+	if inj.HitKeyed(PageWrite, 1) != nil {
+		t.Fatal("unplanned site must never fire")
+	}
+	err := inj.HitKeyed(PageRead, 99)
+	if err == nil {
+		t.Fatal("Prob=1 keyed draw must fire")
+	}
+	fe := err.(*Error)
+	if fe.Hit != 99 || fe.Site != PageRead {
+		t.Fatalf("keyed error = %+v, want Hit=99 Site=PageRead", fe)
+	}
+}
+
+func TestHitOrdMatchesHitStream(t *testing.T) {
+	a := New(11).Plan(ExecStmt, Rule{Prob: 0.3})
+	b := New(11).Plan(ExecStmt, Rule{Prob: 0.3})
+	a.Arm()
+	b.Arm()
+	for i := int64(1); i <= 200; i++ {
+		ea := a.Hit(ExecStmt)
+		ord, eb := b.HitOrd(ExecStmt)
+		if ord != i {
+			t.Fatalf("ordinal %d != %d", ord, i)
+		}
+		if (ea != nil) != (eb != nil) {
+			t.Fatalf("hit %d: Hit fired=%v HitOrd fired=%v", i, ea != nil, eb != nil)
+		}
+	}
+}

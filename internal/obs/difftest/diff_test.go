@@ -28,8 +28,14 @@ const (
 // returning the per-statement canonical results, the tuner decision
 // log, and the database for further inspection.
 func replay(t *testing.T, mode engine.CacheMode, stmts []string) ([]string, []obs.Decision, *engine.DB, *core.Tuner) {
+	return replayAt(t, mode, 0, stmts)
+}
+
+// replayAt is replay with an explicit intra-query worker budget (0 =
+// GOMAXPROCS, the engine default).
+func replayAt(t *testing.T, mode engine.CacheMode, workers int, stmts []string) ([]string, []obs.Decision, *engine.DB, *core.Tuner) {
 	t.Helper()
-	db := engine.Open()
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
 	db.SetPlanCacheMode(mode)
 	if err := tpch.NewGenerator(scale, dataSeed).Load(db); err != nil {
 		t.Fatal(err)
@@ -152,6 +158,32 @@ func TestDifferentialVaryingWorkloadWithDML(t *testing.T) {
 	if st := dbRebind.PlanCacheStats(); st.RebindHits == 0 {
 		t.Errorf("rebind mode never rebound a generic plan: %+v", st)
 	}
+}
+
+// TestDifferentialParallelExecutor replays the fixed workload (with DML
+// interleaved) at ExecWorkers 1 and 4: the morsel-parallel executor must
+// be byte-identical to the sequential one in execution order, and the
+// tuner — which observes estimated costs, unchanged by parallelism —
+// must make the identical decision sequence.
+func TestDifferentialParallelExecutor(t *testing.T) {
+	g := tpch.NewGenerator(scale, 19)
+	var stmts []string
+	for r := 0; r < 2; r++ {
+		stmts = append(stmts, g.Batch()...)
+		stmts = append(stmts, g.DisruptiveUpdates(4)...)
+		stmts = append(stmts, g.RefreshInsert(2)...)
+	}
+
+	resSeq, decSeq, _, _ := replayAt(t, engine.CacheOff, 1, stmts)
+	resPar, decPar, _, _ := replayAt(t, engine.CacheOff, 4, stmts)
+
+	for i := range stmts {
+		if resSeq[i] != resPar[i] {
+			t.Fatalf("stmt %d %q: parallel differs from sequential:\n%s\nvs\n%s",
+				i, stmts[i], resPar[i], resSeq[i])
+		}
+	}
+	sameDecisions(t, "parallel vs sequential", decPar, decSeq)
 }
 
 // TestTunerSnapshotReconciliationUnderWorkload reruns a short workload

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestPoolSlots(t *testing.T) {
+	p := NewPool(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	if got := p.TryAcquire(10); got != 3 {
+		t.Fatalf("TryAcquire(10) = %d, want 3 (workers-1)", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on drained pool = %d, want 0", got)
+	}
+	p.Release(3)
+	if got := p.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) after release = %d, want 2", got)
+	}
+	p.Release(2)
+}
+
+func TestPoolSequential(t *testing.T) {
+	for _, w := range []int{0, 1} {
+		p := NewPool(w)
+		if got := p.TryAcquire(8); got != 0 {
+			t.Fatalf("NewPool(%d).TryAcquire = %d, want 0", w, got)
+		}
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", nilPool.Workers())
+	}
+	if nilPool.TryAcquire(4) != 0 {
+		t.Fatal("nil pool TryAcquire should return 0")
+	}
+}
+
+// kv carries a payload so stability violations are observable: elements
+// comparing equal on k must keep their original ord order.
+type kv struct {
+	k   int
+	ord int
+}
+
+func TestSortStableFuncMatchesSequential(t *testing.T) {
+	cmp := func(a, b kv) int { return a.k - b.k }
+	for _, n := range []int{0, 1, 7, 100, 2048, 4096, 10_000, 65_537} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		base := make([]kv, n)
+		for i := range base {
+			// Few distinct keys → many ties → stability is exercised.
+			base[i] = kv{k: rng.Intn(17), ord: i}
+		}
+		want := slices.Clone(base)
+		slices.SortStableFunc(want, cmp)
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got := slices.Clone(base)
+			SortStableFunc(got, cmp, workers)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel stable sort differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
+func TestSortStableFuncAlreadySortedAndReversed(t *testing.T) {
+	cmp := func(a, b kv) int { return a.k - b.k }
+	n := 50_000
+	asc := make([]kv, n)
+	desc := make([]kv, n)
+	for i := range asc {
+		asc[i] = kv{k: i, ord: i}
+		desc[i] = kv{k: n - i, ord: i}
+	}
+	for _, base := range [][]kv{asc, desc} {
+		want := slices.Clone(base)
+		slices.SortStableFunc(want, cmp)
+		got := slices.Clone(base)
+		SortStableFunc(got, cmp, 4)
+		if !slices.Equal(got, want) {
+			t.Fatal("parallel sort differs on monotone input")
+		}
+	}
+}

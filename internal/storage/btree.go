@@ -422,6 +422,51 @@ func (t *BTree) Seek(lo datum.Row, loInc bool, hi datum.Row, hiInc bool) *Iterat
 	return it
 }
 
+// Shard is one contiguous slice of a tree's key order, produced by
+// Shards: an iterator positioned at the shard's first entry plus the
+// exact number of entries the shard holds.
+type Shard struct {
+	It *Iterator
+	N  int
+}
+
+// Shards cuts the tree's leaf chain into consecutive shards of at least
+// perShard entries each (the last may be smaller), splitting only on
+// leaf boundaries so every shard is a cheap iterator position. The
+// decomposition is a pure function of tree contents and perShard — it
+// does not depend on who consumes the shards or how fast — which is what
+// lets parallel scans key per-shard fault draws deterministically.
+// Concatenating the shards in order yields exactly Scan's entry stream.
+func (t *BTree) Shards(perShard int) []Shard {
+	if perShard < 1 {
+		perShard = 1
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	var shards []Shard
+	var start *node
+	run := 0
+	for ; n != nil; n = n.next {
+		if len(n.entries) == 0 {
+			continue
+		}
+		if start == nil {
+			start = n
+		}
+		run += len(n.entries)
+		if run >= perShard {
+			shards = append(shards, Shard{It: &Iterator{n: start}, N: run})
+			start, run = nil, 0
+		}
+	}
+	if start != nil {
+		shards = append(shards, Shard{It: &Iterator{n: start}, N: run})
+	}
+	return shards
+}
+
 // checkInvariants validates tree ordering and structure; used by tests.
 func (t *BTree) checkInvariants() error {
 	var prev *Entry

@@ -119,13 +119,18 @@ func (m *Manager) StartBuild(ix *catalog.Index) (*Build, error) {
 // Run constructs the B+-tree from the snapshot. It holds no locks —
 // queries and DML proceed concurrently — and checks ctx periodically so
 // an eroded build can be cancelled mid-flight. A BuildStep fault (one
-// draw per snapshot row) models a mid-snapshot I/O failure: Run returns
-// the error, the private tree is discarded, and the caller is expected
-// to AbortBuild.
+// draw per snapshot row, during entry extraction) models a mid-snapshot
+// I/O failure: Run returns the error, the private entries are discarded,
+// and the caller is expected to AbortBuild.
+//
+// The sort runs on up to Manager.Workers() goroutines (the parallel
+// stable merge sort in internal/par) and the tree is assembled with a
+// linear bulk load instead of n tree inserts; the resulting tree holds
+// exactly the same entry sequence for every worker count.
 func (b *Build) Run(ctx context.Context) error {
 	const cancelCheckEvery = 256
 	inj := b.m.Faults()
-	tree := NewBTree()
+	entries := make([]Entry, 0, len(b.snap))
 	for i, hr := range b.snap {
 		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
 			return ctx.Err()
@@ -133,9 +138,15 @@ func (b *Build) Run(ctx context.Context) error {
 		if err := inj.Hit(fault.BuildStep); err != nil {
 			return err
 		}
-		if err := tree.insertWith(Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID}, nil); err != nil {
-			return err
-		}
+		entries = append(entries, Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID})
+	}
+	SortEntries(entries, b.m.Workers())
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	tree, err := BulkLoad(entries)
+	if err != nil {
+		return err
 	}
 	b.tree = tree
 	b.snap = nil

@@ -158,6 +158,39 @@ func (h *Heap) Scan(fn func(rid RID, r datum.Row) bool) {
 	}
 }
 
+// Slots returns the current slot-array length — the exclusive upper
+// bound of the RID space. Together with ScanRange it lets a caller split
+// a full scan into fixed-size RID ranges (morsels) whose union visits
+// exactly the rows one Scan would, in the same order.
+func (h *Heap) Slots() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.rows)
+}
+
+// ScanRange calls fn for every live row with lo <= rid < hi, in RID
+// order; fn returning false stops the scan. Like Scan, the read lock is
+// held for the whole call, so fn must not mutate this heap. Slots past
+// the current slot-array length are silently empty, so a range computed
+// from a stale Slots() is safe.
+func (h *Heap) ScanRange(lo, hi RID, fn func(rid RID, r datum.Row) bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > len(h.rows) {
+		hi = RID(len(h.rows))
+	}
+	for i := lo; i < hi; i++ {
+		if r := h.rows[i]; r != nil {
+			if !fn(i, r) {
+				return
+			}
+		}
+	}
+}
+
 // Snapshot returns a point-in-time copy of the live (rid, row) pairs.
 // Rows are shared references (safe: rows are immutable once stored); the
 // slice itself is private to the caller. Background index builders use

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -125,6 +126,22 @@ type Manager struct {
 	// faults is the optional fault-injection layer. Atomic so the
 	// executor's read paths can consult it without the manager lock.
 	faults atomic.Pointer[fault.Injector]
+	// workers caps the goroutines index-build sorts may use; 0 selects
+	// runtime.GOMAXPROCS(0). Atomic: the engine reconfigures it while
+	// builds may be in flight.
+	workers atomic.Int64
+}
+
+// SetWorkers caps the goroutines used by index-build sorts (0 = use
+// GOMAXPROCS). The sorted output is identical for every setting.
+func (m *Manager) SetWorkers(n int) { m.workers.Store(int64(n)) }
+
+// Workers returns the effective index-build sort parallelism.
+func (m *Manager) Workers() int {
+	if n := int(m.workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SetFaults installs (or, with nil, removes) the fault-injection layer.
@@ -641,22 +658,26 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	// The bulk build is all-or-nothing: the tree stays private until the
 	// scan completes, so a mid-scan fault (BuildStep per row) discards it
 	// with no published state. Per-insert alloc faults are bypassed so
-	// one site controls build failures.
-	tree := NewBTree()
+	// one site controls build failures. Entry extraction keeps the old
+	// per-row fault cadence; the sort runs on Workers() goroutines and
+	// the tree is assembled by a linear bulk load.
+	entries := make([]Entry, 0, ts.heap.Len())
 	var buildErr error
 	ts.heap.Scan(func(rid RID, row datum.Row) bool {
 		if err := inj.Hit(fault.BuildStep); err != nil {
 			buildErr = err
 			return false
 		}
-		if err := tree.insertWith(Entry{Key: keyFor(pi.colOrds, row), RID: rid}, nil); err != nil {
-			buildErr = err
-			return false
-		}
+		entries = append(entries, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
 		return true
 	})
 	if buildErr != nil {
 		return nil, buildErr
+	}
+	SortEntries(entries, m.Workers())
+	tree, err := BulkLoad(entries)
+	if err != nil {
+		return nil, err
 	}
 	tree.faults = inj
 	pi.tree.Store(tree)
@@ -743,19 +764,21 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	// Like BuildIndex, the replacement tree stays private until complete:
 	// a mid-replay fault leaves the index suspended with its old
 	// structure and pending count intact.
-	tree := NewBTree()
+	entries := make([]Entry, 0, ts.heap.Len())
 	var err error
 	ts.heap.Scan(func(rid RID, row datum.Row) bool {
 		if e := inj.Hit(fault.BuildStep); e != nil {
 			err = e
 			return false
 		}
-		if e := tree.insertWith(Entry{Key: keyFor(pi.colOrds, row), RID: rid}, nil); e != nil {
-			err = e
-			return false
-		}
+		entries = append(entries, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
 		return true
 	})
+	if err != nil {
+		return 0, err
+	}
+	SortEntries(entries, m.Workers())
+	tree, err := BulkLoad(entries)
 	if err != nil {
 		return 0, err
 	}
