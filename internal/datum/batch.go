@@ -50,8 +50,11 @@ func (b *Batch) Alloc(n int) Row {
 		b.slab = make([]Datum, 0, sz)
 	}
 	lo := len(b.slab)
-	b.slab = b.slab[: lo+n : lo+n]
-	r := Row(b.slab[lo : lo+n])
+	// Grow len only — the slab must keep its capacity so later Allocs
+	// carve from the same backing array. The returned row is capped so an
+	// append to it cannot alias the next carved row.
+	b.slab = b.slab[:lo+n]
+	r := Row(b.slab[lo : lo+n : lo+n])
 	for i := range r {
 		r[i] = Datum{}
 	}

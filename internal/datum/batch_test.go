@@ -26,6 +26,34 @@ func TestBatchAllocCarvesValidRows(t *testing.T) {
 	}
 }
 
+// TestBatchAllocAmortizesSlab pins the arena property: consecutive small
+// Allocs carve from one shared slab (len grows, cap stays) instead of
+// allocating a fresh slab per row, and the capped row boundary keeps an
+// append to one row from clobbering its neighbor.
+func TestBatchAllocAmortizesSlab(t *testing.T) {
+	b := NewBatch(0)
+	r1 := b.Alloc(3)
+	if cap(b.slab) != slabDatums {
+		t.Fatalf("slab cap = %d after Alloc, want %d (cap collapsed to len)", cap(b.slab), slabDatums)
+	}
+	r2 := b.Alloc(3)
+	if len(b.slab) != 6 || cap(b.slab) != slabDatums {
+		t.Fatalf("slab len/cap = %d/%d after two Allocs, want 6/%d", len(b.slab), cap(b.slab), slabDatums)
+	}
+	if &r2[0] != &b.slab[3] {
+		t.Fatal("second Alloc did not carve from the same slab")
+	}
+	r2[0] = NewInt(42)
+	_ = append(r1, NewInt(99))
+	if r2[0].Int() != 42 {
+		t.Fatal("append to a carved row clobbered the next row")
+	}
+	allocs := testing.AllocsPerRun(100, func() { b.Alloc(3) })
+	if allocs > 0.5 {
+		t.Fatalf("Alloc averages %.1f allocations per call, want ~0 (arena not amortizing)", allocs)
+	}
+}
+
 func TestBatchAllocWiderThanSlab(t *testing.T) {
 	b := NewBatch(1)
 	r := b.Alloc(slabDatums + 10)

@@ -21,6 +21,7 @@ import (
 	"onlinetuner/internal/fault"
 	"onlinetuner/internal/obs"
 	"onlinetuner/internal/optimizer"
+	"onlinetuner/internal/par"
 	"onlinetuner/internal/plan"
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/stats"
@@ -133,12 +134,14 @@ func OpenConfig(cfg Config) *DB {
 }
 
 // SetExecWorkers reconfigures intra-query parallelism at runtime; n <= 0
-// selects GOMAXPROCS. The same worker budget also drives the parallel
-// sort inside index builds. In-flight statements finish on the pool they
-// started with.
+// selects GOMAXPROCS. Executor morsel regions and index-build sorts draw
+// slots from the one pool installed here, so concurrent statements and
+// background builds together never exceed the configured budget.
+// In-flight statements finish on the pool they started with.
 func (db *DB) SetExecWorkers(n int) {
-	db.Exe.SetWorkers(n)
-	db.Mgr.SetWorkers(n)
+	p := par.NewPool(n)
+	db.Exe.SetPool(p)
+	db.Mgr.SetPool(p)
 }
 
 // ExecWorkers returns the current intra-query worker budget.

@@ -53,6 +53,11 @@ func New(cat *catalog.Catalog, mgr *storage.Manager) *Executor {
 // GOMAXPROCS. Results are byte-identical at every setting.
 func (e *Executor) SetWorkers(n int) { e.pool.Store(par.NewPool(n)) }
 
+// SetPool installs an externally owned worker pool, letting the engine
+// share one slot budget between the executor and other parallel
+// consumers (index-build sorts).
+func (e *Executor) SetPool(p *par.Pool) { e.pool.Store(p) }
+
 // Workers returns the configured intra-query worker count.
 func (e *Executor) Workers() int { return e.pool.Load().Workers() }
 
@@ -534,8 +539,9 @@ func (e *run) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 		return nil, err
 	}
 	// A stable sort's output is unique, so the parallel merge sort yields
-	// exactly what sort.SliceStable did.
-	par.SortStableFunc(ks, func(a, b keyed) int {
+	// exactly what sort.SliceStable did. Sort workers come out of the
+	// statement pool's slot budget, like every other parallel region.
+	par.SortStablePooled(e.pool, ks, func(a, b keyed) int {
 		for j := range fns {
 			c := a.keys[j].Compare(b.keys[j])
 			if n.Keys[j].Desc {
@@ -546,7 +552,7 @@ func (e *run) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 			}
 		}
 		return 0
-	}, e.pool.Workers())
+	})
 	out := make([]datum.Row, len(ks))
 	for i := range ks {
 		out[i] = ks[i].row
@@ -809,7 +815,7 @@ func (e *run) sortByKeys(rows []datum.Row, keys []sql.Expr, schema []plan.ColRef
 	if err != nil {
 		return nil, err
 	}
-	par.SortStableFunc(out, func(a, b keyedRow) int { return a.key.Compare(b.key) }, e.pool.Workers())
+	par.SortStablePooled(e.pool, out, func(a, b keyedRow) int { return a.key.Compare(b.key) })
 	return out, nil
 }
 

@@ -134,6 +134,11 @@ func runMorsels[T any](r *run, label string, n int, work func(i int) (T, error),
 				}
 				i := int(claim.Add(1)) - 1
 				if i >= n {
+					// Refund the token consumed by this claim: a worker
+					// retiring past the tail must not shrink the in-flight
+					// bound for the workers still running. (Puts never
+					// block: every put pairs with a prior take.)
+					tokens <- struct{}{}
 					return
 				}
 				if err := r.ctx.Err(); err != nil {

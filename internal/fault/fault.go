@@ -240,12 +240,20 @@ func (i *Injector) HitOrd(site Site) (int64, error) {
 
 // HitKeyed consults the site's schedule for a keyed operation — one
 // whose identity is a stable value (a morsel id, a page range) rather
-// than an arrival ordinal. The decision is a pure function of (injector
-// seed, site, key): concurrent workers hitting the same keys in any
-// interleaving observe exactly the same faults, which is what keeps a
-// seeded chaos run reproducible under parallel execution. Only Prob and
-// Transient apply; After and Count are ordinal concepts and are ignored
-// for keyed draws. Error.Hit carries the key.
+// than an arrival ordinal. The per-key Prob decision is a pure function
+// of (injector seed, site, key): concurrent workers hitting the same
+// keys in any interleaving observe exactly the same draws, which is what
+// keeps a seeded chaos run reproducible under parallel execution.
+//
+// After and Count keep their ordinal meaning, enforced against the keyed
+// counters: the first After keyed draws at the site pass, and at most
+// Count keyed faults fire (budgeted atomically, separate from the
+// unkeyed stream so neither perturbs the other). A rule like
+// {Prob: 1, Count: 1} therefore injects exactly one failure on the keyed
+// path too, not one per draw. Note that which arrivals consume an
+// After/Count budget depends on worker interleaving — only Prob-and-
+// Transient-only rules (the chaos suite's shape) are fully
+// interleaving-independent. Error.Hit carries the key.
 func (i *Injector) HitKeyed(site Site, key uint64) error {
 	if i == nil || !i.armed.Load() {
 		return nil
@@ -255,7 +263,10 @@ func (i *Injector) HitKeyed(site Site, key uint64) error {
 		return nil
 	}
 	r := s.rule
-	s.khits.Add(1)
+	n := s.khits.Add(1)
+	if n <= r.After {
+		return nil
+	}
 	if r.Prob <= 0 {
 		return nil
 	}
@@ -265,7 +276,21 @@ func (i *Injector) HitKeyed(site Site, key uint64) error {
 			return nil
 		}
 	}
-	s.kfired.Add(1)
+	if r.Count > 0 {
+		// Claim one unit of the keyed fire budget; draws that lose the
+		// race or arrive after exhaustion pass.
+		for {
+			f := s.kfired.Load()
+			if f >= r.Count {
+				return nil
+			}
+			if s.kfired.CompareAndSwap(f, f+1) {
+				break
+			}
+		}
+	} else {
+		s.kfired.Add(1)
+	}
 	return &Error{Site: site, Hit: int64(key), Transient: r.Transient}
 }
 

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -76,6 +77,48 @@ func TestHitKeyedLeavesOrdinalsAlone(t *testing.T) {
 		if got := inj.Hit(PageWrite) != nil; got != want {
 			t.Fatalf("unkeyed hit %d: fired=%v want %v (keyed draws leaked into ordinals)", i+1, got, want)
 		}
+	}
+}
+
+// TestHitKeyedHonorsAfterAndCount pins the ordinal parts of a rule on
+// the keyed path: the first After keyed draws pass, and Count bounds the
+// total keyed fires — so a {Prob:1, Count:1} rule injects one failure
+// whether the site is consulted by the ordinal or the keyed path.
+func TestHitKeyedHonorsAfterAndCount(t *testing.T) {
+	inj := New(3).Plan(PageRead, Rule{Prob: 1, After: 2, Count: 1})
+	inj.Arm()
+	fired := 0
+	for k := uint64(0); k < 100; k++ {
+		if inj.HitKeyed(PageRead, k) != nil {
+			fired++
+			if k != 2 {
+				t.Fatalf("fired at keyed draw %d, want draw 3 (After=2)", k+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("keyed fires = %d, want exactly 1 (Count=1)", fired)
+	}
+
+	// The Count budget holds under concurrent draws.
+	inj2 := New(4).Plan(PageRead, Rule{Prob: 1, Count: 5})
+	inj2.Arm()
+	var wg sync.WaitGroup
+	var concFired atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(w); k < 800; k += 8 {
+				if inj2.HitKeyed(PageRead, k) != nil {
+					concFired.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if concFired.Load() != 5 {
+		t.Fatalf("concurrent keyed fires = %d, want exactly 5 (Count=5)", concFired.Load())
 	}
 }
 

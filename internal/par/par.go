@@ -74,6 +74,19 @@ func (p *Pool) Release(n int) {
 	}
 }
 
+// SortStablePooled sorts like SortStableFunc but draws its extra workers
+// from p's slot budget: up to Workers()-1 extra slots are acquired
+// non-blocking for the duration of the sort, so concurrent sorts, morsel
+// regions, and background index builds share one process-wide bound
+// instead of each assuming a full worker set. Zero available slots — or
+// a nil pool — degrade to a sequential sort; the output is identical
+// either way.
+func SortStablePooled[T any](p *Pool, s []T, cmp func(a, b T) int) {
+	got := p.TryAcquire(p.Workers() - 1)
+	defer p.Release(got)
+	SortStableFunc(s, cmp, got+1)
+}
+
 // sortMinChunk is the smallest slice a sort worker is worth spawning
 // for; below it the goroutine and merge overhead dominates.
 const sortMinChunk = 2048

@@ -68,6 +68,44 @@ func TestSortStableFuncMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSortStablePooledBudget proves the pooled sort draws from — and
+// returns to — the pool's slot budget, sorts correctly when the pool is
+// drained or nil, and never exceeds the budget.
+func TestSortStablePooledBudget(t *testing.T) {
+	cmp := func(a, b kv) int { return a.k - b.k }
+	rng := rand.New(rand.NewSource(1))
+	base := make([]kv, 10_000)
+	for i := range base {
+		base[i] = kv{k: rng.Intn(17), ord: i}
+	}
+	want := slices.Clone(base)
+	slices.SortStableFunc(want, cmp)
+
+	p := NewPool(4)
+	got := slices.Clone(base)
+	SortStablePooled(p, got, cmp)
+	if !slices.Equal(got, want) {
+		t.Fatal("pooled sort differs from sequential")
+	}
+	if free := p.TryAcquire(10); free != 3 {
+		t.Fatalf("slots free after pooled sort = %d, want 3 (sort leaked slots)", free)
+	}
+	// Pool fully drained: the sort must degrade to sequential, not block.
+	got = slices.Clone(base)
+	SortStablePooled(p, got, cmp)
+	if !slices.Equal(got, want) {
+		t.Fatal("pooled sort on drained pool differs from sequential")
+	}
+	p.Release(3)
+
+	var nilPool *Pool
+	got = slices.Clone(base)
+	SortStablePooled(nilPool, got, cmp)
+	if !slices.Equal(got, want) {
+		t.Fatal("pooled sort on nil pool differs from sequential")
+	}
+}
+
 func TestSortStableFuncAlreadySortedAndReversed(t *testing.T) {
 	cmp := func(a, b kv) int { return a.k - b.k }
 	n := 50_000

@@ -140,7 +140,7 @@ func (b *Build) Run(ctx context.Context) error {
 		}
 		entries = append(entries, Entry{Key: keyFor(b.pi.colOrds, hr.Row), RID: hr.RID})
 	}
-	SortEntries(entries, b.m.Workers())
+	SortEntriesPooled(entries, b.m.Pool())
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}

@@ -19,6 +19,14 @@ func SortEntries(entries []Entry, workers int) {
 	par.SortStableFunc(entries, compareEntry, workers)
 }
 
+// SortEntriesPooled sorts like SortEntries but draws its workers from
+// p's slot budget (non-blocking; nil or drained pool sorts
+// sequentially), so index-build sorts share the process-wide bound with
+// executing statements instead of assuming a full worker set.
+func SortEntriesPooled(entries []Entry, p *par.Pool) {
+	par.SortStablePooled(p, entries, compareEntry)
+}
+
 // BulkLoad constructs a B+-tree from entries, which must already be in
 // compareEntry order (see SortEntries). It builds the leaf level in one
 // left-to-right pass and stacks internal levels on top, so loading n

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +10,7 @@ import (
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/fault"
+	"onlinetuner/internal/par"
 )
 
 // IndexState tracks the lifecycle of a physical index structure.
@@ -126,23 +126,29 @@ type Manager struct {
 	// faults is the optional fault-injection layer. Atomic so the
 	// executor's read paths can consult it without the manager lock.
 	faults atomic.Pointer[fault.Injector]
-	// workers caps the goroutines index-build sorts may use; 0 selects
-	// runtime.GOMAXPROCS(0). Atomic: the engine reconfigures it while
-	// builds may be in flight.
-	workers atomic.Int64
+	// pool bounds the goroutines index-build sorts may use. The engine
+	// installs the same pool the executor draws morsel workers from, so
+	// builds and statements share one process-wide budget (sorts acquire
+	// slots non-blocking and degrade to sequential when drained). Atomic:
+	// the engine reconfigures it while builds may be in flight.
+	pool atomic.Pointer[par.Pool]
 }
 
-// SetWorkers caps the goroutines used by index-build sorts (0 = use
-// GOMAXPROCS). The sorted output is identical for every setting.
-func (m *Manager) SetWorkers(n int) { m.workers.Store(int64(n)) }
+// SetPool installs the worker pool index-build sorts draw slots from.
+// Passing the executor's pool makes builds and statements share one
+// budget. The sorted output is identical at every setting.
+func (m *Manager) SetPool(p *par.Pool) { m.pool.Store(p) }
+
+// SetWorkers sizes a fresh private pool for index-build sorts (0 = use
+// GOMAXPROCS); prefer SetPool to share the executor's budget.
+func (m *Manager) SetWorkers(n int) { m.pool.Store(par.NewPool(n)) }
+
+// Pool returns the pool index-build sorts draw from (possibly nil:
+// sorts then run sequentially).
+func (m *Manager) Pool() *par.Pool { return m.pool.Load() }
 
 // Workers returns the effective index-build sort parallelism.
-func (m *Manager) Workers() int {
-	if n := int(m.workers.Load()); n > 0 {
-		return n
-	}
-	return runtime.GOMAXPROCS(0)
-}
+func (m *Manager) Workers() int { return m.Pool().Workers() }
 
 // SetFaults installs (or, with nil, removes) the fault-injection layer.
 // The injector propagates to every existing index tree and to trees
@@ -174,11 +180,13 @@ func (m *Manager) ConfigVersion() int64 { return m.configVersion.Load() }
 
 // NewManager returns a storage manager bound to a catalog.
 func NewManager(cat *catalog.Catalog) *Manager {
-	return &Manager{
+	m := &Manager{
 		cat:     cat,
 		tables:  make(map[string]*tableStore),
 		indexes: make(map[string]*PhysicalIndex),
 	}
+	m.pool.Store(par.NewPool(0))
+	return m
 }
 
 // SetBudget sets the secondary-index space budget in bytes (0 =
@@ -674,7 +682,7 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
-	SortEntries(entries, m.Workers())
+	SortEntriesPooled(entries, m.Pool())
 	tree, err := BulkLoad(entries)
 	if err != nil {
 		return nil, err
@@ -777,7 +785,7 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	SortEntries(entries, m.Workers())
+	SortEntriesPooled(entries, m.Pool())
 	tree, err := BulkLoad(entries)
 	if err != nil {
 		return 0, err
