@@ -23,6 +23,7 @@ import (
 	"onlinetuner/internal/engine"
 	"onlinetuner/internal/fault"
 	"onlinetuner/internal/tpch"
+	"onlinetuner/internal/wal"
 	"onlinetuner/internal/whatif"
 	"onlinetuner/internal/workload"
 )
@@ -339,6 +340,27 @@ func BenchmarkHotPathSeekCached(b *testing.B) {
 func BenchmarkHotPathSeekRebind(b *testing.B) {
 	db, _ := hotPathDB(b, engine.CacheRebind)
 	runHotPath(b, db, seekStmts(97))
+}
+
+// BenchmarkHotPathSeekDurable is the durability probe on the engine's
+// fastest statement: the cached seek on a database opened with
+// engine.OpenDurable, a WAL writer installed. Reads never touch the
+// log, so this must match BenchmarkHotPathSeekCached — the per-
+// statement durability cost on the read hot path is one nil-check in
+// the statement-commit epilogue. (The non-durable engine.Open path is
+// covered by BenchmarkHotPathSeekCached itself; its budget vs the seed
+// is ≤ 1%.)
+func BenchmarkHotPathSeekDurable(b *testing.B) {
+	db, err := engine.OpenDurable(engine.Config{Dir: b.TempDir(), Sync: wal.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := tpch.NewGenerator(0.2, 7).Load(db); err != nil {
+		b.Fatal(err)
+	}
+	db.SetPlanCacheMode(engine.CacheExact)
+	runHotPath(b, db, seekStmts(1))
 }
 
 // BenchmarkHotPathSeekCachedTraced is the tracing-overhead probe on the

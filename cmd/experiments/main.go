@@ -10,9 +10,11 @@
 // plancache benchmarks the engine's statement/plan cache on
 // repeated-template TPC-H workloads and, with -out FILE, writes the
 // report as JSON (the recorded BENCH_plancache.json). obs does the same
-// for statement-tracing overhead (the recorded BENCH_obs.json), and
-// fault for fault-injection-layer overhead with the injector disabled
-// (the recorded BENCH_fault.json).
+// for statement-tracing overhead (the recorded BENCH_obs.json), fault
+// for fault-injection-layer overhead with the injector disabled (the
+// recorded BENCH_fault.json), and wal for WAL durability costs — commit
+// throughput per fsync policy, replay bandwidth, checkpoint pause (the
+// recorded BENCH_wal.json).
 //
 // Flags scale the TPC-H workload (the defaults reproduce the shapes at
 // laptop scale in minutes):
@@ -81,6 +83,13 @@ func main() {
 		}
 		return
 	}
+	if cmd == "wal" {
+		if err := walProfile(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cmd, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -126,7 +135,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|wal|all)", cmd)
 }
 
 func table1() error {
@@ -277,6 +286,29 @@ func execParallel(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatParallel(rep))
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// walProfile runs the WAL durability cost matrix — commit throughput
+// per fsync policy, replay bandwidth, checkpoint pause (see planCache
+// for why it is not part of "all"). With -out FILE it writes the
+// recorded BENCH_wal.json.
+func walProfile(opts workload.TPCHOptions, out string) error {
+	rep, err := bench.WAL(opts.Scale, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatWAL(rep))
 	if out != "" {
 		js, err := rep.JSON()
 		if err != nil {

@@ -1,0 +1,238 @@
+// Durability benchmark: measures what the WAL costs and what recovery
+// buys. Three numbers matter for sizing a deployment — single-row
+// commit latency under each fsync policy (sequential, and concurrent
+// where group commit amortizes the fsync), replay bandwidth (how fast a
+// crash-recovery restart catches up through the log suffix), and the
+// checkpoint pause (how long the quiesce-and-snapshot stop-the-world
+// window lasts). cmd/experiments serializes the report to
+// BENCH_wal.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+	"onlinetuner/internal/wal"
+)
+
+// WALBench is one measured commit configuration.
+type WALBench struct {
+	Name string `json:"name"`
+	// Policy is the fsync policy name ("none", "group", "always").
+	Policy string `json:"policy"`
+	// Workers is the number of concurrent committers (1 = sequential).
+	Workers int `json:"workers"`
+	// Commits is the number of single-row INSERT commits measured.
+	Commits int `json:"commits"`
+	// NsPerCommit is wall-clock time divided by commits; under
+	// concurrency it reflects throughput, not individual latency.
+	NsPerCommit float64 `json:"ns_per_commit"`
+	// CommitsPerSec is the aggregate acknowledged-commit rate.
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// FsyncsPerCommit shows group-commit batching: ~1 under
+	// SyncAlways, < 1 under concurrent SyncGroup, 0 under SyncNone.
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+}
+
+// WALReport is the durability cost profile, serialized to
+// BENCH_wal.json by cmd/experiments.
+type WALReport struct {
+	Scale   float64    `json:"scale"`
+	Seed    int64      `json:"seed"`
+	Commits []WALBench `json:"commits"`
+	// Replay characterizes a cold OpenDurable over the TPC-H load's
+	// un-checkpointed log: the whole dataset arrives through replay.
+	ReplayBatches    int     `json:"replay_batches"`
+	ReplayRecords    int     `json:"replay_records"`
+	ReplayBytes      int64   `json:"replay_bytes"`
+	ReplayDurationMs float64 `json:"replay_duration_ms"`
+	ReplayMBPerSec   float64 `json:"replay_mb_per_sec"`
+	// CheckpointPauseMs is one Checkpoint() call on the recovered
+	// database: the write-quiesce + snapshot + segment-roll window.
+	CheckpointPauseMs float64 `json:"checkpoint_pause_ms"`
+	// CheckpointSnapshotBytes is the size of the snapshot it wrote.
+	CheckpointSnapshotBytes int64 `json:"checkpoint_snapshot_bytes"`
+}
+
+// measureWALCommit times `commits` single-row INSERT statements spread
+// round-robin over `workers` goroutines, each committing to its own
+// table so group commit (not table-lock serialization) is what the
+// concurrent configurations observe.
+func measureWALCommit(policy wal.SyncPolicy, workers, commits int) (WALBench, error) {
+	dir, err := os.MkdirTemp("", "onlinetuner-walbench-")
+	if err != nil {
+		return WALBench{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.OpenDurable(engine.Config{Dir: dir, Sync: policy})
+	if err != nil {
+		return WALBench{}, err
+	}
+	defer db.Close()
+	for t := 0; t < workers; t++ {
+		stmt := fmt.Sprintf("CREATE TABLE w%d (id INT, v INT, PRIMARY KEY (id))", t)
+		if _, _, err := db.Exec(stmt); err != nil {
+			return WALBench{}, err
+		}
+	}
+	// Warm up each table (and the plan-side caches) outside the window.
+	for t := 0; t < workers; t++ {
+		if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO w%d VALUES (-1, 0)", t)); err != nil {
+			return WALBench{}, err
+		}
+	}
+
+	w := db.WAL()
+	fsyncs0 := w.Fsyncs()
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for {
+				id := next.Add(1)
+				if id > int64(commits) {
+					return
+				}
+				stmt := fmt.Sprintf("INSERT INTO w%d VALUES (%d, %d)", t, id, id%97)
+				if _, _, err := db.Exec(stmt); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return WALBench{}, err
+		}
+	}
+	fsyncs := w.Fsyncs() - fsyncs0
+
+	name := fmt.Sprintf("commit/sync=%s/workers=%d", policy, workers)
+	return WALBench{
+		Name:            name,
+		Policy:          policy.String(),
+		Workers:         workers,
+		Commits:         commits,
+		NsPerCommit:     float64(elapsed.Nanoseconds()) / float64(commits),
+		CommitsPerSec:   float64(commits) / elapsed.Seconds(),
+		FsyncsPerCommit: float64(fsyncs) / float64(commits),
+	}, nil
+}
+
+// WAL runs the durability cost matrix: commit throughput for every
+// fsync policy sequentially and with concurrent committers, then
+// replay bandwidth and checkpoint pause over a TPC-H load.
+func WAL(scale tpch.Scale, seed int64) (*WALReport, error) {
+	rep := &WALReport{Scale: float64(scale), Seed: seed}
+
+	const commits = 1024
+	for _, policy := range []wal.SyncPolicy{wal.SyncNone, wal.SyncGroup, wal.SyncAlways} {
+		for _, workers := range []int{1, 8} {
+			b, err := measureWALCommit(policy, workers, commits)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%d workers: %w", policy, workers, err)
+			}
+			rep.Commits = append(rep.Commits, b)
+		}
+	}
+
+	// Replay bandwidth: load TPC-H durably without ever checkpointing,
+	// crash, and time the recovery that rebuilds everything from the log.
+	dir, err := os.MkdirTemp("", "onlinetuner-walbench-replay-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.OpenDurable(engine.Config{Dir: dir, Sync: wal.SyncNone})
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.NewGenerator(scale, seed).Load(db); err != nil {
+		return nil, err
+	}
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	db, err = engine.OpenDurable(engine.Config{Dir: dir, Sync: wal.SyncNone})
+	if err != nil {
+		return nil, fmt.Errorf("replay recovery: %w", err)
+	}
+	defer db.Close()
+	info := db.Recovery()
+	rep.ReplayBatches = info.ReplayedBatches
+	rep.ReplayRecords = info.ReplayedRecords
+	rep.ReplayBytes = info.ReplayedBytes
+	rep.ReplayDurationMs = float64(info.Duration.Nanoseconds()) / 1e6
+	if s := info.Duration.Seconds(); s > 0 {
+		rep.ReplayMBPerSec = float64(info.ReplayedBytes) / (1 << 20) / s
+	}
+
+	// Checkpoint pause on the freshly recovered database: every table
+	// quiesced, full snapshot written and fsynced, log rolled.
+	start := time.Now()
+	if err := db.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	rep.CheckpointPauseMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	if snap, err := newestSnapshotSize(dir); err == nil {
+		rep.CheckpointSnapshotBytes = snap
+	}
+	return rep, nil
+}
+
+// newestSnapshotSize returns the byte size of the largest-numbered
+// checkpoint snapshot in dir.
+func newestSnapshotSize(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var newest string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		return 0, fmt.Errorf("no snapshot in %s", dir)
+	}
+	fi, err := os.Stat(dir + string(os.PathSeparator) + newest)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// JSON renders the report for BENCH_wal.json.
+func (r *WALReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatWAL renders the report as a text table.
+func FormatWAL(r *WALReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WAL durability profile (TPC-H scale %.2g, seed %d)\n", r.Scale, r.Seed)
+	fmt.Fprintf(&sb, "%-30s %14s %14s %16s\n", "benchmark", "ns/commit", "commits/sec", "fsyncs/commit")
+	for _, b := range r.Commits {
+		fmt.Fprintf(&sb, "%-30s %14.0f %14.0f %16.3f\n", b.Name, b.NsPerCommit, b.CommitsPerSec, b.FsyncsPerCommit)
+	}
+	fmt.Fprintf(&sb, "replay: %d batches / %d records / %d bytes in %.1f ms (%.1f MB/s)\n",
+		r.ReplayBatches, r.ReplayRecords, r.ReplayBytes, r.ReplayDurationMs, r.ReplayMBPerSec)
+	fmt.Fprintf(&sb, "checkpoint pause: %.2f ms (snapshot %d bytes)\n",
+		r.CheckpointPauseMs, r.CheckpointSnapshotBytes)
+	return sb.String()
+}

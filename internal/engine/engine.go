@@ -26,6 +26,7 @@ import (
 	"onlinetuner/internal/sql"
 	"onlinetuner/internal/stats"
 	"onlinetuner/internal/storage"
+	"onlinetuner/internal/wal"
 	"onlinetuner/internal/whatif"
 )
 
@@ -85,6 +86,13 @@ type DB struct {
 	execLatency *obs.Histogram
 	lockWaitNS  *obs.Counter
 
+	// Durable-mode state (see durable.go); zero for in-memory databases.
+	wal          *wal.Writer
+	walDir       string
+	resumeBuilds bool
+	ckptMu       sync.Mutex
+	recovery     *RecoveryInfo
+
 	obsMu    sync.RWMutex
 	observer Observer
 }
@@ -96,6 +104,20 @@ type Config struct {
 	// statement. Zero (or negative) selects GOMAXPROCS. Results are
 	// byte-identical at every setting; only wall-clock time changes.
 	ExecWorkers int
+
+	// Dir is the durable directory holding WAL segments and checkpoint
+	// snapshots. Used by OpenDurable (which recovers an existing
+	// directory); ignored by OpenConfig.
+	Dir string
+	// Sync selects the WAL fsync policy (default wal.SyncGroup).
+	Sync wal.SyncPolicy
+	// SegmentBytes overrides the WAL segment roll threshold (default
+	// wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// ResumeBuilds makes recovery re-run background index builds a crash
+	// interrupted; the default abandons them (the tuner will re-request
+	// the index if it is still worth having).
+	ResumeBuilds bool
 }
 
 // Open creates an empty database with default configuration.
@@ -147,9 +169,15 @@ func (db *DB) SetExecWorkers(n int) {
 // ExecWorkers returns the current intra-query worker budget.
 func (db *DB) ExecWorkers() int { return db.Exe.Workers() }
 
-// SetFaults installs a fault injector on the storage layer; the engine
-// and executor consult the same injector. Pass nil to remove it.
-func (db *DB) SetFaults(inj *fault.Injector) { db.Mgr.SetFaults(inj) }
+// SetFaults installs a fault injector on the storage layer; the engine,
+// executor and WAL writer consult the same injector. Pass nil to remove
+// it.
+func (db *DB) SetFaults(inj *fault.Injector) {
+	db.Mgr.SetFaults(inj)
+	if db.wal != nil {
+		db.wal.SetFaults(inj)
+	}
+}
 
 // Faults returns the installed fault injector, or nil.
 func (db *DB) Faults() *fault.Injector { return db.Mgr.Faults() }

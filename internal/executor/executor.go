@@ -1150,10 +1150,21 @@ func (e *run) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, error) {
 	}
 	// Statement-level atomicity: a failure on any row (injected write
 	// fault, cancellation) retracts every row this statement already
-	// applied, so a failed INSERT inserts nothing.
+	// applied, so a failed INSERT inserts nothing. The WAL statement
+	// batch follows the same boundary: it commits only after every row
+	// applied, and a failed commit rolls the rows back — an
+	// acknowledged statement is durable, a failed one is invisible.
 	var applied []storage.RID
+	e.mgr.BeginStmt(n.Table)
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			e.mgr.UndoInsert(n.Table, applied[i])
+		}
+		e.mgr.AbortStmt(n.Table)
+	}
 	for _, r := range rows {
 		if len(r) != len(t.Columns) {
+			rollback()
 			return nil, fmt.Errorf("executor: INSERT arity %d != %d for %s", len(r), len(t.Columns), n.Table)
 		}
 		rid, _, err := e.mgr.Insert(n.Table, r.Clone())
@@ -1164,12 +1175,14 @@ func (e *run) runInsert(n *plan.InsertNode, c *Collector) (*ResultSet, error) {
 			}
 		}
 		if err != nil {
-			for i := len(applied) - 1; i >= 0; i-- {
-				e.mgr.UndoInsert(n.Table, applied[i])
-			}
+			rollback()
 			return nil, err
 		}
 		applied = append(applied, rid)
+	}
+	if err := e.mgr.CommitStmt(n.Table); err != nil {
+		rollback()
+		return nil, err
 	}
 	return &ResultSet{Affected: len(rows)}, nil
 }
@@ -1226,10 +1239,12 @@ func (e *run) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
 		old datum.Row
 	}
 	var applied []appliedUpdate
+	e.mgr.BeginStmt(n.Table)
 	rollback := func() {
 		for i := len(applied) - 1; i >= 0; i-- {
 			e.mgr.UndoUpdate(n.Table, applied[i].rid, applied[i].old)
 		}
+		e.mgr.AbortStmt(n.Table)
 	}
 	for _, mt := range matches {
 		newRow := mt.row.Clone()
@@ -1250,6 +1265,10 @@ func (e *run) runUpdate(n *plan.UpdateNode) (*ResultSet, error) {
 			rollback()
 			return nil, err
 		}
+	}
+	if err := e.mgr.CommitStmt(n.Table); err != nil {
+		rollback()
+		return nil, err
 	}
 	return &ResultSet{Affected: len(matches)}, nil
 }
@@ -1288,10 +1307,12 @@ func (e *run) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
 		return nil, scanErr
 	}
 	var applied []doomed
+	e.mgr.BeginStmt(n.Table)
 	rollback := func() {
 		for i := len(applied) - 1; i >= 0; i-- {
 			e.mgr.UndoDelete(n.Table, applied[i].rid, applied[i].row)
 		}
+		e.mgr.AbortStmt(n.Table)
 	}
 	for _, d := range targets {
 		if _, err := e.mgr.Delete(n.Table, d.rid); err != nil {
@@ -1303,6 +1324,10 @@ func (e *run) runDelete(n *plan.DeleteNode) (*ResultSet, error) {
 			rollback()
 			return nil, err
 		}
+	}
+	if err := e.mgr.CommitStmt(n.Table); err != nil {
+		rollback()
+		return nil, err
 	}
 	return &ResultSet{Affected: len(targets)}, nil
 }

@@ -1,0 +1,410 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/fault"
+	"onlinetuner/internal/storage"
+	"onlinetuner/internal/tpch"
+	"onlinetuner/internal/wal"
+)
+
+// The kill-and-restart suite: the chaos workload runs on a DURABLE
+// database, the process "dies" at a fault-injected point (a WAL append
+// fault, a WAL fsync fault, or mid-checkpoint), the directory is
+// reopened, and the recovered database must match — live row for live
+// row, RID for RID — a fault-free oracle that executed exactly the
+// statements the faulty run acknowledged before the crash.
+//
+// Reproduce a failing cell locally:
+//
+//	CHAOS_SEEDS=<seed> EXEC_WORKERS=<n> go test -race -run TestChaosCrashRecovery ./internal/fault/chaostest
+
+var tpchTables = []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"}
+
+// heapDump renders a table's live rows in RID order — the byte-for-byte
+// comparison surface between a recovered database and its oracle.
+func heapDump(db *engine.DB, table string) string {
+	var buf bytes.Buffer
+	db.Mgr.Heap(table).Scan(func(rid storage.RID, r datum.Row) bool {
+		fmt.Fprintf(&buf, "%d|", rid)
+		for _, d := range r {
+			buf.WriteString(d.String())
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+		return true
+	})
+	return buf.String()
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		_ = in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// loadDurableChaosDB opens a durable database, bulk-loads it with the
+// WAL in no-sync mode (the load is not the test subject), checkpoints
+// the loaded state, and switches to group commit for the scripted
+// phase.
+func loadDurableChaosDB(t *testing.T, seed uint64, dir string) (*engine.DB, *tpch.Generator) {
+	t.Helper()
+	db, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t), Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tpch.NewGenerator(chaosScale, int64(seed))
+	if err := g.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.WAL().SetPolicy(wal.SyncGroup)
+	return db, g
+}
+
+// TestChaosCrashRecovery is the seed-matrix kill-and-restart suite.
+// Crash placement varies by seed: seed%3==0 dies mid-checkpoint,
+// seed%3==1 dies at an injected WAL append fault, seed%3==2 at an
+// injected WAL fsync fault (falling back to an end-of-script crash if
+// the probabilistic fault never fires).
+func TestChaosCrashRecovery(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					writeArtifact(t, seed, "TestChaosCrashRecovery failed; see -v output for details")
+				}
+			}()
+			runCrashSeed(t, seed)
+		})
+	}
+}
+
+func runCrashSeed(t *testing.T, seed uint64) {
+	dir := t.TempDir()
+	db, g := loadDurableChaosDB(t, seed, dir)
+	opts := core.DefaultOptions()
+	opts.Async = true
+	opts.UseSuspend = seed%2 == 0
+	opts.CooldownQueries = 2
+	tn := core.Attach(db, opts)
+	db.SetRetryBackoff(time.Microsecond)
+	script := chaosScript(g)
+
+	mode := seed % 3
+	inj := chaosInjector(seed)
+	switch mode {
+	case 1:
+		inj = inj.Plan(fault.WALAppend, fault.Rule{Prob: 0.01})
+	case 2:
+		inj = inj.Plan(fault.WALFsync, fault.Rule{Prob: 0.01})
+	}
+	db.SetFaults(inj)
+	inj.Arm()
+
+	crashed := false
+	var succeededIdx []int
+	for i, stmt := range script {
+		if mode == 0 && i == len(script)/2 {
+			// Mid-checkpoint crash: a one-shot WAL fault fails the
+			// checkpoint partway (its begin record, its snapshot-bracket
+			// fsync, or its roll), and the process dies right there.
+			site := fault.WALFsync
+			if seed%2 == 0 {
+				site = fault.WALAppend
+			}
+			ck := fault.New(seed).Plan(site, fault.Rule{Prob: 1, Count: 1})
+			ck.Arm()
+			db.SetFaults(ck)
+			if err := db.Checkpoint(); err == nil {
+				t.Fatalf("seed %d: mid-crash checkpoint succeeded despite armed %s fault", seed, site)
+			}
+			db.Crash()
+			crashed = true
+			break
+		}
+		rs, _, err := db.Exec(stmt)
+		if err != nil {
+			if !fault.Is(err) {
+				t.Fatalf("seed %d stmt %d: non-fault error %v\n%s", seed, i, err, stmt)
+			}
+			var fe *fault.Error
+			if errors.As(err, &fe) && (fe.Site == fault.WALAppend || fe.Site == fault.WALFsync) {
+				// The durability layer itself failed: this is the
+				// kill point for WAL-fault modes.
+				db.Crash()
+				crashed = true
+				break
+			}
+			continue
+		}
+		_ = rs
+		succeededIdx = append(succeededIdx, i)
+	}
+	if !crashed {
+		db.Crash() // probabilistic fault never fired; die at end of script
+	}
+	inj.Disarm()
+	if len(succeededIdx) == 0 {
+		t.Fatalf("seed %d: crash before any acknowledged statement; nothing to verify", seed)
+	}
+	// Post-crash writes must fail: nothing may be acknowledged after the
+	// kill point. (Reads still work — the in-memory structures are alive
+	// — but they commit nothing.)
+	for _, stmt := range script {
+		if isQuery(stmt) {
+			continue
+		}
+		if _, _, err := db.Exec(stmt); err == nil {
+			t.Fatalf("seed %d: write acknowledged after crash:\n%s", seed, stmt)
+		}
+		break
+	}
+	tn.Close()
+
+	// ---- Restart: recover the directory. ----
+	rdb, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t)})
+	if err != nil {
+		t.Fatalf("seed %d: recovery failed: %v", seed, err)
+	}
+	defer rdb.Close()
+	if err := rdb.Mgr.CheckConsistency(); err != nil {
+		t.Fatalf("seed %d: recovered state inconsistent: %v", seed, err)
+	}
+
+	// ---- Oracle: fresh in-memory load, no faults, no tuner; replay
+	// exactly the acknowledged statements. ----
+	oracle, _ := loadChaosDB(t, seed)
+	for _, idx := range succeededIdx {
+		if _, _, err := oracle.Exec(script[idx]); err != nil {
+			t.Fatalf("seed %d: oracle failed on stmt %d: %v\n%s", seed, idx, err, script[idx])
+		}
+	}
+
+	// Byte-for-byte: every table's live rows, in RID order, with exact
+	// RIDs. Statement rollback restores the heap free list exactly, so
+	// acknowledged statements take identical RIDs in both histories.
+	for _, table := range tpchTables {
+		if got, want := heapDump(rdb, table), heapDump(oracle, table); got != want {
+			t.Errorf("seed %d: recovered %s differs from oracle (%d vs %d bytes)",
+				seed, table, len(got), len(want))
+		}
+	}
+
+	// Recovered database answers queries identically to the oracle (its
+	// physical configuration may differ — the tuner's recovered indexes —
+	// but results may not).
+	compared := 0
+	for _, idx := range succeededIdx {
+		if !isQuery(script[idx]) || compared >= 4 {
+			continue
+		}
+		rrs, err := rdb.Query(script[idx])
+		if err != nil {
+			t.Fatalf("seed %d: recovered DB failed query %d: %v", seed, idx, err)
+		}
+		ors, err := oracle.Query(script[idx])
+		if err != nil {
+			t.Fatalf("seed %d: oracle failed query %d: %v", seed, idx, err)
+		}
+		if fingerprint(rrs) != fingerprint(ors) {
+			t.Errorf("seed %d: query %d diverged after recovery:\n%s", seed, idx, script[idx])
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatalf("seed %d: no acknowledged queries to compare", seed)
+	}
+
+	// The recovered engine keeps serving and keeps being durable.
+	if _, err := rdb.Query("SELECT COUNT(*) FROM lineitem"); err != nil {
+		t.Fatalf("seed %d: recovered engine not serving: %v", seed, err)
+	}
+	if err := rdb.Checkpoint(); err != nil {
+		t.Fatalf("seed %d: checkpoint after recovery: %v", seed, err)
+	}
+}
+
+// TestChaosCrashBuildReconciliation crashes deterministically in the
+// middle of a background index build and checks both recovery policies:
+// abandon (default) discards the dangling build and records a
+// "recovery-abandon" decision the tuner adopts; resume rebuilds and
+// publishes the index durably. Tuner evidence saved before the crash
+// loads cleanly after it, and build counters reconcile.
+func TestChaosCrashBuildReconciliation(t *testing.T) {
+	src := t.TempDir()
+	db, err := engine.OpenDurable(engine.Config{Dir: src, Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE r (id INT, a INT, b INT, PRIMARY KEY (id))")
+	for i := 0; i < 200; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", i, i%13, i%7))
+	}
+
+	// A tuner observes some workload pre-crash so there is evidence to
+	// carry across the restart.
+	tn := core.Attach(db, core.DefaultOptions())
+	for i := 0; i < 5; i++ {
+		db.MustExec("SELECT COUNT(*) FROM r WHERE a = 3")
+	}
+	var saved bytes.Buffer
+	if err := tn.SaveState(&saved); err != nil {
+		t.Fatal(err)
+	}
+	tn.Close()
+
+	// Start a background build, run it, apply delta DML — and crash
+	// before the publish. The WAL holds a BuildStart with no matching
+	// IndexCreate or BuildAbort.
+	ix := (&catalog.Index{Name: "r_a", Table: "r", Columns: []string{"a"}}).Canonicalize()
+	b, err := db.Mgr.StartBuild(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("INSERT INTO r VALUES (500, 1, 1)")
+	db.MustExec("DELETE FROM r WHERE id = 3")
+	db.Crash()
+
+	// ---- Policy 1: abandon (the default). ----
+	abandonDir := copyDir(t, src)
+	rdb, err := engine.OpenDurable(engine.Config{Dir: abandonDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := rdb.Recovery()
+	if len(info.Abandoned) != 1 || info.Abandoned[0] != ix.ID() {
+		t.Fatalf("abandoned = %v, want [%s]", info.Abandoned, ix.ID())
+	}
+	if len(info.Resumed) != 0 {
+		t.Fatalf("resumed = %v under abandon policy", info.Resumed)
+	}
+	if rdb.Mgr.Index(ix.ID()) != nil || rdb.Cat.IndexByID(ix.ID()) != nil {
+		t.Fatal("abandoned build left a materialized or cataloged index")
+	}
+	if err := rdb.Mgr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The delta DML that committed during the build survived.
+	rs := rdb.MustExec("SELECT COUNT(*) FROM r WHERE id = 500")
+	if rs.Rows[0][0].Int() != 1 {
+		t.Fatal("acknowledged delta statement lost")
+	}
+
+	// The tuner adopts the recovery decision and reloads its evidence.
+	rtn := core.Attach(rdb, core.DefaultOptions())
+	rtn.AdoptRecovery(info)
+	if err := rtn.LoadState(bytes.NewReader(saved.Bytes())); err != nil {
+		t.Fatalf("tuner state did not survive the crash: %v", err)
+	}
+	found := false
+	for _, d := range rtn.Decisions() {
+		if d.Kind == "recovery-abandon" && d.Index == ix.ID() && d.Table == "r" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recovery-abandon decision in the adopted log")
+	}
+	m := rtn.Metrics()
+	if m.BuildsStarted != m.BuildsCompleted+m.BuildsAborted+m.BuildsFailed {
+		t.Fatalf("build counters do not reconcile after recovery: started=%d completed=%d aborted=%d failed=%d",
+			m.BuildsStarted, m.BuildsCompleted, m.BuildsAborted, m.BuildsFailed)
+	}
+	// Catalog and storage agree on the published configuration.
+	for _, ax := range rdb.Configuration() {
+		pi := rdb.Mgr.Index(ax.ID())
+		if pi == nil || pi.State() != storage.StateActive {
+			t.Fatalf("configuration lists %s but storage disagrees", ax.ID())
+		}
+	}
+	rtn.Close()
+	_ = rdb.Close()
+
+	// ---- Policy 2: resume. ----
+	resumeDir := copyDir(t, src)
+	rdb2, err := engine.OpenDurable(engine.Config{Dir: resumeDir, ResumeBuilds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2 := rdb2.Recovery()
+	if len(info2.Resumed) != 1 || info2.Resumed[0] != ix.ID() {
+		t.Fatalf("resumed = %v, want [%s]", info2.Resumed, ix.ID())
+	}
+	pi := rdb2.Mgr.Index(ix.ID())
+	if pi == nil || pi.State() != storage.StateActive {
+		t.Fatal("resumed build did not publish an active index")
+	}
+	if err := rdb2.Mgr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range info2.Decisions {
+		if d.Kind == "recovery-resume" && d.Index == ix.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recovery-resume decision recorded")
+	}
+	// The resumed publish is itself durable: a clean close and reopen
+	// keeps the index with no dangling build left in the log.
+	if err := rdb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rdb3, err := engine.OpenDurable(engine.Config{Dir: resumeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb3.Close()
+	if len(rdb3.Recovery().Abandoned)+len(rdb3.Recovery().Resumed) != 0 {
+		t.Fatal("resumed build still dangling after a clean restart")
+	}
+	pi = rdb3.Mgr.Index(ix.ID())
+	if pi == nil || pi.State() != storage.StateActive {
+		t.Fatal("resumed index lost across a clean restart")
+	}
+	if err := rdb3.Mgr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

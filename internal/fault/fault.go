@@ -62,10 +62,18 @@ const (
 	// between planning and execution. Typically planned Transient, to
 	// exercise the engine's bounded retry-with-backoff.
 	ExecStmt Site = "engine.exec"
+	// WALAppend fires at the head of a WAL batch append, before any byte
+	// reaches the log. A fired append fails the committing statement, whose
+	// in-memory effects the executor then rolls back.
+	WALAppend Site = "wal.append"
+	// WALFsync fires when the WAL would fsync. A fired fsync discards the
+	// unflushed log tail (the writer truncates back to the last durable
+	// offset) and fails every statement waiting on that flush.
+	WALFsync Site = "wal.fsync"
 )
 
 // Sites lists every site the engine declares, for schedule builders.
-var Sites = []Site{PageRead, PageWrite, PageAlloc, BTreeSplit, BuildStep, BuildFinish, ExecStmt}
+var Sites = []Site{PageRead, PageWrite, PageAlloc, BTreeSplit, BuildStep, BuildFinish, ExecStmt, WALAppend, WALFsync}
 
 // Error is the failure returned by a fired injection site.
 type Error struct {

@@ -7,6 +7,7 @@ import (
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/fault"
+	"onlinetuner/internal/wal"
 )
 
 // This file implements online (background) index creation, the real
@@ -106,6 +107,13 @@ func (m *Manager) StartBuild(ix *catalog.Index) (*Build, error) {
 		stats.Sorted = true
 	}
 
+	// The BuildStart record makes an in-flight build visible to
+	// recovery: a crash between here and the publish (IndexCreate) or
+	// abort record leaves a dangling BuildStart, which recovery resumes
+	// or cleanly abandons.
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindBuildStart, Index: indexDefFor(ix)}); err != nil {
+		return nil, err
+	}
 	pi := &PhysicalIndex{Def: ix}
 	pi.colOrds = ordinalsFor(ts.def, ix)
 	pi.estBytes.Store(est)
@@ -184,6 +192,14 @@ func (m *Manager) FinishBuild(b *Build) (*BuildStats, error) {
 			}
 		}
 	}
+	// Publish record before the publish mutations: after the append
+	// nothing can fail, so the log and the in-memory state agree. A
+	// failed append leaves the index StateBuilding and unpublished; the
+	// caller aborts, and recovery treats the dangling BuildStart as an
+	// abandoned build.
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindIndexCreate, Index: indexDefFor(b.ix), Published: true}); err != nil {
+		return nil, err
+	}
 	b.pi.building = nil
 	b.tree.faults = inj
 	b.pi.tree.Store(b.tree)
@@ -203,5 +219,8 @@ func (m *Manager) AbortBuild(b *Build) {
 	defer m.mu.Unlock()
 	if m.indexes[b.ix.ID()] == b.pi {
 		delete(m.indexes, b.ix.ID())
+		// Best-effort: a lost abort record is harmless — recovery
+		// abandons any BuildStart with no matching publish or abort.
+		_ = m.logLifecycleLocked(&wal.Record{Kind: wal.KindBuildAbort, Index: indexDefFor(b.ix)})
 	}
 }

@@ -213,3 +213,53 @@ type HeapRow struct {
 	RID RID
 	Row datum.Row
 }
+
+// dumpState captures the heap's full physical state for a checkpoint:
+// slot-array length, live rows, and the free list in its exact order
+// (inserts pop from the tail, so the order determines which RIDs future
+// inserts receive).
+func (h *Heap) dumpState() (slots int, rows []HeapRow, free []RID) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	slots = len(h.rows)
+	rows = make([]HeapRow, 0, h.count.Load())
+	for i, r := range h.rows {
+		if r != nil {
+			rows = append(rows, HeapRow{RID: RID(i), Row: r})
+		}
+	}
+	free = append([]RID(nil), h.free...)
+	return slots, rows, free
+}
+
+// restoreState overwrites the heap with checkpoint state — the inverse
+// of dumpState. Every slot not covered by rows must appear in free
+// exactly once, so the restored heap assigns the same RIDs to future
+// inserts as the pre-checkpoint heap would have.
+func (h *Heap) restoreState(slots int, rows []HeapRow, free []RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next := make([]datum.Row, slots)
+	var count, bytes int64
+	for _, hr := range rows {
+		if hr.Row == nil || next[hr.RID] != nil {
+			return fmt.Errorf("storage: heap restore: nil or duplicate row at rid %d", hr.RID)
+		}
+		next[hr.RID] = hr.Row
+		count++
+		bytes += int64(hr.Row.Width()) + RowOverhead
+	}
+	for _, rid := range free {
+		if next[rid] != nil {
+			return fmt.Errorf("storage: heap restore: free rid %d holds a row", rid)
+		}
+	}
+	if int64(slots) != count+int64(len(free)) {
+		return fmt.Errorf("storage: heap restore: %d slots != %d rows + %d free", slots, count, len(free))
+	}
+	h.rows = next
+	h.free = append([]RID(nil), free...)
+	h.count.Store(count)
+	h.bytes.Store(bytes)
+	return nil
+}

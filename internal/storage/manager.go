@@ -11,6 +11,7 @@ import (
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/fault"
 	"onlinetuner/internal/par"
+	"onlinetuner/internal/wal"
 )
 
 // IndexState tracks the lifecycle of a physical index structure.
@@ -94,6 +95,11 @@ func (pi *PhysicalIndex) PendingOps() int64 { return pi.pendingOps.Load() }
 type tableStore struct {
 	def  *catalog.Table
 	heap *Heap
+	// stmt is the open WAL record batch of the in-flight DML statement
+	// on this table, nil when none (or when the WAL is detached).
+	// Guarded by the manager lock; at most one writer statement exists
+	// per table thanks to the engine's table write locks.
+	stmt *stmtBatch
 }
 
 // BuildStats describes the work performed by an index build; the cost
@@ -132,6 +138,9 @@ type Manager struct {
 	// slots non-blocking and degrade to sequential when drained). Atomic:
 	// the engine reconfigures it while builds may be in flight.
 	pool atomic.Pointer[par.Pool]
+	// wal is the optional write-ahead log (see wal.go). Atomic so the
+	// DML hot path checks for it with one load; nil in in-memory mode.
+	wal atomic.Pointer[walRef]
 }
 
 // SetPool installs the worker pool index-build sorts draw slots from.
@@ -245,11 +254,14 @@ func (m *Manager) CreateTable(name string) error {
 	if _, dup := m.tables[key]; dup {
 		return fmt.Errorf("storage: table %s already materialized", name)
 	}
-	m.tables[key] = &tableStore{def: t, heap: NewHeap()}
 	pk := m.cat.PrimaryIndex(name)
 	if pk == nil {
 		return fmt.Errorf("storage: table %s has no primary index", name)
 	}
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindAlloc, Schema: tableDefFor(t)}); err != nil {
+		return err
+	}
+	m.tables[key] = &tableStore{def: t, heap: NewHeap()}
 	pi := &PhysicalIndex{Def: pk}
 	pi.tree.Store(m.newTreeLocked())
 	pi.setState(StateActive)
@@ -351,17 +363,34 @@ func (u *dmlUndo) rollback() {
 // the heap row — is compensated before the error returns, so a failed
 // statement leaves no partial mutations behind.
 func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
+	rid, touched, auto, err := m.insertLocked(table, row)
+	if err != nil {
+		return 0, 0, err
+	}
+	if auto != nil {
+		// Autocommit: no statement batch is open, so this row's record
+		// commits by itself, outside the manager lock. A failed append
+		// means the row never became durable — undo it.
+		if err := auto.commit(); err != nil {
+			m.UndoInsert(table, rid)
+			return 0, 0, err
+		}
+	}
+	return rid, touched, nil
+}
+
+func (m *Manager) insertLocked(table string, row datum.Row) (RID, int, *autoBatch, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ts := m.tables[strings.ToLower(table)]
 	if ts == nil {
-		return 0, 0, fmt.Errorf("storage: table %s not materialized", table)
+		return 0, 0, nil, fmt.Errorf("storage: table %s not materialized", table)
 	}
 	if len(row) != len(ts.def.Columns) {
-		return 0, 0, fmt.Errorf("storage: table %s: row arity %d != %d", table, len(row), len(ts.def.Columns))
+		return 0, 0, nil, fmt.Errorf("storage: table %s: row arity %d != %d", table, len(row), len(ts.def.Columns))
 	}
 	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	rid := ts.heap.Insert(row)
 	touched := 0
@@ -383,36 +412,51 @@ func (m *Manager) Insert(table string, row datum.Row) (RID, int, error) {
 			if err := t.Insert(e); err != nil {
 				undo.rollback()
 				_ = ts.heap.Delete(rid)
-				return 0, 0, err
+				return 0, 0, nil, err
 			}
 			undo.applied = append(undo.applied, func() { t.Delete(e) })
 			touched++
 		}
 	}
-	return rid, touched, nil
+	auto := m.logLocked(ts, &wal.Record{Kind: wal.KindPageWrite, Op: wal.OpInsert, Table: ts.def.Name, RID: int64(rid), Row: row})
+	return rid, touched, auto, nil
 }
 
 // Delete removes the row at rid and maintains all active indexes. Like
 // Insert, it compensates every applied step if a later one fails.
 func (m *Manager) Delete(table string, rid RID) (int, error) {
+	touched, old, auto, err := m.deleteLocked(table, rid)
+	if err != nil {
+		return 0, err
+	}
+	if auto != nil {
+		if err := auto.commit(); err != nil {
+			m.UndoDelete(table, rid, old)
+			return 0, err
+		}
+	}
+	return touched, nil
+}
+
+func (m *Manager) deleteLocked(table string, rid RID) (int, datum.Row, *autoBatch, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ts := m.tables[strings.ToLower(table)]
 	if ts == nil {
-		return 0, fmt.Errorf("storage: table %s not materialized", table)
+		return 0, nil, nil, fmt.Errorf("storage: table %s not materialized", table)
 	}
 	row := ts.heap.Get(rid)
 	if row == nil {
-		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
+		return 0, nil, nil, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
 	}
 	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
-		return 0, err
+		return 0, nil, nil, err
 	}
 	touched := 0
 	var undo dmlUndo
-	fail := func(err error) (int, error) {
+	fail := func(err error) (int, datum.Row, *autoBatch, error) {
 		undo.rollback()
-		return 0, err
+		return 0, nil, nil, err
 	}
 	for _, pi := range m.indexes {
 		if !strings.EqualFold(pi.Def.Table, table) {
@@ -438,30 +482,45 @@ func (m *Manager) Delete(table string, rid RID) (int, error) {
 	if err := ts.heap.Delete(rid); err != nil {
 		return fail(err)
 	}
-	return touched, nil
+	auto := m.logLocked(ts, &wal.Record{Kind: wal.KindPageWrite, Op: wal.OpDelete, Table: ts.def.Name, RID: int64(rid)})
+	return touched, row, auto, nil
 }
 
 // Update replaces the row at rid and maintains indexes whose keys
 // changed.
 func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
+	touched, old, auto, err := m.updateLocked(table, rid, newRow)
+	if err != nil {
+		return 0, err
+	}
+	if auto != nil {
+		if err := auto.commit(); err != nil {
+			m.UndoUpdate(table, rid, old)
+			return 0, err
+		}
+	}
+	return touched, nil
+}
+
+func (m *Manager) updateLocked(table string, rid RID, newRow datum.Row) (int, datum.Row, *autoBatch, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ts := m.tables[strings.ToLower(table)]
 	if ts == nil {
-		return 0, fmt.Errorf("storage: table %s not materialized", table)
+		return 0, nil, nil, fmt.Errorf("storage: table %s not materialized", table)
 	}
 	old := ts.heap.Get(rid)
 	if old == nil {
-		return 0, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
+		return 0, nil, nil, fmt.Errorf("storage: table %s: rid %d not found", table, rid)
 	}
 	if err := m.faults.Load().Hit(fault.PageWrite); err != nil {
-		return 0, err
+		return 0, nil, nil, err
 	}
 	touched := 0
 	var undo dmlUndo
-	fail := func(err error) (int, error) {
+	fail := func(err error) (int, datum.Row, *autoBatch, error) {
 		undo.rollback()
-		return 0, err
+		return 0, nil, nil, err
 	}
 	for _, pi := range m.indexes {
 		if !strings.EqualFold(pi.Def.Table, table) {
@@ -507,7 +566,8 @@ func (m *Manager) Update(table string, rid RID, newRow datum.Row) (int, error) {
 	if _, err := ts.heap.Update(rid, newRow); err != nil {
 		return fail(err)
 	}
-	return touched, nil
+	auto := m.logLocked(ts, &wal.Record{Kind: wal.KindPageWrite, Op: wal.OpUpdate, Table: ts.def.Name, RID: int64(rid), Row: newRow})
+	return touched, old, auto, nil
 }
 
 // UndoInsert retracts a row applied earlier in the same statement — the
@@ -691,6 +751,9 @@ func (m *Manager) BuildIndex(ix *catalog.Index) (*BuildStats, error) {
 	pi.tree.Store(tree)
 	pi.setState(StateActive)
 	stats.NewPages = pi.Pages()
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindIndexCreate, Index: indexDefFor(ix)}); err != nil {
+		return nil, err
+	}
 	m.indexes[ix.ID()] = pi
 	m.configVersion.Add(1)
 	return stats, nil
@@ -721,6 +784,9 @@ func (m *Manager) DropIndex(id string) error {
 	if pi.Def.Primary {
 		return fmt.Errorf("storage: cannot drop primary index %s", pi.Def.Name)
 	}
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindIndexDrop, Index: indexDefFor(pi.Def)}); err != nil {
+		return err
+	}
 	delete(m.indexes, id)
 	m.configVersion.Add(1)
 	return nil
@@ -741,6 +807,9 @@ func (m *Manager) SuspendIndex(id string) error {
 	}
 	if pi.State() != StateActive {
 		return fmt.Errorf("storage: index %s is %s, not active", pi.Def.Name, pi.State())
+	}
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindIndexSuspend, Index: indexDefFor(pi.Def)}); err != nil {
+		return err
 	}
 	pi.setState(StateSuspended)
 	pi.pendingOps.Store(0)
@@ -788,6 +857,9 @@ func (m *Manager) RestartIndex(id string) (int64, error) {
 	SortEntriesPooled(entries, m.Pool())
 	tree, err := BulkLoad(entries)
 	if err != nil {
+		return 0, err
+	}
+	if err := m.logLifecycleLocked(&wal.Record{Kind: wal.KindIndexRestart, Index: indexDefFor(pi.Def)}); err != nil {
 		return 0, err
 	}
 	ops := pi.pendingOps.Load()

@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/wal"
+)
+
+// This file threads the write-ahead log through the storage manager.
+// Logging is commit-time and logical: DML paths buffer one record per
+// applied row effect, and the batch reaches the log only when the
+// statement commits. Three framing modes exist:
+//
+//   - Statement batches. The executor brackets each DML statement with
+//     BeginStmt / CommitStmt / AbortStmt on the written table. The
+//     engine's per-table write locks guarantee one writer statement per
+//     table, so the open batch lives on the tableStore. CommitStmt
+//     appends (and, per policy, fsyncs) OUTSIDE the manager lock — the
+//     group-commit wait must not block readers or other tables' writers.
+//
+//   - Autocommit. A direct Manager DML call with no open batch (the
+//     bulk loader, tests) commits its single record right after the
+//     manager lock is released, undoing the in-memory effect if the
+//     append fails.
+//
+//   - Lifecycle records. Table/index lifecycle transitions log a
+//     single-record batch under the manager lock, ordered validate →
+//     append → apply: all fallible work happens first, so once the
+//     record is durable the in-memory transition cannot fail.
+//
+// With no writer installed (Durable=false, or during recovery replay)
+// every hook is inert: one atomic load on the DML path.
+
+// SetWAL installs the write-ahead log writer. Pass nil to detach (the
+// in-memory mode). Installed after recovery replay, so replayed
+// operations are never re-logged.
+func (m *Manager) SetWAL(w *wal.Writer) {
+	if w == nil {
+		m.wal.Store(nil)
+		return
+	}
+	m.wal.Store(&walRef{w: w})
+}
+
+// WAL returns the installed writer, or nil.
+func (m *Manager) WAL() *wal.Writer {
+	if ref := m.wal.Load(); ref != nil {
+		return ref.w
+	}
+	return nil
+}
+
+// walRef wraps the writer for atomic.Pointer storage.
+type walRef struct{ w *wal.Writer }
+
+// stmtBatch buffers the records of one open DML statement on its table.
+type stmtBatch struct {
+	recs []*wal.Record
+}
+
+// autoBatch is a single-record batch to commit after the manager lock
+// is released.
+type autoBatch struct {
+	w    *wal.Writer
+	recs []*wal.Record
+}
+
+func (a *autoBatch) commit() error {
+	_, err := a.w.Append(a.recs)
+	return err
+}
+
+// BeginStmt opens a statement record batch on a table. The caller must
+// hold the table's write lock (the executor does, for the whole
+// statement including CommitStmt). A no-op without a WAL.
+func (m *Manager) BeginStmt(table string) {
+	if m.wal.Load() == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts := m.tables[strings.ToLower(table)]; ts != nil {
+		ts.stmt = &stmtBatch{}
+	}
+}
+
+// CommitStmt closes the statement batch and appends it to the log as
+// one commit unit. A nil return is the durability acknowledgement; on
+// error the caller must roll the statement's in-memory effects back
+// (nothing of the batch survives in the log). Empty batches (statement
+// matched no rows) skip the log entirely.
+func (m *Manager) CommitStmt(table string) error {
+	m.mu.Lock()
+	var recs []*wal.Record
+	if ts := m.tables[strings.ToLower(table)]; ts != nil && ts.stmt != nil {
+		recs = ts.stmt.recs
+		ts.stmt = nil
+	}
+	w := m.WAL()
+	m.mu.Unlock()
+	if w == nil || len(recs) == 0 {
+		return nil
+	}
+	_, err := w.Append(recs)
+	return err
+}
+
+// AbortStmt discards the open statement batch (the statement failed and
+// was rolled back in memory; the log never sees it).
+func (m *Manager) AbortStmt(table string) {
+	if m.wal.Load() == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts := m.tables[strings.ToLower(table)]; ts != nil {
+		ts.stmt = nil
+	}
+}
+
+// logLocked routes one DML record: into the open statement batch, or —
+// with no statement open — into an autocommit batch the caller commits
+// after releasing the manager lock. Returns nil when no WAL is
+// installed or the record joined a statement batch.
+func (m *Manager) logLocked(ts *tableStore, rec *wal.Record) *autoBatch {
+	w := m.WAL()
+	if w == nil {
+		return nil
+	}
+	if ts.stmt != nil {
+		ts.stmt.recs = append(ts.stmt.recs, rec)
+		return nil
+	}
+	return &autoBatch{w: w, recs: []*wal.Record{rec}}
+}
+
+// logLifecycleLocked appends a single-record batch for a lifecycle
+// transition, under the manager lock. Safe with group commit: the flush
+// leader never needs the manager lock, so the wait cannot deadlock.
+// Lifecycle events are rare; holding the lock across the append keeps
+// log order equal to application order with no extra machinery.
+func (m *Manager) logLifecycleLocked(rec *wal.Record) error {
+	w := m.WAL()
+	if w == nil {
+		return nil
+	}
+	_, err := w.Append([]*wal.Record{rec})
+	return err
+}
+
+// tableDefFor converts a catalog table to its logged form.
+func tableDefFor(t *catalog.Table) *wal.TableDef {
+	def := &wal.TableDef{Name: t.Name, PK: append([]string(nil), t.PrimaryKey...)}
+	for _, c := range t.Columns {
+		def.Cols = append(def.Cols, wal.ColDef{Name: c.Name, Kind: uint8(c.Kind), AvgWidth: c.AvgWidth})
+	}
+	return def
+}
+
+// indexDefFor converts a catalog index to its logged form.
+func indexDefFor(ix *catalog.Index) *wal.IndexDef {
+	return &wal.IndexDef{Name: ix.Name, Table: ix.Table, Columns: append([]string(nil), ix.Columns...)}
+}
+
+// SnapshotState captures the manager's full durable state for a
+// checkpoint: schemas, raw heaps (tombstones and free-list order
+// included — future RID assignment depends on them), and secondary
+// index defs with lifecycle state. The caller must quiesce writers (the
+// engine holds every table write lock). Output ordering is
+// deterministic so identical states encode to identical bytes.
+func (m *Manager) SnapshotState() *wal.Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := &wal.Snapshot{}
+	names := make([]string, 0, len(m.tables))
+	for k := range m.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		ts := m.tables[k]
+		slots, rows, free := ts.heap.dumpState()
+		st := wal.SnapshotTable{Def: *tableDefFor(ts.def), Slots: int64(slots)}
+		for _, hr := range rows {
+			st.Rows = append(st.Rows, wal.SnapRow{RID: int64(hr.RID), Row: hr.Row})
+		}
+		for _, f := range free {
+			st.Free = append(st.Free, int64(f))
+		}
+		s.Tables = append(s.Tables, st)
+	}
+	ids := make([]string, 0, len(m.indexes))
+	for id := range m.indexes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pi := m.indexes[id]
+		if pi.Def.Primary {
+			continue
+		}
+		var state uint8
+		switch pi.State() {
+		case StateActive:
+			state = wal.SnapIndexActive
+		case StateSuspended:
+			state = wal.SnapIndexSuspended
+		case StateBuilding:
+			state = wal.SnapIndexBuilding
+		}
+		s.Indexes = append(s.Indexes, wal.SnapshotIndex{
+			Def:        *indexDefFor(pi.Def),
+			State:      state,
+			PendingOps: pi.PendingOps(),
+		})
+	}
+	return s
+}
+
+// RestoreHeap overwrites a materialized table's heap with snapshot
+// state and rebuilds the trees of its active indexes from the restored
+// rows. Recovery-only: called before any WAL writer is installed.
+func (m *Manager) RestoreHeap(table string, slots int64, rows []wal.SnapRow, free []int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tables[strings.ToLower(table)]
+	if ts == nil {
+		return fmt.Errorf("storage: restore of unmaterialized table %s", table)
+	}
+	hr := make([]HeapRow, len(rows))
+	for i, r := range rows {
+		if r.RID < 0 || r.RID >= slots {
+			return fmt.Errorf("storage: restore %s: rid %d outside %d slots", table, r.RID, slots)
+		}
+		hr[i] = HeapRow{RID: RID(r.RID), Row: r.Row}
+	}
+	fr := make([]RID, len(free))
+	for i, f := range free {
+		if f < 0 || f >= slots {
+			return fmt.Errorf("storage: restore %s: free rid %d outside %d slots", table, f, slots)
+		}
+		fr[i] = RID(f)
+	}
+	if err := ts.heap.restoreState(int(slots), hr, fr); err != nil {
+		return fmt.Errorf("storage: restore %s: %w", table, err)
+	}
+	for _, pi := range m.indexes {
+		if !strings.EqualFold(pi.Def.Table, table) || pi.State() != StateActive {
+			continue
+		}
+		if err := m.rebuildTreeLocked(ts, pi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreIndex re-materializes a secondary index from snapshot state,
+// rebuilding its tree from the (already restored) heap. Recovery-only.
+func (m *Manager) RestoreIndex(ix *catalog.Index, state IndexState, pendingOps int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.indexes[ix.ID()]; dup {
+		return fmt.Errorf("storage: restore of already materialized index %s", ix.Name)
+	}
+	ts := m.tables[strings.ToLower(ix.Table)]
+	if ts == nil {
+		return fmt.Errorf("storage: restore of index %s over unmaterialized table %s", ix.Name, ix.Table)
+	}
+	pi := &PhysicalIndex{Def: ix}
+	pi.colOrds = ordinalsFor(ts.def, ix)
+	if err := m.rebuildTreeLocked(ts, pi); err != nil {
+		return err
+	}
+	pi.setState(state)
+	pi.pendingOps.Store(pendingOps)
+	m.indexes[ix.ID()] = pi
+	m.configVersion.Add(1)
+	return nil
+}
+
+// rebuildTreeLocked bulk-loads a fresh tree for pi from ts's heap. No
+// fault draws: recovery and restore paths must not inject.
+func (m *Manager) rebuildTreeLocked(ts *tableStore, pi *PhysicalIndex) error {
+	entries := make([]Entry, 0, ts.heap.Len())
+	ts.heap.Scan(func(rid RID, row datum.Row) bool {
+		entries = append(entries, Entry{Key: keyFor(pi.colOrds, row), RID: rid})
+		return true
+	})
+	SortEntriesPooled(entries, m.Pool())
+	tree, err := BulkLoad(entries)
+	if err != nil {
+		return err
+	}
+	tree.faults = m.faults.Load()
+	pi.tree.Store(tree)
+	return nil
+}

@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Batch is one committed record batch: the records of a single
+// statement (or one lifecycle operation) plus its commit sequence.
+type Batch struct {
+	Seq  uint64
+	Recs []*Record
+}
+
+// ScanResult is what a directory scan recovered: every committed batch
+// in log order, plus the bookkeeping needed to truncate the torn tail
+// and to resume appending.
+type ScanResult struct {
+	Batches []Batch
+	// LastSeq is the highest commit sequence seen.
+	LastSeq uint64
+	// Bytes counts the valid bytes scanned across all segments.
+	Bytes int64
+	// NextSegment is one past the highest segment index present.
+	NextSegment int
+	// StopPath / StopOffset locate the end of the consistent prefix:
+	// the stop segment keeps its first StopOffset bytes (the end of its
+	// last committed batch) and loses the rest. Empty when the
+	// directory holds no segments.
+	StopPath   string
+	StopOffset int64
+	// TailPaths are segment files after the stop segment; recovery
+	// deletes them (they can only exist after a crash left an invalid
+	// record mid-directory, and nothing after the first invalid record
+	// is trusted).
+	TailPaths []string
+	// Torn reports that scanning stopped at invalid or uncommitted
+	// data rather than a clean end-of-log.
+	Torn bool
+}
+
+// ScanDir reads every segment in dir in index order and returns the
+// committed batches of the longest consistent prefix. Scanning stops at
+// the first invalid record (bad length, bad checksum, undecodable
+// payload, or a truncated tail); records after the last Commit are
+// dropped. Batches never span segments — the writer rolls between
+// batches — so each segment is scanned independently and a dangling
+// partial batch at a segment's end is discarded.
+func ScanDir(dir string) (*ScanResult, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{}
+	for si, seg := range segs {
+		res.NextSegment = seg.index + 1
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", seg.path, err)
+		}
+		off, commitEnd := 0, 0
+		var pending []*Record
+		valid := true
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				valid = false
+				break
+			}
+			off += n
+			if rec.Kind == KindCommit {
+				res.Batches = append(res.Batches, Batch{Seq: rec.Seq, Recs: pending})
+				if rec.Seq > res.LastSeq {
+					res.LastSeq = rec.Seq
+				}
+				pending = nil
+				commitEnd = off
+			} else {
+				pending = append(pending, rec)
+			}
+		}
+		res.Bytes += int64(commitEnd)
+		res.StopPath = seg.path
+		res.StopOffset = int64(commitEnd)
+		if !valid || len(pending) > 0 || commitEnd != len(data) {
+			// Invalid data, a batch with no commit, or valid-but-
+			// uncommitted bytes: the consistent prefix ends here and
+			// any later segment is untrusted.
+			res.Torn = true
+			for _, later := range segs[si+1:] {
+				res.TailPaths = append(res.TailPaths, later.path)
+			}
+			break
+		}
+	}
+	return res, nil
+}
+
+// TruncateTail physically removes everything past the consistent
+// prefix: the stop segment is cut at StopOffset and later segments are
+// deleted. Recovery calls it before opening a fresh writer so a future
+// scan never re-reads discarded bytes.
+func (r *ScanResult) TruncateTail() error {
+	if r.StopPath == "" || !r.Torn {
+		return nil
+	}
+	if err := os.Truncate(r.StopPath, r.StopOffset); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	for _, p := range r.TailPaths {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("wal: remove tail segment: %w", err)
+		}
+	}
+	return nil
+}

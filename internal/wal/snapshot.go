@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"onlinetuner/internal/datum"
+)
+
+// Snapshot is a checkpoint's full-state image: catalog schemas, raw
+// heap contents (including tombstoned slots and the free-list order,
+// which future RID assignment depends on), and secondary-index
+// definitions with their lifecycle states. Trees are not serialized —
+// they are rebuilt from the heaps at restore, which BulkLoad makes
+// deterministic.
+type Snapshot struct {
+	// Seq is the commit sequence the snapshot is consistent with:
+	// replay applies only batches with Seq greater than this.
+	Seq     uint64
+	Tables  []SnapshotTable
+	Indexes []SnapshotIndex
+}
+
+// SnapshotTable is one table's schema and raw heap state.
+type SnapshotTable struct {
+	Def TableDef
+	// Slots is the heap slot-array length; RIDs in [0, Slots) not
+	// listed in Rows are tombstones.
+	Slots int64
+	Rows  []SnapRow
+	// Free is the tombstone free list in its exact order — inserts pop
+	// from the tail, so the order decides future RID assignment.
+	Free []int64
+}
+
+// SnapRow is one live heap row.
+type SnapRow struct {
+	RID int64
+	Row datum.Row
+}
+
+// Index lifecycle states as stored in a snapshot.
+const (
+	SnapIndexActive    uint8 = 0
+	SnapIndexSuspended uint8 = 1
+	SnapIndexBuilding  uint8 = 2
+)
+
+// SnapshotIndex is one secondary index: its definition, lifecycle
+// state, and (for suspended indexes) the missed-operation count that
+// prices a restart.
+type SnapshotIndex struct {
+	Def        IndexDef
+	State      uint8
+	PendingOps int64
+}
+
+// snapMagic and snapVersion head every snapshot file.
+var snapMagic = []byte("OTSNAP01")
+
+// EncodeSnapshot serializes s with a whole-file CRC32C trailer.
+func EncodeSnapshot(s *Snapshot) []byte {
+	buf := append([]byte{}, snapMagic...)
+	buf = binary.AppendUvarint(buf, s.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Tables)))
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		buf = appendTableDef(buf, &t.Def)
+		buf = binary.AppendUvarint(buf, uint64(t.Slots))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
+		for _, r := range t.Rows {
+			buf = binary.AppendUvarint(buf, uint64(r.RID))
+			buf = AppendRow(buf, r.Row)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(t.Free)))
+		for _, f := range t.Free {
+			buf = binary.AppendUvarint(buf, uint64(f))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Indexes)))
+	for i := range s.Indexes {
+		ix := &s.Indexes[i]
+		buf = appendIndexDef(buf, &ix.Def)
+		buf = append(buf, ix.State)
+		buf = binary.AppendUvarint(buf, uint64(ix.PendingOps))
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+	return append(buf, crc[:]...)
+}
+
+// DecodeSnapshot parses and checksum-verifies a snapshot image.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("wal: snapshot too short: %d bytes", len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("wal: snapshot checksum mismatch: %08x != %08x", got, want)
+	}
+	if string(body[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("wal: bad snapshot magic")
+	}
+	d := &decoder{b: body, off: len(snapMagic)}
+	s := &Snapshot{Seq: d.uvarint()}
+	ntables := d.uvarint()
+	for i := uint64(0); i < ntables && d.err == nil; i++ {
+		var t SnapshotTable
+		if def := d.tableDef(); def != nil {
+			t.Def = *def
+		}
+		t.Slots = int64(d.uvarint())
+		nrows := d.uvarint()
+		if nrows > uint64(len(d.b)-d.off) {
+			d.fail("snapshot row count %d exceeds remaining payload", nrows)
+			break
+		}
+		for j := uint64(0); j < nrows && d.err == nil; j++ {
+			t.Rows = append(t.Rows, SnapRow{RID: int64(d.uvarint()), Row: d.row()})
+		}
+		nfree := d.uvarint()
+		if nfree > uint64(len(d.b)-d.off) {
+			d.fail("snapshot free count %d exceeds remaining payload", nfree)
+			break
+		}
+		for j := uint64(0); j < nfree && d.err == nil; j++ {
+			t.Free = append(t.Free, int64(d.uvarint()))
+		}
+		s.Tables = append(s.Tables, t)
+	}
+	nix := d.uvarint()
+	if nix > uint64(len(d.b)-d.off) {
+		d.fail("snapshot index count %d exceeds remaining payload", nix)
+	}
+	for i := uint64(0); i < nix && d.err == nil; i++ {
+		var ix SnapshotIndex
+		if def := d.indexDef(); def != nil {
+			ix.Def = *def
+		}
+		ix.State = d.byte()
+		ix.PendingOps = int64(d.uvarint())
+		s.Indexes = append(s.Indexes, ix)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("wal: %d trailing snapshot bytes", len(d.b)-d.off)
+	}
+	return s, nil
+}
+
+// WriteSnapshot durably writes s into dir as ckpt-<seq>.snap via a
+// temp-file rename, returning the final path. Old snapshots are left in
+// place; the checkpoint deletes them only after this one is durable.
+func WriteSnapshot(dir string, s *Snapshot) (string, error) {
+	data := EncodeSnapshot(s)
+	final := filepath.Join(dir, SnapshotName(s.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// LoadNewestSnapshot returns the newest decodable snapshot in dir, or
+// nil if none exists. A corrupt newest snapshot (crash mid-write never
+// produces one thanks to the temp-rename protocol, but a torn disk can)
+// falls back to the next older one, which the checkpoint's
+// delete-after-durable ordering guarantees is intact.
+func LoadNewestSnapshot(dir string) (*Snapshot, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if s, ok := parseSnapshotName(e.Name()); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	// Try newest first.
+	for {
+		best := -1
+		for i, s := range seqs {
+			if best < 0 || s > seqs[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, nil
+		}
+		data, err := os.ReadFile(filepath.Join(dir, SnapshotName(seqs[best])))
+		if err == nil {
+			if snap, derr := DecodeSnapshot(data); derr == nil {
+				return snap, nil
+			}
+		}
+		seqs = append(seqs[:best], seqs[best+1:]...)
+	}
+}
