@@ -23,12 +23,15 @@
 //	-batches number of TPC-H batches                  default 60
 //	-seed    workload seed                            default 1
 //	-updates disruptive update statements (fig7c/d)   default 40
+//	-engine  execution engine: auto|row|vector        default auto
+//	-procs   override GOMAXPROCS (0 = leave as-is)    default 0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"onlinetuner/internal/bench"
 	"onlinetuner/internal/tpch"
@@ -40,15 +43,21 @@ func main() {
 	batches := flag.Int("batches", 60, "number of TPC-H batches")
 	seed := flag.Int64("seed", 1, "workload seed")
 	updates := flag.Int("updates", 40, "disruptive update statements (fig7c/fig7d)")
+	engineMode := flag.String("engine", "auto", "execution engine: auto|row|vector")
+	procs := flag.Int("procs", 0, "override GOMAXPROCS for this run (0 = leave as-is)")
 	out := flag.String("out", "", "plancache: also write the benchmark report as JSON to this file")
 	flag.Parse()
 
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 	opts := workload.TPCHOptions{
 		Scale:          tpch.Scale(*scale),
 		Seed:           *seed,
 		NumBatches:     *batches,
 		DisruptCount:   *updates,
 		BudgetFraction: 1.0,
+		ExecEngine:     *engineMode,
 	}
 
 	cmd := "all"

@@ -30,9 +30,10 @@ import (
 
 func main() {
 	listen := flag.String("listen", "", "serve the metrics snapshot over HTTP at this address")
+	engineMode := flag.String("engine", "auto", "execution engine: auto|row|vector")
 	flag.Parse()
 
-	db := engine.Open()
+	db := engine.OpenConfig(engine.Config{ExecEngine: *engineMode})
 	gen := tpch.NewGenerator(0.2, 42)
 	if err := gen.Load(db); err != nil {
 		fmt.Fprintln(os.Stderr, "load:", err)

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+func BenchmarkVecProfile(b *testing.B) {
+	for _, mode := range []string{"row", "vector"} {
+		for i, q := range scanFilterBatch() {
+			b.Run(fmt.Sprintf("%s/q%d", mode, i), func(b *testing.B) {
+				db := engine.OpenConfig(engine.Config{ExecWorkers: 1, ExecEngine: mode})
+				gen := tpch.NewGenerator(2, 1)
+				if err := gen.Load(db); err != nil {
+					b.Fatal(err)
+				}
+				db.SetPlanCacheMode(engine.CacheOff)
+				if _, _, err := db.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, _, err := db.Exec(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,7 +2,9 @@
 // batch at several ExecWorkers settings and reports the speedup over the
 // sequential executor. Results are byte-identical at every setting (the
 // morsel model guarantees it), so this comparison is purely about
-// wall-clock time.
+// wall-clock time. A second matrix pins workers=1 and varies the
+// execution engine (row vs vectorized) on a scan+filter-heavy batch, so
+// the kernel gain is measured in isolation from parallelism.
 package bench
 
 import (
@@ -28,26 +30,66 @@ type ParallelBench struct {
 	Morsels int64 `json:"morsels"`
 }
 
+// EngineBench is one measured engine mode at a fixed worker count.
+type EngineBench struct {
+	Name    string  `json:"name"`
+	Engine  string  `json:"engine"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is row-engine ns/op divided by this mode's ns/op.
+	Speedup float64 `json:"speedup"`
+}
+
 // ParallelReport is the sequential-vs-parallel comparison, serialized to
-// BENCH_parallel.json by cmd/experiments. GOMAXPROCS is recorded because
-// the achievable speedup is bounded by it: on a single-core runner every
-// setting degenerates to the sequential loop.
+// BENCH_parallel.json by cmd/experiments. GOMAXPROCS and NumCPU are
+// recorded because the achievable speedup is bounded by them: on a
+// single-core runner every worker setting degenerates to the sequential
+// loop, and claiming a "speedup at 4 workers" there would be noise
+// dressed up as signal — so SpeedupAt4 is null and Note says why.
 type ParallelReport struct {
 	Scale      float64         `json:"scale"`
 	Seed       int64           `json:"seed"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
 	Results    []ParallelBench `json:"results"`
-	// SpeedupAt4 is the headline number: sequential time over
-	// 4-worker time on the fixed TPC-H batch.
-	SpeedupAt4 float64 `json:"speedup_at_4"`
+	// SpeedupAt4 is the headline parallelism number: sequential time over
+	// 4-worker time on the fixed TPC-H batch. Null when GOMAXPROCS < 2
+	// (the measurement would not exercise parallelism at all).
+	SpeedupAt4 *float64 `json:"speedup_at_4"`
+	// Note explains a null or suspect headline number, e.g.
+	// "single-core-run".
+	Note string `json:"note,omitempty"`
+	// EngineResults pins workers=1 and compares the row engine against
+	// the vectorized engine on a scan+filter-heavy batch. Valid on any
+	// core count: both runs are single-threaded.
+	EngineResults []EngineBench `json:"engine_results,omitempty"`
+	// VectorSpeedup1W is row ns/op over vectorized ns/op at workers=1.
+	VectorSpeedup1W *float64 `json:"vector_speedup_1w,omitempty"`
 }
 
-// measureParallel loads a TPC-H database with ExecWorkers=workers and
-// benchmarks replaying the statement batch (one batch per op), after one
-// warm-up pass. The plan cache stays off so every op pays the same
-// optimize+execute cost and the comparison isolates execution time.
-func measureParallel(scale tpch.Scale, seed int64, workers int, stmts []string) (ParallelBench, error) {
-	db := engine.OpenConfig(engine.Config{ExecWorkers: workers})
+// scanFilterBatch is the engine-comparison workload: wide scans with
+// string prefilters, range predicates and grouped aggregates — the
+// shapes the vectorized kernels target. Fixed parameters so row and
+// vector runs replay identical work.
+func scanFilterBatch() []string {
+	return []string{
+		`SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 10 AND 40 AND l_discount <= 0.06`,
+		`SELECT l_shipmode, COUNT(*) FROM lineitem WHERE l_shipmode LIKE '%AI%' GROUP BY l_shipmode ORDER BY l_shipmode`,
+		`SELECT COUNT(*) FROM part WHERE p_name LIKE 'part name 0%'`,
+		`SELECT COUNT(*) FROM part WHERE p_type LIKE '%BRASS'`,
+		`SELECT COUNT(*) FROM orders WHERE o_orderpriority NOT LIKE '_-URGENT'`,
+		`SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem WHERE l_quantity < 30 GROUP BY l_returnflag ORDER BY l_returnflag`,
+		`SELECT COUNT(*) FROM lineitem WHERE l_shipmode IN ('AIR', 'RAIL', 'SHIP')`,
+	}
+}
+
+// measureParallel loads a TPC-H database with the given ExecWorkers and
+// engine mode, then benchmarks replaying the statement batch (one batch
+// per op) after one warm-up pass. The plan cache stays off so every op
+// pays the same optimize+execute cost and the comparison isolates
+// execution time.
+func measureParallel(scale tpch.Scale, seed int64, workers int, engineMode string, stmts []string) (ParallelBench, error) {
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers, ExecEngine: engineMode})
 	gen := tpch.NewGenerator(scale, seed)
 	if err := gen.Load(db); err != nil {
 		return ParallelBench{}, err
@@ -84,14 +126,19 @@ func measureParallel(scale tpch.Scale, seed int64, workers int, stmts []string) 
 }
 
 // Parallel runs the sequential-vs-parallel matrix on a fixed-parameter
-// TPC-H batch.
+// TPC-H batch, then the row-vs-vectorized matrix at workers=1.
 func Parallel(scale tpch.Scale, seed int64) (*ParallelReport, error) {
 	gen := tpch.NewGenerator(scale, seed)
 	batch := gen.Batch()
-	rep := &ParallelReport{Scale: float64(scale), Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &ParallelReport{
+		Scale:      float64(scale),
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	var seq float64
 	for _, workers := range []int{1, 2, 4, 8} {
-		m, err := measureParallel(scale, seed, workers, batch)
+		m, err := measureParallel(scale, seed, workers, "auto", batch)
 		if err != nil {
 			return nil, fmt.Errorf("workers=%d: %w", workers, err)
 		}
@@ -105,9 +152,37 @@ func Parallel(scale tpch.Scale, seed int64) (*ParallelReport, error) {
 			m.Speedup = seq / m.NsPerOp
 		}
 		rep.Results = append(rep.Results, m)
-		if workers == 4 {
-			rep.SpeedupAt4 = m.Speedup
+		if workers == 4 && rep.GOMAXPROCS >= 2 {
+			s := m.Speedup
+			rep.SpeedupAt4 = &s
 		}
+	}
+	if rep.GOMAXPROCS < 2 {
+		rep.Note = "single-core-run"
+	}
+
+	filters := scanFilterBatch()
+	var rowNs float64
+	for _, mode := range []string{"row", "vector"} {
+		m, err := measureParallel(scale, seed, 1, mode, filters)
+		if err != nil {
+			return nil, fmt.Errorf("engine=%s: %w", mode, err)
+		}
+		eb := EngineBench{
+			Name:    "filters/" + mode + "-1w",
+			Engine:  mode,
+			Workers: 1,
+			NsPerOp: m.NsPerOp,
+		}
+		if mode == "row" {
+			rowNs = m.NsPerOp
+			eb.Speedup = 1
+		} else if rowNs > 0 && m.NsPerOp > 0 {
+			eb.Speedup = rowNs / m.NsPerOp
+			s := eb.Speedup
+			rep.VectorSpeedup1W = &s
+		}
+		rep.EngineResults = append(rep.EngineResults, eb)
 	}
 	return rep, nil
 }
@@ -120,14 +195,28 @@ func (r *ParallelReport) JSON() ([]byte, error) {
 // FormatParallel renders the report as a text table.
 func FormatParallel(r *ParallelReport) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Morsel-parallel executor (TPC-H scale %.2g, seed %d, GOMAXPROCS=%d)\n",
-		r.Scale, r.Seed, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "Morsel-parallel executor (TPC-H scale %.2g, seed %d, GOMAXPROCS=%d, NumCPU=%d)\n",
+		r.Scale, r.Seed, r.GOMAXPROCS, r.NumCPU)
 	fmt.Fprintf(&sb, "%-20s %8s %14s %9s %10s\n", "benchmark", "workers", "ns/op", "speedup", "morsels")
 	for _, b := range r.Results {
 		fmt.Fprintf(&sb, "%-20s %8d %14.0f %8.2fx %10d\n",
 			b.Name, b.Workers, b.NsPerOp, b.Speedup, b.Morsels)
 	}
-	fmt.Fprintf(&sb, "speedup at 4 workers: %.2fx (bounded by GOMAXPROCS=%d)\n",
-		r.SpeedupAt4, r.GOMAXPROCS)
+	if r.SpeedupAt4 != nil {
+		fmt.Fprintf(&sb, "speedup at 4 workers: %.2fx (bounded by GOMAXPROCS=%d)\n",
+			*r.SpeedupAt4, r.GOMAXPROCS)
+	} else {
+		fmt.Fprintf(&sb, "speedup at 4 workers: n/a (%s, GOMAXPROCS=%d)\n", r.Note, r.GOMAXPROCS)
+	}
+	if len(r.EngineResults) > 0 {
+		fmt.Fprintf(&sb, "\nExecution engine at workers=1 (scan+filter batch)\n")
+		fmt.Fprintf(&sb, "%-20s %8s %14s %9s\n", "benchmark", "engine", "ns/op", "speedup")
+		for _, b := range r.EngineResults {
+			fmt.Fprintf(&sb, "%-20s %8s %14.0f %8.2fx\n", b.Name, b.Engine, b.NsPerOp, b.Speedup)
+		}
+		if r.VectorSpeedup1W != nil {
+			fmt.Fprintf(&sb, "vectorized over row, single-threaded: %.2fx\n", *r.VectorSpeedup1W)
+		}
+	}
 	return sb.String()
 }

@@ -248,6 +248,36 @@ func (d Datum) String() string {
 	return "?"
 }
 
+// AppendKey appends the exact bytes of d.String() to buf. Grouping and
+// join keys are rendered from datum strings; AppendKey produces the
+// identical bytes without the fmt/Builder overhead, so the vectorized
+// key-rendering path groups exactly like the scalar one (int 5 and
+// float 5.0 both render "5" and share a group, as before).
+func (d Datum) AppendKey(buf []byte) []byte {
+	switch d.kind {
+	case KNull:
+		return append(buf, "NULL"...)
+	case KInt:
+		return strconv.AppendInt(buf, d.i, 10)
+	case KFloat:
+		return strconv.AppendFloat(buf, d.f, 'g', -1, 64)
+	case KString:
+		buf = append(buf, '\'')
+		buf = append(buf, d.s...)
+		return append(buf, '\'')
+	case KDate:
+		buf = append(buf, "DATE("...)
+		buf = strconv.AppendInt(buf, d.i, 10)
+		return append(buf, ')')
+	case KBool:
+		if d.i != 0 {
+			return append(buf, "TRUE"...)
+		}
+		return append(buf, "FALSE"...)
+	}
+	return append(buf, '?')
+}
+
 // Width returns the number of bytes the datum occupies in the storage
 // layer's size accounting (not a serialized format; the engine is
 // in-memory but sizes drive the paper's storage constraints).

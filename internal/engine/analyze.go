@@ -33,6 +33,11 @@ type AnalyzedNode struct {
 	// Time is the operator's measured elapsed time, children included
 	// (cumulative, like EstCost).
 	Time time.Duration
+	// Engine is the evaluation strategy the operator resolved to:
+	// "vectorized", "row", or "" for operators that record no engine
+	// (interior plumbing like Limit). The adaptive selector records it so
+	// EXPLAIN ANALYZE shows which path each operator actually took.
+	Engine string
 }
 
 // Analysis is the structured output of EXPLAIN ANALYZE: the executed
@@ -110,6 +115,7 @@ func annotate(a *Analysis, n plan.Node, col *executor.Collector, depth int) {
 		node.Scanned = st.Scanned()
 		node.Pages = st.Pages()
 		node.Time = st.Duration()
+		node.Engine = st.Engine()
 	}
 	a.Nodes = append(a.Nodes, node)
 	for _, c := range n.Children() {
@@ -137,6 +143,9 @@ func (db *DB) ExplainAnalyzeString(text string) (string, error) {
 		fmt.Fprintf(&sb, "%s (cost=%.2f rows=%.0f) (actual rows=%d", n.Label, n.EstCost, n.EstRows, n.ActualRows)
 		if n.Scanned > 0 || n.Pages > 0 {
 			fmt.Fprintf(&sb, " scanned=%d pages=%d", n.Scanned, n.Pages)
+		}
+		if n.Engine != "" {
+			fmt.Fprintf(&sb, " engine=%s", n.Engine)
 		}
 		fmt.Fprintf(&sb, " time=%s)\n", n.Time.Round(time.Microsecond))
 	}

@@ -105,6 +105,15 @@ type Config struct {
 	// byte-identical at every setting; only wall-clock time changes.
 	ExecWorkers int
 
+	// ExecEngine selects the execution engine: "auto" (default) picks
+	// vectorized columnar evaluation per operator when its expressions
+	// compile to predicate kernels and the input is large enough,
+	// "vector" forces the columnar path wherever possible, "row" forces
+	// scalar row-at-a-time evaluation everywhere. Results are
+	// byte-identical under every mode; only the evaluation strategy (and
+	// its speed) changes. Invalid values fall back to "auto".
+	ExecEngine string
+
 	// Dir is the durable directory holding WAL segments and checkpoint
 	// snapshots. Used by OpenDurable (which recovers an existing
 	// directory); ignored by OpenConfig.
@@ -152,6 +161,9 @@ func OpenConfig(cfg Config) *DB {
 	busy := ob.Reg.Gauge("engine.exec_workers_busy")
 	db.Exe.SetParallelMetrics(morsels.Add, busy.Add)
 	db.SetExecWorkers(cfg.ExecWorkers)
+	if m, err := executor.ParseEngineMode(cfg.ExecEngine); err == nil {
+		db.Exe.SetEngineMode(m)
+	}
 	return db
 }
 
@@ -168,6 +180,21 @@ func (db *DB) SetExecWorkers(n int) {
 
 // ExecWorkers returns the current intra-query worker budget.
 func (db *DB) ExecWorkers() int { return db.Exe.Workers() }
+
+// SetExecEngine reconfigures the execution engine at runtime:
+// "auto" | "row" | "vector". In-flight statements finish on the mode
+// they started with.
+func (db *DB) SetExecEngine(mode string) error {
+	m, err := executor.ParseEngineMode(mode)
+	if err != nil {
+		return err
+	}
+	db.Exe.SetEngineMode(m)
+	return nil
+}
+
+// ExecEngine returns the configured execution engine mode.
+func (db *DB) ExecEngine() string { return db.Exe.Engine().String() }
 
 // SetFaults installs a fault injector on the storage layer; the engine,
 // executor and WAL writer consult the same injector. Pass nil to remove

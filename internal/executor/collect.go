@@ -19,6 +19,10 @@ type NodeStats struct {
 	scanned atomic.Int64
 	pages   atomic.Int64
 	durNS   atomic.Int64
+	// engine records which evaluation strategy the operator used:
+	// 0 = not recorded, 1 = row, 2 = vectorized. Written once by the
+	// coordinator when the operator resolves its engine.
+	engine atomic.Int32
 }
 
 // Rows is the operator's actual output cardinality.
@@ -36,6 +40,27 @@ func (s *NodeStats) Pages() int64 { return s.pages.Load() }
 
 // Duration is the operator's elapsed time including its children.
 func (s *NodeStats) Duration() time.Duration { return time.Duration(s.durNS.Load()) }
+
+// Engine reports the evaluation strategy the operator used:
+// "vectorized", "row", or "" for operators that record no engine
+// (interior plumbing like Limit).
+func (s *NodeStats) Engine() string {
+	switch s.engine.Load() {
+	case 1:
+		return "row"
+	case 2:
+		return "vectorized"
+	}
+	return ""
+}
+
+func (s *NodeStats) setEngine(vectorized bool) {
+	if vectorized {
+		s.engine.Store(2)
+	} else {
+		s.engine.Store(1)
+	}
+}
 
 func (s *NodeStats) addRows(n int64)             { s.rows.Add(n) }
 func (s *NodeStats) addScanned(n int64)          { s.scanned.Add(n) }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +39,10 @@ type Executor struct {
 	// so the engine injects adders.
 	morselsAdd atomic.Pointer[func(int64)]
 	busyAdd    atomic.Pointer[func(int64)]
+	// engineMode selects row/vectorized/adaptive execution (see
+	// EngineMode in vecengine.go); swapped atomically like the pool,
+	// with in-flight statements keeping the mode they resolved at start.
+	engineMode atomic.Int32
 }
 
 // New returns an executor with a worker pool sized to GOMAXPROCS.
@@ -60,6 +63,14 @@ func (e *Executor) SetPool(p *par.Pool) { e.pool.Store(p) }
 
 // Workers returns the configured intra-query worker count.
 func (e *Executor) Workers() int { return e.pool.Load().Workers() }
+
+// SetEngineMode selects the execution engine (auto/row/vector). Results
+// are byte-identical under every mode; only the evaluation strategy and
+// its speed change.
+func (e *Executor) SetEngineMode(m EngineMode) { e.engineMode.Store(int32(m)) }
+
+// Engine returns the configured engine mode.
+func (e *Executor) Engine() EngineMode { return EngineMode(e.engineMode.Load()) }
 
 // SetParallelMetrics installs the engine's metric adders: morsels
 // receives the morsel count of each parallel region, busy the delta of
@@ -108,6 +119,7 @@ type run struct {
 	ctx       context.Context
 	faults    *fault.Injector
 	pool      *par.Pool
+	mode      EngineMode
 	countdown int
 }
 
@@ -145,7 +157,7 @@ func (e *Executor) RunContext(ctx context.Context, p plan.Node, c *Collector) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &run{Executor: e, ctx: ctx, faults: e.mgr.Faults(), pool: e.pool.Load(), countdown: ctxCheckEvery}
+	r := &run{Executor: e, ctx: ctx, faults: e.mgr.Faults(), pool: e.pool.Load(), mode: EngineMode(e.engineMode.Load()), countdown: ctxCheckEvery}
 	switch n := p.(type) {
 	case *plan.InsertNode:
 		return r.timedDML(p, c, func() (*ResultSet, error) { return r.runInsert(n, c) })
@@ -165,7 +177,7 @@ func (e *Executor) RunContext(ctx context.Context, p plan.Node, c *Collector) (*
 // unit tests and internal callers that hold a plan fragment rather
 // than a statement root.
 func (e *Executor) exec(p plan.Node, c *Collector) ([]datum.Row, error) {
-	r := &run{Executor: e, ctx: context.Background(), faults: e.mgr.Faults(), pool: e.pool.Load(), countdown: ctxCheckEvery}
+	r := &run{Executor: e, ctx: context.Background(), faults: e.mgr.Faults(), pool: e.pool.Load(), mode: EngineMode(e.engineMode.Load()), countdown: ctxCheckEvery}
 	return r.exec(p, c)
 }
 
@@ -244,18 +256,40 @@ func (e *run) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, err)
 	}
-	pred, err := compilePreds(n.Preds, n.Schema())
-	if err != nil {
-		return nil, err
+	slots := h.Slots()
+	vf, vok := compileVecFilter(n.Preds, n.Schema())
+	useVec := vok && e.vecOn(slots)
+	markEngine(c, n, useVec)
+	var pred func(datum.Row) (bool, error)
+	if !useVec {
+		if pred, err = compilePreds(n.Preds, n.Schema()); err != nil {
+			return nil, err
+		}
 	}
 	var scanned atomic.Int64
 	var out []datum.Row
-	err = runMorsels(e, "seqscan "+n.Table, chunkBounds(h.Slots()),
+	err = runMorsels(e, "seqscan "+n.Table, chunkBounds(slots),
 		func(i int) (*datum.Batch, error) {
 			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
 				return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, ferr)
 			}
 			b := datum.NewBatch(0)
+			if useVec {
+				// Columnar emission: pull the whole morsel's live rows in
+				// one lock round, then filter with the predicate kernels.
+				w := getVecWork()
+				rows := h.ScanRangeRows(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
+					w.rows[:0])
+				scanned.Add(int64(len(rows)))
+				for _, k := range vf.vecApply(&w.s, rows) {
+					b.Append(rows[k])
+				}
+				// The batch copied the surviving row headers; only the
+				// buffer (not the rows it points at) is recycled.
+				w.rows = rows
+				putVecWork(w)
+				return b, nil
+			}
 			var sc int64
 			var werr error
 			h.ScanRange(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
@@ -289,6 +323,14 @@ func (e *run) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
+// markEngine records an operator's resolved evaluation strategy for
+// EXPLAIN ANALYZE provenance.
+func markEngine(c *Collector, n plan.Node, vectorized bool) {
+	if c != nil {
+		c.at(n).setEngine(vectorized)
+	}
+}
+
 func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 	pi := e.mgr.Index(n.Index.ID())
 	if pi == nil || pi.State() != storage.StateActive {
@@ -298,14 +340,23 @@ func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, err)
 	}
-	pred, err := compilePreds(n.Preds, n.Schema())
-	if err != nil {
-		return nil, err
-	}
 	// Shards are leaf runs of the tree — a pure function of its contents,
 	// so the morsel decomposition (and the fault keys below) are identical
 	// at every worker count.
 	shards := pi.Tree().Shards(morselRows)
+	entries := 0
+	for _, s := range shards {
+		entries += s.N
+	}
+	vf, vok := compileVecFilter(n.Preds, n.Schema())
+	useVec := vok && e.vecOn(entries)
+	markEngine(c, n, useVec)
+	var pred func(datum.Row) (bool, error)
+	if !useVec {
+		if pred, err = compilePreds(n.Preds, n.Schema()); err != nil {
+			return nil, err
+		}
+	}
 	var scanned atomic.Int64
 	var out []datum.Row
 	err = runMorsels(e, "indexscan "+n.Index.Name, len(shards),
@@ -315,6 +366,21 @@ func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 			}
 			b := datum.NewBatch(0)
 			it := shards[i].It
+			if useVec {
+				w := getVecWork()
+				rows := w.rows[:0]
+				for k := 0; k < shards[i].N; k++ {
+					rows = append(rows, it.Entry().Key)
+					it.Next()
+				}
+				for _, k := range vf.vecApply(&w.s, rows) {
+					b.Append(rows[k])
+				}
+				scanned.Add(int64(shards[i].N))
+				w.rows = rows
+				putVecWork(w)
+				return b, nil
+			}
 			for k := 0; k < shards[i].N; k++ {
 				row := it.Entry().Key
 				it.Next()
@@ -352,6 +418,9 @@ func (e *run) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 	if err := e.faults.Hit(fault.PageRead); err != nil {
 		return nil, fmt.Errorf("executor: seek on index %s: %w", n.Index.Name, err)
 	}
+	// Point-lookup fast path: a seek touches few rows and is inherently
+	// ordered, so it always stays row-at-a-time regardless of mode.
+	markEngine(c, n, false)
 	h := e.mgr.Heap(n.Index.Table)
 	pred, err := compilePreds(n.Preds, n.Schema())
 	if err != nil {
@@ -427,15 +496,29 @@ func (e *run) filter(n *plan.Filter, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred, err := compilePreds(n.Preds, n.Child.Schema())
-	if err != nil {
-		return nil, err
+	vf, vok := compileVecFilter(n.Preds, n.Child.Schema())
+	useVec := vok && e.vecOn(len(in))
+	markEngine(c, n, useVec)
+	var pred func(datum.Row) (bool, error)
+	if !useVec {
+		if pred, err = compilePreds(n.Preds, n.Child.Schema()); err != nil {
+			return nil, err
+		}
 	}
 	var out []datum.Row
 	err = runMorsels(e, "filter", chunkBounds(len(in)),
 		func(i int) (*datum.Batch, error) {
 			b := datum.NewBatch(0)
-			for _, r := range chunkOf(in, i) {
+			rows := chunkOf(in, i)
+			if useVec {
+				w := getVecWork()
+				for _, k := range vf.vecApply(&w.s, rows) {
+					b.Append(rows[k])
+				}
+				putVecWork(w)
+				return b, nil
+			}
+			for _, r := range rows {
 				ok, perr := pred(r)
 				if perr != nil {
 					return nil, perr
@@ -469,6 +552,9 @@ func (e *run) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
 		}
 		fns[i] = f
 	}
+	ves, vok := compileVecExprs(n.Exprs, n.Child.Schema())
+	useVec := vok && e.vecOn(len(in))
+	markEngine(c, n, useVec)
 	out := make([]datum.Row, 0, len(in))
 	err = runMorsels(e, "project", chunkBounds(len(in)),
 		func(i int) (*datum.Batch, error) {
@@ -476,6 +562,16 @@ func (e *run) project(n *plan.Project, c *Collector) ([]datum.Row, error) {
 			// Output rows are carved from the batch's arena slab instead of
 			// one allocation per row.
 			b := datum.NewBatch(len(rows))
+			if useVec {
+				w := getVecWork()
+				ok := projectVec(ves, rows, b, &w.m)
+				putVecWork(w)
+				if ok {
+					return b, nil
+				}
+			}
+			// Scalar path, also the per-morsel kernel fallback (mixed-kind
+			// columns, non-numeric arithmetic that must error in row order).
 			for _, r := range rows {
 				row := b.Alloc(len(fns))
 				for j, f := range fns {
@@ -503,6 +599,8 @@ func (e *run) sortNode(n *plan.Sort, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sort merges are order-sensitive and stay row-at-a-time.
+	markEngine(c, n, false)
 	fns := make([]evalFunc, len(n.Keys))
 	for i, k := range n.Keys {
 		f, err := compile(k.Expr, n.Child.Schema())
@@ -576,6 +674,8 @@ func (e *run) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Dedup is first-occurrence-order-sensitive and stays row-at-a-time.
+	markEngine(c, n, false)
 	// Key rendering is the expensive part; parallelize it into disjoint
 	// ranges, then dedup sequentially in input order (first occurrence
 	// wins, as before).
@@ -603,14 +703,17 @@ func (e *run) distinct(n *plan.Distinct, c *Collector) ([]datum.Row, error) {
 	return out, nil
 }
 
-// rowKey builds a collision-free grouping key.
+// rowKey builds a collision-free grouping key: each datum's String()
+// bytes (via AppendKey, which renders them without fmt overhead)
+// terminated by NUL. The vectorized key paths produce these exact
+// bytes, so both engines group and join identically.
 func rowKey(r datum.Row) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 16*len(r))
 	for _, d := range r {
-		sb.WriteString(d.String())
-		sb.WriteByte('\x00')
+		buf = d.AppendKey(buf)
+		buf = append(buf, '\x00')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 func (e *run) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
@@ -632,23 +735,33 @@ func (e *run) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
 			return nil, err
 		}
 	}
-	// Build side: key evaluation is chunk-parallel; the map insert stays
-	// sequential in input order, so per-bucket row order (and therefore
-	// output order) matches the sequential executor.
-	type buildKey struct {
-		k    string
-		null bool
-	}
-	rkeys := make([]buildKey, len(right))
+	lves, lok := compileVecExprs(n.LeftKeys, n.Left.Schema())
+	rves, rok := compileVecExprs(n.RightKeys, n.Right.Schema())
+	useVec := lok && rok && e.vecOn(len(left)+len(right))
+	markEngine(c, n, useVec)
+	// Build side: key evaluation is chunk-parallel (columnar when the key
+	// expressions compile to kernels); the map insert stays sequential in
+	// input order, so per-bucket row order (and therefore output order)
+	// matches the sequential executor.
+	rkeys := make([]joinKey, len(right))
 	err = runMorsels(e, "hashjoin-build", chunkBounds(len(right)),
 		func(i int) (struct{}, error) {
 			lo := i * morselRows
-			for j, r := range chunkOf(right, i) {
+			rows := chunkOf(right, i)
+			if useVec {
+				w := getVecWork()
+				ok := joinKeysVec(rves, rows, rkeys[lo:lo+len(rows)], &w.m)
+				putVecWork(w)
+				if ok {
+					return struct{}{}, nil
+				}
+			}
+			for j, r := range rows {
 				k, null, kerr := keyOf(r, rf)
 				if kerr != nil {
 					return struct{}{}, kerr
 				}
-				rkeys[lo+j] = buildKey{k: k, null: null}
+				rkeys[lo+j] = joinKey{k: k, null: null}
 			}
 			return struct{}{}, nil
 		},
@@ -664,15 +777,33 @@ func (e *run) hashJoin(n *plan.HashJoin, c *Collector) ([]datum.Row, error) {
 		table[rkeys[i].k] = append(table[rkeys[i].k], r)
 	}
 	// Probe side: the table is read-only now; probe chunks of the left
-	// input in parallel and concatenate in probe order.
+	// input in parallel and concatenate in probe order. Key rendering is
+	// columnar per morsel when possible, then matching walks row-wise.
 	var out []datum.Row
 	err = runMorsels(e, "hashjoin-probe", chunkBounds(len(left)),
 		func(i int) (*datum.Batch, error) {
 			b := datum.NewBatch(0)
-			for _, l := range chunkOf(left, i) {
-				k, null, kerr := keyOf(l, lf)
-				if kerr != nil {
-					return nil, kerr
+			rows := chunkOf(left, i)
+			var pkeys []joinKey
+			if useVec {
+				pkeys = make([]joinKey, len(rows))
+				w := getVecWork()
+				ok := joinKeysVec(lves, rows, pkeys, &w.m)
+				putVecWork(w)
+				if !ok {
+					pkeys = nil // mixed kinds: scalar fallback for this morsel
+				}
+			}
+			for j, l := range rows {
+				var k string
+				var null bool
+				if pkeys != nil {
+					k, null = pkeys[j].k, pkeys[j].null
+				} else {
+					var kerr error
+					if k, null, kerr = keyOf(l, lf); kerr != nil {
+						return nil, kerr
+					}
 				}
 				if null {
 					continue
@@ -1048,21 +1179,48 @@ func (e *run) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
 			return nil, err
 		}
 	}
+	groupVes, vok := compileVecExprs(n.GroupBy, schema)
+	var argVes []vecExpr
+	if vok {
+		argVes = make([]vecExpr, len(n.Aggs))
+		for i, a := range n.Aggs {
+			if a.Star {
+				// COUNT(*) counts rows: a constant 1 per row feeds the
+				// same accumulator the scalar path feeds.
+				argVes[i] = veLit{d: datum.NewInt(1)}
+				continue
+			}
+			ve, ok := compileVecExpr(a.Arg, schema)
+			if !ok {
+				vok = false
+				break
+			}
+			argVes[i] = ve
+		}
+	}
+	useVec := vok && e.vecOn(len(in))
+	markEngine(c, n, useVec)
 	// Parallel partial aggregation, split at the only safe seam: workers
 	// do the pure per-row work (group-key rendering and argument
-	// evaluation) over disjoint chunks, and the coordinator folds rows
-	// into groups sequentially in the original input order. Folding in
-	// input order keeps float accumulation (SUM/AVG) and group
-	// first-appearance order bit-identical to the sequential executor.
-	type evalRow struct {
-		gkey string
-		vals []datum.Datum
-	}
-	evald := make([]evalRow, len(in))
+	// evaluation) over disjoint chunks — columnar when the expressions
+	// compile to kernels — and the coordinator folds rows into groups
+	// sequentially in the original input order. Folding in input order
+	// keeps float accumulation (SUM/AVG) and group first-appearance
+	// order bit-identical to the sequential executor.
+	evald := make([]aggEvalRow, len(in))
 	err = runMorsels(e, "hashagg-eval", chunkBounds(len(in)),
 		func(i int) (struct{}, error) {
 			lo := i * morselRows
-			for j, r := range chunkOf(in, i) {
+			rows := chunkOf(in, i)
+			if useVec {
+				w := getVecWork()
+				ok := hashAggEvalVec(groupVes, argVes, rows, evald[lo:lo+len(rows)], &w.m)
+				putVecWork(w)
+				if ok {
+					return struct{}{}, nil
+				}
+			}
+			for j, r := range rows {
 				gkey := make(datum.Row, len(groupFns))
 				for k, f := range groupFns {
 					v, ferr := f(r)
@@ -1083,7 +1241,7 @@ func (e *run) hashAgg(n *plan.HashAgg, c *Collector) ([]datum.Row, error) {
 					}
 					vals[k] = v
 				}
-				evald[lo+j] = evalRow{gkey: rowKey(gkey), vals: vals}
+				evald[lo+j] = aggEvalRow{gkey: rowKey(gkey), vals: vals}
 			}
 			return struct{}{}, nil
 		},

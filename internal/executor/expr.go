@@ -11,6 +11,7 @@ import (
 	"onlinetuner/internal/datum"
 	"onlinetuner/internal/plan"
 	"onlinetuner/internal/sql"
+	"onlinetuner/internal/vec"
 )
 
 // evalFunc evaluates a compiled expression over an input row.
@@ -147,6 +148,26 @@ func compile(e sql.Expr, schema []plan.ColRef) (evalFunc, error) {
 				return datum.Null, err
 			}
 			return datum.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *sql.LikeExpr:
+		inner, err := compile(x.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		m := vec.NewLikeMatcher(x.Pattern)
+		not := x.Not
+		return func(r datum.Row) (datum.Datum, error) {
+			v, err := inner(r)
+			if err != nil {
+				return datum.Null, err
+			}
+			// NULL or non-string scrutinee is UNKNOWN under both LIKE and
+			// NOT LIKE — the row is filtered out either way.
+			if v.Kind() != datum.KString {
+				return datum.NewBool(false), nil
+			}
+			return datum.NewBool(m.Match(v.Str()) != not), nil
 		}, nil
 
 	case *sql.FuncExpr:

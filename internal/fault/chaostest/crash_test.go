@@ -83,7 +83,7 @@ func copyDir(t *testing.T, src string) string {
 // phase.
 func loadDurableChaosDB(t *testing.T, seed uint64, dir string) (*engine.DB, *tpch.Generator) {
 	t.Helper()
-	db, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t), Sync: wal.SyncNone})
+	db, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t), ExecEngine: execEngine(t), Sync: wal.SyncNone})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func runCrashSeed(t *testing.T, seed uint64) {
 	tn.Close()
 
 	// ---- Restart: recover the directory. ----
-	rdb, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t)})
+	rdb, err := engine.OpenDurable(engine.Config{Dir: dir, ExecWorkers: execWorkers(t), ExecEngine: execEngine(t)})
 	if err != nil {
 		t.Fatalf("seed %d: recovery failed: %v", seed, err)
 	}

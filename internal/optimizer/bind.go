@@ -333,6 +333,8 @@ func walkColumns(e sql.Expr, fn func(*sql.ColumnRef)) {
 		walkColumns(x.Inner, fn)
 	case *sql.IsNullExpr:
 		walkColumns(x.Inner, fn)
+	case *sql.LikeExpr:
+		walkColumns(x.Expr, fn)
 	case *sql.FuncExpr:
 		if x.Arg != nil {
 			walkColumns(x.Arg, fn)
@@ -355,6 +357,8 @@ func hasAggregate(e sql.Expr) bool {
 			walk(x.Inner)
 		case *sql.IsNullExpr:
 			walk(x.Inner)
+		case *sql.LikeExpr:
+			walk(x.Expr)
 		}
 	}
 	walk(e)

@@ -80,6 +80,27 @@ func (e *IsNullExpr) String() string {
 	return e.Inner.String() + " IS NULL"
 }
 
+// LikeExpr is a SQL LIKE pattern match. The pattern is restricted to a
+// string literal at parse time (no dynamic patterns), which lets the
+// executor compile it once — including its literal prefilters — per
+// statement. Wildcards: % matches any run, _ matches one byte; no
+// escape syntax.
+type LikeExpr struct {
+	Expr    Expr
+	Pattern string
+	Not     bool
+}
+
+func (*LikeExpr) expr() {}
+
+func (l *LikeExpr) String() string {
+	op := " LIKE "
+	if l.Not {
+		op = " NOT LIKE "
+	}
+	return l.Expr.String() + op + "'" + l.Pattern + "'"
+}
+
 // FuncExpr is an aggregate function application. Star is true for
 // COUNT(*).
 type FuncExpr struct {

@@ -268,6 +268,17 @@ func (w *fpWriter) expr(e Expr) {
 		} else {
 			w.str(" IS NULL")
 		}
+	case *LikeExpr:
+		// The pattern stays in the template rather than becoming a
+		// binding: the compiled matcher (prefilters included) is part of
+		// the cached plan, so different patterns must not share a plan.
+		w.expr(x.Expr)
+		if x.Not {
+			w.str(" NOT LIKE ")
+		} else {
+			w.str(" LIKE ")
+		}
+		w.str("'" + x.Pattern + "'")
 	case *FuncExpr:
 		w.str(x.Name + "(")
 		if x.Star {
@@ -399,6 +410,8 @@ func (rb *rebinder) expr(e Expr) Expr {
 		return &NotExpr{Inner: rb.expr(x.Inner)}
 	case *IsNullExpr:
 		return &IsNullExpr{Inner: rb.expr(x.Inner), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{Expr: rb.expr(x.Expr), Pattern: x.Pattern, Not: x.Not}
 	case *FuncExpr:
 		out := &FuncExpr{Name: x.Name, Star: x.Star}
 		if x.Arg != nil {
@@ -429,6 +442,8 @@ func MapLiterals(e Expr, fn func(*Literal) Expr) Expr {
 		return &NotExpr{Inner: MapLiterals(x.Inner, fn)}
 	case *IsNullExpr:
 		return &IsNullExpr{Inner: MapLiterals(x.Inner, fn), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{Expr: MapLiterals(x.Expr, fn), Pattern: x.Pattern, Not: x.Not}
 	case *FuncExpr:
 		out := &FuncExpr{Name: x.Name, Star: x.Star}
 		if x.Arg != nil {

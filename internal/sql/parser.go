@@ -663,9 +663,33 @@ func (p *parser) parseComparison() (Expr, error) {
 				return nil, err
 			}
 			return &IsNullExpr{Inner: left, Not: not}, nil
+		case "LIKE":
+			p.next()
+			return p.parseLikeTail(left, false)
+		case "NOT":
+			// Infix NOT only introduces NOT LIKE here (prefix NOT is
+			// handled by parseNot); NOT BETWEEN / NOT IN stay unsupported.
+			save := p.pos
+			p.next()
+			if p.keyword("LIKE") {
+				return p.parseLikeTail(left, true)
+			}
+			p.pos = save
 		}
 	}
 	return left, nil
+}
+
+// parseLikeTail parses the pattern operand of [NOT] LIKE. The pattern
+// must be a string literal so the executor can compile the matcher (and
+// its literal prefilters) once per statement.
+func (p *parser) parseLikeTail(left Expr, not bool) (Expr, error) {
+	t := p.peek()
+	if t.Kind != TString {
+		return nil, p.errorf("expected string pattern after LIKE, got %s", t)
+	}
+	p.next()
+	return &LikeExpr{Expr: left, Pattern: t.Text, Not: not}, nil
 }
 
 func (p *parser) parseAdditive() (Expr, error) {

@@ -191,6 +191,29 @@ func (h *Heap) ScanRange(lo, hi RID, fn func(rid RID, r datum.Row) bool) {
 	}
 }
 
+// ScanRangeRows appends every live row with lo <= rid < hi to buf, in
+// RID order, and returns the extended slice — the columnar scan
+// emission: one lock round per morsel and no per-row callback, so a
+// whole morsel of row references reaches the vectorized filter at once.
+// Rows are shared references (safe: rows are copy-on-write at row
+// granularity).
+func (h *Heap) ScanRangeRows(lo, hi RID, buf []datum.Row) []datum.Row {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > len(h.rows) {
+		hi = RID(len(h.rows))
+	}
+	for i := lo; i < hi; i++ {
+		if r := h.rows[i]; r != nil {
+			buf = append(buf, r)
+		}
+	}
+	return buf
+}
+
 // Snapshot returns a point-in-time copy of the live (rid, row) pairs.
 // Rows are shared references (safe: rows are immutable once stored); the
 // slice itself is private to the caller. Background index builders use

@@ -1,0 +1,213 @@
+package vec
+
+import "strings"
+
+// LikeMatcher is a compiled SQL LIKE pattern: % matches any run of
+// bytes (including empty), _ matches exactly one byte, everything else
+// matches itself. Matching is byte-wise and case-sensitive, with no
+// escape syntax.
+//
+// Compilation extracts literal prefilters the way coregex picks cheap
+// rejection tests before running a full regex engine: a required
+// prefix, a required suffix, and the longest required literal chunk
+// (checked with strings.Contains) reject most non-matching rows before
+// the general wildcard walk. Four common shapes bypass the walk
+// entirely: exact ("abc"), prefix ("abc%"), suffix ("%abc") and
+// substring ("%abc%").
+type LikeMatcher struct {
+	pattern string
+	chunks  []likeChunk // the %-separated segments, empties dropped
+	anchorL bool        // pattern does not start with %
+	anchorR bool        // pattern does not end with %
+	minLen  int         // sum of chunk lengths: no shorter string matches
+
+	prefix   string // required literal prefix (before the first wildcard)
+	suffix   string // required literal suffix (after the last wildcard)
+	required string // longest underscore-free chunk, for Contains rejection
+
+	shape likeShape
+}
+
+type likeChunk struct {
+	text    string
+	wild    bool // contains _
+}
+
+type likeShape uint8
+
+const (
+	shapeGeneric  likeShape = iota
+	shapeExact              // no wildcards
+	shapePrefix             // lit%
+	shapeSuffix             // %lit
+	shapeContains           // %lit%
+	shapeAny                // % (and %%...): matches everything
+)
+
+// NewLikeMatcher compiles a LIKE pattern.
+func NewLikeMatcher(pattern string) *LikeMatcher {
+	m := &LikeMatcher{pattern: pattern}
+	raw := strings.Split(pattern, "%")
+	m.anchorL = !strings.HasPrefix(pattern, "%")
+	m.anchorR = !strings.HasSuffix(pattern, "%")
+	hasPct := len(raw) > 1
+	for _, c := range raw {
+		if c == "" {
+			continue
+		}
+		m.chunks = append(m.chunks, likeChunk{text: c, wild: strings.ContainsRune(c, '_')})
+		m.minLen += len(c)
+		if !strings.ContainsRune(c, '_') && len(c) > len(m.required) {
+			m.required = c
+		}
+	}
+	if m.anchorL && len(m.chunks) > 0 {
+		c := m.chunks[0].text
+		cut := strings.IndexByte(c, '_')
+		if cut < 0 {
+			cut = len(c)
+		}
+		m.prefix = c[:cut]
+	}
+	if m.anchorR && len(m.chunks) > 0 {
+		c := m.chunks[len(m.chunks)-1].text
+		cut := strings.LastIndexByte(c, '_')
+		m.suffix = c[cut+1:]
+	}
+	switch {
+	case len(m.chunks) == 0:
+		if hasPct {
+			m.shape = shapeAny
+		} else {
+			m.shape = shapeExact // empty pattern: matches only ""
+		}
+	case !hasPct:
+		if !m.chunks[0].wild {
+			m.shape = shapeExact
+		}
+	case len(m.chunks) == 1 && !m.chunks[0].wild:
+		switch {
+		case m.anchorL && !m.anchorR:
+			m.shape = shapePrefix
+		case !m.anchorL && m.anchorR:
+			m.shape = shapeSuffix
+		case !m.anchorL && !m.anchorR:
+			m.shape = shapeContains
+		}
+	}
+	return m
+}
+
+// Pattern returns the source pattern.
+func (m *LikeMatcher) Pattern() string { return m.pattern }
+
+// Match reports whether s matches the pattern.
+func (m *LikeMatcher) Match(s string) bool {
+	// Literal prefilters: cheap rejections before the wildcard walk.
+	if len(s) < m.minLen {
+		return false
+	}
+	switch m.shape {
+	case shapeAny:
+		return true
+	case shapeExact:
+		if len(m.chunks) == 0 {
+			return s == ""
+		}
+		return s == m.chunks[0].text
+	case shapePrefix:
+		return strings.HasPrefix(s, m.chunks[0].text)
+	case shapeSuffix:
+		return strings.HasSuffix(s, m.chunks[0].text)
+	case shapeContains:
+		return strings.Contains(s, m.chunks[0].text)
+	}
+	if m.prefix != "" && !strings.HasPrefix(s, m.prefix) {
+		return false
+	}
+	if m.suffix != "" && !strings.HasSuffix(s, m.suffix) {
+		return false
+	}
+	if len(m.required) > 1 && !strings.Contains(s, m.required) {
+		return false
+	}
+	return m.walk(s)
+}
+
+// walk is the general matcher: the first chunk anchors at the start
+// when the pattern has no leading %, the last chunk anchors at the end
+// when it has no trailing %, and middle chunks greedily take their
+// leftmost occurrence — the standard linear-time algorithm for
+// %-separated glob matching.
+func (m *LikeMatcher) walk(s string) bool {
+	chunks := m.chunks
+	pos := 0
+	if m.anchorL {
+		c := chunks[0]
+		if !chunkAt(s, 0, c) {
+			return false
+		}
+		pos = len(c.text)
+		chunks = chunks[1:]
+	}
+	var last likeChunk
+	if m.anchorR && len(chunks) > 0 {
+		last = chunks[len(chunks)-1]
+		chunks = chunks[:len(chunks)-1]
+	}
+	for _, c := range chunks {
+		at := indexChunk(s, pos, c)
+		if at < 0 {
+			return false
+		}
+		pos = at + len(c.text)
+	}
+	if m.anchorR {
+		if last.text == "" {
+			// The first chunk was also the last (single-chunk anchored
+			// pattern with no trailing %): "lit" or "lit_" shapes with a
+			// leading %-less form are exact-tail checks handled below
+			// only when a last chunk was split off.
+			return !m.anchorL || pos == len(s)
+		}
+		start := len(s) - len(last.text)
+		return start >= pos && chunkAt(s, start, last)
+	}
+	return true
+}
+
+// chunkAt reports whether chunk matches s at position at.
+func chunkAt(s string, at int, c likeChunk) bool {
+	if at < 0 || at+len(c.text) > len(s) {
+		return false
+	}
+	if !c.wild {
+		return s[at:at+len(c.text)] == c.text
+	}
+	for j := 0; j < len(c.text); j++ {
+		if pc := c.text[j]; pc != '_' && pc != s[at+j] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexChunk finds the leftmost position >= from where chunk matches.
+func indexChunk(s string, from int, c likeChunk) int {
+	if !c.wild {
+		if from > len(s) {
+			return -1
+		}
+		i := strings.Index(s[from:], c.text)
+		if i < 0 {
+			return -1
+		}
+		return from + i
+	}
+	for at := from; at+len(c.text) <= len(s); at++ {
+		if chunkAt(s, at, c) {
+			return at
+		}
+	}
+	return -1
+}

@@ -286,6 +286,7 @@ func (w *Writer) Append(recs []*Record) (uint64, error) {
 	}
 	end := w.written
 	epoch := w.truncEpoch
+	seg := w.seg
 	w.appends.Add(1)
 	if c := w.mAppends.Load(); c != nil {
 		c.Inc()
@@ -298,9 +299,9 @@ func (w *Writer) Append(recs []*Record) (uint64, error) {
 	case SyncAlways:
 		// One fsync per commit, lock held: no other committer can share
 		// this flush.
-		err = w.fsyncHoldingLocked(end, epoch)
+		err = w.fsyncHoldingLocked(end, epoch, seg)
 	default: // SyncGroup
-		err = w.awaitDurableLocked(end, epoch)
+		err = w.awaitDurableLocked(end, epoch, seg)
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -339,8 +340,12 @@ func (w *Writer) truncateToLocked(off int64) error {
 
 // fsyncHoldingLocked makes end durable with the writer lock held
 // throughout (SyncAlways). If a group-commit leader from a previous
-// policy is mid-flight it waits for it first.
-func (w *Writer) fsyncHoldingLocked(end int64, epoch uint64) error {
+// policy is mid-flight it waits for it first. end is relative to
+// segment seg: if the writer rolled past that segment while we waited,
+// the roll already fsynced (or discarded, via the truncation epoch) the
+// chunk, and end must not be compared against the new segment's
+// counters.
+func (w *Writer) fsyncHoldingLocked(end int64, epoch uint64, seg int) error {
 	for w.flushing {
 		w.cond.Wait()
 	}
@@ -349,6 +354,11 @@ func (w *Writer) fsyncHoldingLocked(end int64, epoch uint64) error {
 	}
 	if w.truncEpoch != epoch {
 		return w.truncCause
+	}
+	if w.seg != seg {
+		// Rolled past our segment: rollLocked fsyncs the whole tail
+		// (any policy) before switching, so the chunk is durable.
+		return nil
 	}
 	if w.flushed >= end {
 		return nil
@@ -375,8 +385,12 @@ func (w *Writer) fsyncHoldingLocked(end int64, epoch uint64) error {
 // waiter that finds no flush in flight becomes the leader: it syncs
 // everything written so far in one fsync, releasing the lock for the
 // duration so later committers can write (and batch onto the next
-// flush).
-func (w *Writer) awaitDurableLocked(end int64, epoch uint64) error {
+// flush). end and epoch are relative to segment seg: a waiter that
+// wakes to find the writer rolled past its segment must not compare end
+// against the fresh segment's reset counters — the roll made its chunk
+// durable (rollLocked fsyncs the tail under every policy) or discarded
+// it (truncation epoch moved), and both are decided before the roll.
+func (w *Writer) awaitDurableLocked(end int64, epoch uint64, seg int) error {
 	for {
 		if w.err != nil {
 			return w.err
@@ -385,6 +399,9 @@ func (w *Writer) awaitDurableLocked(end int64, epoch uint64) error {
 			// A failed flush discarded the unflushed tail — including
 			// this chunk, which was written but not yet durable.
 			return w.truncCause
+		}
+		if w.seg != seg {
+			return nil
 		}
 		if w.flushed >= end {
 			return nil
@@ -447,7 +464,11 @@ func (w *Writer) rollLocked() error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.policy != SyncNone && w.written > w.flushed {
+	// The tail is fsynced under EVERY policy (including SyncNone, where
+	// it costs one fsync per 64 MB segment): parked group-commit waiters
+	// conclude "segment moved ⇒ my chunk is durable", and a policy change
+	// racing a roll must not invalidate that.
+	if w.written > w.flushed {
 		target := w.written
 		ferr := w.faults.Load().Hit(fault.WALFsync)
 		if ferr == nil {
@@ -489,7 +510,7 @@ func (w *Writer) Sync() error {
 	if w.written == w.flushed {
 		return nil
 	}
-	return w.fsyncHoldingLocked(w.written, w.truncEpoch)
+	return w.fsyncHoldingLocked(w.written, w.truncEpoch, w.seg)
 }
 
 // Roll fsyncs the current segment and switches to a fresh one. The
