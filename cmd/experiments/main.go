@@ -46,7 +46,26 @@ func main() {
 	engineMode := flag.String("engine", "auto", "execution engine: auto|row|vector")
 	procs := flag.Int("procs", 0, "override GOMAXPROCS for this run (0 = leave as-is)")
 	out := flag.String("out", "", "plancache: also write the benchmark report as JSON to this file")
+	seeds := flag.String("seeds", "1,2", "tuners: comma-separated race seeds")
+	scenarios := flag.String("scenarios", "", "tuners: comma-separated scenario subset (default all)")
+	advisors := flag.String("advisors", "", "tuners: comma-separated advisor subset (default all)")
+	statements := flag.Int("statements", 0, "tuners: cap each scenario's statement stream (0 = scenario default)")
+	verify := flag.String("verify", "", "tuners: verify an existing report file instead of racing")
+	expect := flag.Bool("expect", false, "tuners -verify: also check the headline expectations (full-scale artifacts only)")
 	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+		// Accept flags after the subcommand too ("experiments tuners
+		// -out FILE"): the flag package stops at the first positional
+		// argument, so re-parse whatever followed it.
+		if flag.NArg() > 1 {
+			if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+				os.Exit(2)
+			}
+		}
+	}
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
@@ -60,10 +79,6 @@ func main() {
 		ExecEngine:     *engineMode,
 	}
 
-	cmd := "all"
-	if flag.NArg() > 0 {
-		cmd = flag.Arg(0)
-	}
 	if cmd == "plancache" {
 		if err := planCache(opts, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -87,6 +102,23 @@ func main() {
 	}
 	if cmd == "exec" {
 		if err := execParallel(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "tuners" {
+		if err := tunersRace(tunersFlags{
+			scale:      *scale,
+			engine:     *engineMode,
+			seeds:      *seeds,
+			scenarios:  *scenarios,
+			advisors:   *advisors,
+			statements: *statements,
+			out:        *out,
+			verify:     *verify,
+			expect:     *expect,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

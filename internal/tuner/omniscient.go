@@ -1,0 +1,117 @@
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"onlinetuner/internal/catalog"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tuner/offline"
+	"onlinetuner/internal/whatif"
+	"onlinetuner/internal/workload"
+)
+
+// Omniscient wraps the offline sequence advisor (the CoPhy-shaped
+// baseline) behind the Advisor shell: at Start it profiles the ENTIRE
+// statement stream on a throwaway copy of the database — knowledge no
+// online policy has — and commits to the resulting create/drop schedule,
+// replayed position-by-position through BeforeStatement. Race cells use
+// its realized total as the reference the regret column is anchored
+// against.
+type Omniscient struct {
+	maxCandidates int
+	db            *engine.DB
+	sched         *offline.Schedule
+	live          map[string]*catalog.Index
+	liveOrder     []string
+	creates       int
+	counters      Counters
+}
+
+// NewOmniscient wraps the offline sequence advisor; maxCandidates ≤ 0
+// selects the offline package's default sizing.
+func NewOmniscient(maxCandidates int) *Omniscient {
+	if maxCandidates <= 0 {
+		maxCandidates = 32
+	}
+	return &Omniscient{maxCandidates: maxCandidates, live: map[string]*catalog.Index{}}
+}
+
+func (o *Omniscient) Name() string { return "Offline-Seq" }
+
+// Start profiles the full workload on a fresh database instance (the
+// race cell's own database must not see the profiling replay) and
+// computes the schedule.
+func (o *Omniscient) Start(db *engine.DB, w *workload.Workload) error {
+	o.db = db
+	profDB := w.NewDB()
+	p, err := offline.ProfileWorkload(profDB, w.Statements)
+	profDB.Close()
+	if err != nil {
+		return fmt.Errorf("tuner: omniscient profile: %w", err)
+	}
+	o.sched = offline.SeqBased(p, o.maxCandidates)
+	return nil
+}
+
+// BeforeStatement transitions into the scheduled configuration for
+// statement i, charging build costs; drops are free, as in the paper's
+// cost model. Iteration is over sorted ids so the transition order — and
+// with it the decision log and index names — is deterministic.
+func (o *Omniscient) BeforeStatement(i int) (float64, error) {
+	want := map[string]*catalog.Index{}
+	if o.sched != nil && i < len(o.sched.Active) {
+		for _, ix := range o.sched.Active[i] {
+			want[ix.ID()] = ix
+		}
+	}
+	transition := 0.0
+	for _, id := range append([]string{}, o.liveOrder...) {
+		if want[id] == nil {
+			if err := o.db.DropIndex(o.live[id]); err != nil {
+				return transition, fmt.Errorf("tuner: omniscient drop: %w", err)
+			}
+			o.counters.IndexesDropped++
+			delete(o.live, id)
+			o.liveOrder = removeString(o.liveOrder, id)
+		}
+	}
+	wantIDs := make([]string, 0, len(want))
+	for id := range want {
+		wantIDs = append(wantIDs, id)
+	}
+	sort.Strings(wantIDs)
+	for _, id := range wantIDs {
+		if o.live[id] != nil {
+			continue
+		}
+		ix := want[id]
+		clone := &catalog.Index{Name: fmt.Sprintf("seq_%d", o.creates), Table: ix.Table, Columns: ix.Columns}
+		o.creates++
+		transition += whatif.BuildCost(o.db.WhatIfEnv(), clone)
+		o.counters.BuildsStarted++
+		if err := o.db.CreateIndex(clone); err != nil {
+			o.counters.BuildsFailed++
+			return transition, fmt.Errorf("tuner: omniscient create %v: %w", clone, err)
+		}
+		o.counters.BuildsCompleted++
+		o.counters.IndexesCreated++
+		o.live[id] = clone.Canonicalize()
+		o.liveOrder = append(o.liveOrder, id)
+	}
+	return transition, nil
+}
+
+func (o *Omniscient) AfterStatement(int, *engine.QueryInfo) (float64, error) { return 0, nil }
+func (o *Omniscient) Close()                                                 {}
+func (o *Omniscient) Counters() Counters                                     { return o.counters }
+
+func removeString(xs []string, s string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}

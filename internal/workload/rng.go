@@ -1,0 +1,104 @@
+package workload
+
+import "math"
+
+// stream is a deterministic splitmix64 sequence keyed by (seed,
+// scenario, tenant), mirroring internal/fault's per-site streams: the
+// state is seeded from the scenario seed XOR an FNV-1a hash of the
+// scenario name XOR a tenant perturbation, so every (scenario, tenant)
+// pair draws from its own independent sequence. Two consequences the
+// scenario tests lock in:
+//
+//   - A race cell is reproducible from (scenario, seed) alone: the
+//     statement stream is a pure function of those two values, with no
+//     hidden global state, wall clock, or map-iteration order.
+//
+//   - Tenant streams do not interfere. Adding statements for one tenant
+//     never perturbs another tenant's parameter sequence, because each
+//     tenant consumes only its own stream.
+type stream struct {
+	state uint64
+}
+
+// streamGamma is SplitMix64's odd increment (golden-ratio based).
+const streamGamma = 0x9E3779B97F4A7C15
+
+// newStream derives the (seed, scenario, tenant) stream.
+func newStream(seed int64, scenario string, tenant int) *stream {
+	s := uint64(seed) ^ hashString(scenario) ^ mix64(uint64(tenant+1)*streamGamma)
+	return &stream{state: mix64(s)}
+}
+
+// hashString is FNV-1a, matching internal/fault's site hashing idiom.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 output mix — full-avalanche over 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// next advances the stream and returns a uniform 64-bit value.
+func (s *stream) next() uint64 {
+	s.state += streamGamma
+	return mix64(s.state)
+}
+
+// intn returns a uniform draw in [0, n).
+func (s *stream) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// zipf draws from a Zipf distribution over {0..n-1} with exponent theta
+// by inverse-CDF over precomputed weights — deterministic and allocation
+// free for the small n the tenant scenario uses.
+type zipf struct {
+	cum []float64
+	src *stream
+}
+
+func newZipf(src *stream, n int, theta float64) *zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipf{cum: cum, src: src}
+}
+
+func (z *zipf) draw() int {
+	u := z.src.float64()
+	for i, c := range z.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(z.cum) - 1
+}

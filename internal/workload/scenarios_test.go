@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioDeterminism is the satellite-1 guarantee: a race cell is
+// reproducible from (scenario, seed) alone. Two independent builds must
+// produce byte-identical statement streams, and a different seed must
+// not.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			opts := ScenarioOptions{Scale: 0.1, Seed: 7}
+			a := ScenarioSignature(sc.Build(opts))
+			b := ScenarioSignature(sc.Build(opts))
+			if a != b {
+				t.Fatalf("scenario %q: two builds with the same seed differ", sc.Name)
+			}
+			c := ScenarioSignature(sc.Build(ScenarioOptions{Scale: 0.1, Seed: 8}))
+			if a == c {
+				t.Fatalf("scenario %q: seeds 7 and 8 produced identical streams", sc.Name)
+			}
+		})
+	}
+}
+
+// TestScenarioShape locks in the matrix contract: every scenario yields
+// a non-trivial statement stream with batch boundaries, and the names
+// are unique.
+func TestScenarioShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		w := sc.Build(ScenarioOptions{Scale: 0.1, Seed: 1})
+		if len(w.Statements) < 50 {
+			t.Fatalf("scenario %q: only %d statements", sc.Name, len(w.Statements))
+		}
+		if len(w.Boundaries) < 2 {
+			t.Fatalf("scenario %q: wants multiple batches, got boundaries %v", sc.Name, w.Boundaries)
+		}
+		if w.Boundaries[0] != 0 {
+			t.Fatalf("scenario %q: first boundary %d, want 0", sc.Name, w.Boundaries[0])
+		}
+		for i := 1; i < len(w.Boundaries); i++ {
+			if w.Boundaries[i] <= w.Boundaries[i-1] || w.Boundaries[i] >= len(w.Statements) {
+				t.Fatalf("scenario %q: bad boundaries %v", sc.Name, w.Boundaries)
+			}
+		}
+		if w.NewDB == nil {
+			t.Fatalf("scenario %q: nil NewDB", sc.Name)
+		}
+	}
+}
+
+// TestTenantStreamIndependence: a tenant's parameter stream must not
+// depend on how often other tenants were scheduled. We simulate two
+// interleavings and check tenant 3's first k statements are identical.
+func TestTenantStreamIndependence(t *testing.T) {
+	rows := ScenarioOptions{}.withDefaults().Scale.Rows()
+	const tenant = 3
+	draw := func(skipOthers int) []string {
+		// Exercise other tenants' streams a varying amount; tenant 3's
+		// stream must be unaffected.
+		for other := 0; other < 6; other++ {
+			if other == tenant {
+				continue
+			}
+			s := newStream(42, "tenants", other+1)
+			for i := 0; i < skipOthers; i++ {
+				tenantStatement(other, s, rows)
+			}
+		}
+		s := newStream(42, "tenants", tenant+1)
+		var out []string
+		for i := 0; i < 8; i++ {
+			out = append(out, tenantStatement(tenant, s, rows))
+		}
+		return out
+	}
+	a := draw(0)
+	b := draw(17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tenant %d statement %d depends on other tenants' draws:\n%s\nvs\n%s",
+				tenant, i, a[i], b[i])
+		}
+	}
+}
+
+// TestAdhocNeverRepeats: the ad-hoc scenario's whole point is that no
+// structural query signature recurs, so fingerprint canonicalization
+// can never produce a cache hit across distinct statements.
+func TestAdhocNeverRepeats(t *testing.T) {
+	w := buildAdhoc(ScenarioOptions{Scale: 0.1, Seed: 3})
+	rows := ScenarioOptions{Scale: 0.1}.withDefaults().Scale.Rows()
+	_ = rows
+	seen := map[string]int{}
+	for i, stmt := range w.Statements {
+		// Reduce to a structural signature: strip digits and date
+		// literals so only table/columns/operators/projection remain.
+		sig := structuralSig(stmt)
+		if j, ok := seen[sig]; ok {
+			t.Fatalf("statements %d and %d share structure %q:\n%s\n%s",
+				j, i, sig, w.Statements[j], stmt)
+		}
+		seen[sig] = i
+	}
+}
+
+// structuralSig strips literals from a generated ad-hoc statement.
+func structuralSig(stmt string) string {
+	var sb strings.Builder
+	inDate := false
+	for i := 0; i < len(stmt); i++ {
+		c := stmt[i]
+		switch {
+		case c == '\'':
+			inDate = !inDate
+		case inDate:
+			// skip date literal body
+		case c >= '0' && c <= '9', c == '-', c == '.':
+			// skip numeric literals (columns have no digits in this schema)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// TestScenarioStatementsExecute replays a slice of every scenario
+// against a loaded database: each generated statement must parse, plan,
+// and execute.
+func TestScenarioStatementsExecute(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			w := sc.Build(ScenarioOptions{Scale: 0.1, Seed: 11, Statements: 60})
+			db := w.NewDB()
+			defer db.Close()
+			n := len(w.Statements)
+			if n > 40 {
+				n = 40
+			}
+			for i := 0; i < n; i++ {
+				if _, _, err := db.Exec(w.Statements[i]); err != nil {
+					t.Fatalf("statement %d failed: %v\n%s", i, err, w.Statements[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBuildScenarioRegistry covers lookup by name, case folding, and
+// the error path.
+func TestBuildScenarioRegistry(t *testing.T) {
+	if _, err := BuildScenario("Drift", ScenarioOptions{Scale: 0.1, Seed: 1}); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := BuildScenario("nope", ScenarioOptions{}); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	names := sortedScenarioNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatalf("duplicate name %q", names[i])
+		}
+	}
+}
