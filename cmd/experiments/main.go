@@ -52,19 +52,13 @@ func main() {
 	statements := flag.Int("statements", 0, "tuners: cap each scenario's statement stream (0 = scenario default)")
 	verify := flag.String("verify", "", "tuners: verify an existing report file instead of racing")
 	expect := flag.Bool("expect", false, "tuners -verify: also check the headline expectations (full-scale artifacts only)")
+	requests := flag.Int("requests", 60, "serve: requests per client per cell")
+	meta := flag.String("meta", "", "serve: print the canonical metadata of a report file and exit")
 	flag.Parse()
 
-	cmd := "all"
-	if flag.NArg() > 0 {
-		cmd = flag.Arg(0)
-		// Accept flags after the subcommand too ("experiments tuners
-		// -out FILE"): the flag package stops at the first positional
-		// argument, so re-parse whatever followed it.
-		if flag.NArg() > 1 {
-			if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
-				os.Exit(2)
-			}
-		}
+	cmd, err := parseCommand(flag.CommandLine, flag.Args(), "all")
+	if err != nil {
+		os.Exit(2)
 	}
 
 	if *procs > 0 {
@@ -124,6 +118,13 @@ func main() {
 		}
 		return
 	}
+	if cmd == "serve" {
+		if err := serveProfile(opts, *requests, *out, *verify, *meta); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if cmd == "wal" {
 		if err := walProfile(opts, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -176,7 +177,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|wal|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|wal|serve|all)", cmd)
 }
 
 func table1() error {
@@ -262,17 +263,7 @@ func planCache(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatPlanCache(rep))
-	if out != "" {
-		js, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
-	return nil
+	return writeReportJSON(out, rep)
 }
 
 // obsOverhead runs the tracing-overhead matrix (see planCache for why
@@ -283,17 +274,7 @@ func obsOverhead(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatObs(rep))
-	if out != "" {
-		js, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
-	return nil
+	return writeReportJSON(out, rep)
 }
 
 // faultOverhead runs the fault-layer overhead matrix (see planCache for
@@ -304,17 +285,7 @@ func faultOverhead(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatFault(rep))
-	if out != "" {
-		js, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
-	return nil
+	return writeReportJSON(out, rep)
 }
 
 // execParallel runs the morsel-parallel executor matrix, sequential vs
@@ -327,17 +298,7 @@ func execParallel(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatParallel(rep))
-	if out != "" {
-		js, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
-	return nil
+	return writeReportJSON(out, rep)
 }
 
 // walProfile runs the WAL durability cost matrix — commit throughput
@@ -350,17 +311,7 @@ func walProfile(opts workload.TPCHOptions, out string) error {
 		return err
 	}
 	fmt.Print(bench.FormatWAL(rep))
-	if out != "" {
-		js, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
-	return nil
+	return writeReportJSON(out, rep)
 }
 
 func competitive() error {

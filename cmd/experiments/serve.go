@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"onlinetuner/internal/bench"
+	"onlinetuner/internal/workload"
+)
+
+// serveProfile runs (or inspects) the serving-layer benchmark. With
+// -verify FILE it re-checks a committed BENCH_serve.json instead of
+// measuring; with -meta FILE it prints the file's machine-independent
+// metadata (the CI double-run determinism surface) and exits.
+func serveProfile(opts workload.TPCHOptions, requests int, out, verifyPath, metaPath string) error {
+	if metaPath != "" {
+		data, err := os.ReadFile(metaPath)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.VerifyServeJSON(data)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Meta())
+		return nil
+	}
+	if verifyPath != "" {
+		data, err := os.ReadFile(verifyPath)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.VerifyServeJSON(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (%d cells, overload cell rejected %d)\n",
+			verifyPath, len(rep.Cells), rep.Cells[len(rep.Cells)-1].Rejected)
+		return nil
+	}
+	rep, err := bench.Serve(opts.Scale, opts.Seed, requests)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatServe(rep))
+	return writeReportJSON(out, rep)
+}

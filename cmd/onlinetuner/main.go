@@ -6,7 +6,9 @@
 //
 // Usage:
 //
-//	onlinetuner [flags]
+//	onlinetuner [flags]           interactive shell (stdin)
+//	onlinetuner serve [flags]     TCP daemon serving the wire protocol
+//	onlinetuner client [flags]    wire-protocol client for a daemon
 //
 //	-demo          preload the demo schema R/S with 3000 rows
 //	-tpch SCALE    preload TPC-H data at the given scale (e.g. 0.3)
@@ -42,6 +44,18 @@ import (
 )
 
 func main() {
+	// Daemon and client modes route before flag parsing: "onlinetuner
+	// serve ..." and "onlinetuner client ..." own their flag sets.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "client":
+			clientMain(os.Args[2:])
+			return
+		}
+	}
 	demo := flag.Bool("demo", false, "preload the demo schema R/S with 3000 rows")
 	tpchScale := flag.Float64("tpch", 0, "preload TPC-H data at the given scale")
 	budget := flag.Int64("budget", 0, "secondary-index storage budget in bytes (0 = unlimited)")

@@ -1,0 +1,390 @@
+// Serving benchmark: the TCP daemon under ramping client counts. Each
+// cell connects N wire-protocol clients that hammer a mixed workload —
+// OLTP point lookups interleaved with TPC-H aggregate scans — and
+// reports end-to-end latency percentiles (p50/p99 over the socket,
+// framing and admission included) plus throughput. A final deliberately
+// under-provisioned cell (one admission slot, one queue seat, 16
+// clients) demonstrates backpressure: a healthy daemon sheds that load
+// with typed rejections instead of queuing it. cmd/experiments
+// serializes the report to BENCH_serve.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/server"
+	"onlinetuner/internal/tpch"
+)
+
+// ServeCell is one measured (clients, daemon sizing) configuration.
+type ServeCell struct {
+	Name    string `json:"name"`
+	Clients int    `json:"clients"`
+	// Requests is the attempts per client; every attempt either
+	// completes or is rejected, so Completed+Rejected = Clients*Requests.
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	// Rejected counts typed backpressure errors (admission queue full or
+	// wait timed out). Zero in the provisioned cells; the point of the
+	// overload cell.
+	Rejected int `json:"rejected"`
+	// Overload marks the deliberately under-provisioned configuration.
+	Overload bool `json:"overload"`
+	// AdmitSlots/MaxQueue record the daemon sizing the cell ran with
+	// (0 = server default).
+	AdmitSlots int `json:"admit_slots"`
+	MaxQueue   int `json:"max_queue"`
+	// Latency percentiles over completed requests, end to end.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// CompletedPerSec is aggregate goodput (rejections excluded).
+	CompletedPerSec float64 `json:"completed_per_sec"`
+}
+
+// ServeReport is the serving-layer profile, serialized to
+// BENCH_serve.json by cmd/experiments.
+type ServeReport struct {
+	Scale    float64     `json:"scale"`
+	Seed     int64       `json:"seed"`
+	Requests int         `json:"requests"`
+	Cells    []ServeCell `json:"cells"`
+}
+
+// serveClientCounts is the ramp every report measures.
+var serveClientCounts = []int{1, 2, 4, 8, 16}
+
+// serveQuery builds the deterministic mixed workload: even steps are
+// point lookups, odd steps aggregate a lineitem slice.
+func serveQuery(client, step int) string {
+	k := (client*137 + step*31) % 150
+	if step%2 == 0 {
+		return fmt.Sprintf("SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderkey = %d", 1+k)
+	}
+	return fmt.Sprintf("SELECT COUNT(*) AS n, SUM(l_extendedprice) AS rev FROM lineitem WHERE l_partkey = %d", 1+k%80)
+}
+
+// plugSQL is the overload cell's slot occupier: a non-equi join over
+// two fixed-size scratch tables, so its runtime (roughly 100-300ms) is
+// independent of the TPC-H scale under test.
+const plugSQL = "SELECT COUNT(*) AS n FROM plga, plgb WHERE pa >= pb"
+
+// loadPlugTables creates the scratch tables plugSQL joins.
+func loadPlugTables(db *engine.DB) error {
+	for _, ddl := range []string{
+		"CREATE TABLE plga (pa INT, PRIMARY KEY (pa))",
+		"CREATE TABLE plgb (pb INT, PRIMARY KEY (pb))",
+	} {
+		if _, _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO plga VALUES (%d)", i)); err != nil {
+			return err
+		}
+		if _, _, err := db.Exec(fmt.Sprintf("INSERT INTO plgb VALUES (%d)", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func admittedTotal(db *engine.DB) int64 {
+	return db.Observability().Reg.Snapshot()["server.admitted"].(int64)
+}
+
+// measureServeCell runs one cell against db: clients×requests over real
+// TCP through a fresh server with the given config. With plug=true, a
+// dedicated extra connection occupies the admission slot with plugSQL
+// before the client volley is released, so an under-provisioned daemon
+// is guaranteed — not just likely — to shed the volley with typed
+// rejections. Rejected clients back off briefly (as the error message
+// tells them to), so attempts issued after the plug clears complete.
+func measureServeCell(db *engine.DB, name string, clients, requests int, cfg server.Config, plug bool) (ServeCell, error) {
+	srv := server.New(db, cfg)
+	addr, errc, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return ServeCell{}, err
+	}
+	defer func() {
+		srv.Abort()
+		<-errc
+	}()
+
+	type clientOut struct {
+		lat      []time.Duration
+		rejected int
+		err      error
+	}
+	outs := make([]clientOut, clients)
+	begin := make(chan struct{})
+	ready := make(chan error, clients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			out := &outs[ci]
+			c, err := server.Dial(addr.String())
+			ready <- err
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer c.Close()
+			c.Timeout = 120 * time.Second
+			out.lat = make([]time.Duration, 0, requests)
+			<-begin
+			for s := 0; s < requests; s++ {
+				t0 := time.Now()
+				_, err := c.Query(serveQuery(ci, s))
+				switch {
+				case err == nil:
+					out.lat = append(out.lat, time.Since(t0))
+				case server.IsOverload(err):
+					out.rejected++
+					time.Sleep(5 * time.Millisecond)
+				default:
+					out.err = fmt.Errorf("client %d request %d: %w", ci, s, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	for ci := 0; ci < clients; ci++ {
+		if err := <-ready; err != nil {
+			close(begin)
+			wg.Wait()
+			return ServeCell{}, err
+		}
+	}
+
+	plugDone := make(chan error, 1)
+	if plug {
+		pc, err := server.Dial(addr.String())
+		if err != nil {
+			close(begin)
+			wg.Wait()
+			return ServeCell{}, err
+		}
+		defer pc.Close()
+		pc.Timeout = 120 * time.Second
+		before := admittedTotal(db)
+		go func() {
+			_, err := pc.Query(plugSQL)
+			plugDone <- err
+		}()
+		// Release the volley only once the plug provably holds the slot.
+		for admittedTotal(db) == before {
+			time.Sleep(time.Millisecond)
+		}
+	} else {
+		plugDone <- nil
+	}
+
+	start := time.Now()
+	close(begin)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := <-plugDone; err != nil {
+		return ServeCell{}, fmt.Errorf("plug statement: %w", err)
+	}
+
+	var all []time.Duration
+	cell := ServeCell{
+		Name:       name,
+		Clients:    clients,
+		Requests:   requests,
+		Overload:   plug,
+		AdmitSlots: cfg.AdmitSlots,
+		MaxQueue:   cfg.MaxQueue,
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return ServeCell{}, outs[i].err
+		}
+		all = append(all, outs[i].lat...)
+		cell.Rejected += outs[i].rejected
+	}
+	cell.Completed = len(all)
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		cell.P50Ms = round3(float64(percentile(all, 50)) / 1e6)
+		cell.P99Ms = round3(float64(percentile(all, 99)) / 1e6)
+		cell.MeanMs = round3(float64(sum) / float64(len(all)) / 1e6)
+		cell.CompletedPerSec = round3(float64(len(all)) / elapsed.Seconds())
+	}
+	return cell, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// Serve measures the daemon under the client ramp plus the overload
+// cell, all against one TPC-H-loaded engine.
+func Serve(scale tpch.Scale, seed int64, requests int) (*ServeReport, error) {
+	if requests <= 0 {
+		requests = 60
+	}
+	db := engine.Open()
+	gen := tpch.NewGenerator(scale, seed)
+	if err := gen.Load(db); err != nil {
+		return nil, err
+	}
+	if err := loadPlugTables(db); err != nil {
+		return nil, err
+	}
+
+	rep := &ServeReport{Scale: float64(scale), Seed: seed, Requests: requests}
+	for _, clients := range serveClientCounts {
+		// Provisioned cells must never reject: leave AdmitSlots at the
+		// engine-derived default but give the queue room for every client
+		// and patience beyond any plausible scan, so the ramp measures
+		// latency, not shedding (the overload cell demonstrates that).
+		cfg := server.Config{
+			MaxConns:     clients + 4,
+			MaxQueue:     clients,
+			QueueTimeout: 60 * time.Second,
+		}
+		cell, err := measureServeCell(db, fmt.Sprintf("clients-%d", clients),
+			clients, requests, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	// The overload cell: one execution slot, one queue seat, no patience,
+	// and the slot pre-occupied by the plug statement when the volley
+	// lands — typed rejections are guaranteed, not probabilistic.
+	overload := server.Config{
+		MaxConns:     20,
+		AdmitSlots:   1,
+		MaxQueue:     1,
+		QueueTimeout: 2 * time.Millisecond,
+	}
+	cell, err := measureServeCell(db, "overload", 16, requests, overload, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cells = append(rep.Cells, cell)
+	return rep, nil
+}
+
+// JSON serializes the report.
+func (r *ServeReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Meta renders the report's machine-independent identity — the shape CI
+// compares across a double run to prove the benchmark harness is
+// deterministic even though the timings are not.
+func (r *ServeReport) Meta() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scale=%g seed=%d requests=%d cells=%d\n", r.Scale, r.Seed, r.Requests, len(r.Cells))
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "cell=%s clients=%d requests=%d attempts=%d overload=%v admit_slots=%d max_queue=%d\n",
+			c.Name, c.Clients, c.Requests, c.Completed+c.Rejected, c.Overload, c.AdmitSlots, c.MaxQueue)
+	}
+	return sb.String()
+}
+
+// Verify checks the report's internal honesty: the full client ramp is
+// present, every attempt is accounted for, percentiles are ordered, and
+// the overload cell actually shed load.
+func (r *ServeReport) Verify() error {
+	var errs []string
+	seen := map[int]bool{}
+	overloads := 0
+	for _, c := range r.Cells {
+		if c.Completed+c.Rejected != c.Clients*c.Requests {
+			errs = append(errs, fmt.Sprintf("%s: %d completed + %d rejected != %d attempts",
+				c.Name, c.Completed, c.Rejected, c.Clients*c.Requests))
+		}
+		if c.Completed > 0 {
+			if c.P50Ms <= 0 {
+				errs = append(errs, fmt.Sprintf("%s: p50 %.3fms not positive", c.Name, c.P50Ms))
+			}
+			if c.P99Ms < c.P50Ms {
+				errs = append(errs, fmt.Sprintf("%s: p99 %.3fms < p50 %.3fms", c.Name, c.P99Ms, c.P50Ms))
+			}
+			if c.CompletedPerSec <= 0 {
+				errs = append(errs, fmt.Sprintf("%s: throughput %.3f not positive", c.Name, c.CompletedPerSec))
+			}
+		}
+		if c.Overload {
+			overloads++
+			if c.Rejected == 0 {
+				errs = append(errs, fmt.Sprintf("%s: overload cell rejected nothing — backpressure not demonstrated", c.Name))
+			}
+		} else {
+			seen[c.Clients] = true
+			if c.Rejected != 0 {
+				errs = append(errs, fmt.Sprintf("%s: provisioned cell rejected %d requests", c.Name, c.Rejected))
+			}
+		}
+	}
+	for _, want := range serveClientCounts {
+		if !seen[want] {
+			errs = append(errs, fmt.Sprintf("client ramp incomplete: no cell for %d clients", want))
+		}
+	}
+	if overloads != 1 {
+		errs = append(errs, fmt.Sprintf("want exactly 1 overload cell, have %d", overloads))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve report verification failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// VerifyServeJSON parses and verifies a serialized report — the CI
+// honesty guard's entry point for the committed BENCH_serve.json.
+func VerifyServeJSON(data []byte) (*ServeReport, error) {
+	var rep ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("serve report: bad JSON: %w", err)
+	}
+	if err := rep.Verify(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// FormatServe renders the human-readable serving profile.
+func FormatServe(r *ServeReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serving layer: %d requests/client over TCP (scale %.2g, seed %d)\n\n",
+		r.Requests, r.Scale, r.Seed)
+	fmt.Fprintf(&sb, "%-12s %8s %10s %9s %9s %9s %12s %9s\n",
+		"cell", "clients", "completed", "rejected", "p50 ms", "p99 ms", "mean ms", "req/s")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-12s %8d %10d %9d %9.3f %9.3f %12.3f %9.0f\n",
+			c.Name, c.Clients, c.Completed, c.Rejected, c.P50Ms, c.P99Ms, c.MeanMs, c.CompletedPerSec)
+	}
+	sb.WriteString("\nThe overload cell runs one admission slot and one queue seat: rejections\nthere are the backpressure contract working, not a failure.\n")
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/tpch"
+)
+
+// TestServeBenchSmoke runs the serving matrix at toy scale and checks
+// the report verifies, serializes, and has deterministic metadata.
+func TestServeBenchSmoke(t *testing.T) {
+	rep, err := Serve(tpch.Scale(0.05), 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := VerifyServeJSON(js)
+	if err != nil {
+		t.Fatalf("round-tripped report fails verification: %v", err)
+	}
+	if rep2.Meta() != rep.Meta() {
+		t.Fatal("metadata changed across JSON round trip")
+	}
+	if !strings.Contains(FormatServe(rep), "overload") {
+		t.Fatal("formatted report missing the overload cell")
+	}
+	// The overload cell demonstrated backpressure.
+	last := rep.Cells[len(rep.Cells)-1]
+	if !last.Overload || last.Rejected == 0 {
+		t.Fatalf("overload cell: %+v", last)
+	}
+}
+
+// TestServeBenchMetaDeterminism: two runs at the same (scale, seed,
+// requests) produce byte-identical metadata even though timings differ
+// — the invariant the CI double-run compares.
+func TestServeBenchMetaDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double bench run")
+	}
+	a, err := Serve(tpch.Scale(0.05), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Serve(tpch.Scale(0.05), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Meta() != b.Meta() {
+		t.Fatalf("metadata not deterministic:\n--- run 1\n%s--- run 2\n%s", a.Meta(), b.Meta())
+	}
+}
+
+// TestServeVerifyCatchesDishonesty: the honesty checks actually fire on
+// doctored reports.
+func TestServeVerifyCatchesDishonesty(t *testing.T) {
+	fresh := func(t *testing.T) *ServeReport {
+		rep, err := Serve(tpch.Scale(0.05), 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := fresh(t)
+
+	doctor := []struct {
+		name   string
+		break_ func(r *ServeReport)
+		want   string
+	}{
+		{"no overload rejections", func(r *ServeReport) {
+			c := &r.Cells[len(r.Cells)-1]
+			c.Completed += c.Rejected
+			c.Rejected = 0
+		}, "backpressure not demonstrated"},
+		{"p99 below p50", func(r *ServeReport) {
+			r.Cells[0].P99Ms = r.Cells[0].P50Ms / 2
+		}, "p99"},
+		{"missing ramp cell", func(r *ServeReport) {
+			r.Cells = r.Cells[1:]
+		}, "ramp incomplete"},
+		{"unaccounted attempts", func(r *ServeReport) {
+			r.Cells[0].Completed++
+		}, "attempts"},
+	}
+	for _, d := range doctor {
+		t.Run(d.name, func(t *testing.T) {
+			js, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			broken, err := VerifyServeJSON(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.break_(broken)
+			err = broken.Verify()
+			if err == nil || !strings.Contains(err.Error(), d.want) {
+				t.Fatalf("doctored report (%s) verified; err=%v", d.name, err)
+			}
+		})
+	}
+}
+
+// TestPercentile pins the nearest-rank arithmetic.
+func TestPercentile(t *testing.T) {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i + 1)
+	}
+	for _, tc := range []struct {
+		p    int
+		want time.Duration
+	}{{50, 50}, {99, 99}, {100, 100}, {1, 1}} {
+		if got := percentile(ds, tc.p); got != tc.want {
+			t.Errorf("p%d of 1..100 = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(ds[:1], 99); got != 1 {
+		t.Errorf("p99 of singleton = %d", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d", got)
+	}
+}

@@ -1,0 +1,225 @@
+package engine_test
+
+// Direct coverage for DB.ExecBatch, the serving layer's COMMIT
+// primitive: union lock span (none-or-all isolation), statement-granular
+// atomicity on mid-batch failure, context cancellation, and DDL inside
+// a batch. The server package exercises ExecBatch end-to-end over the
+// wire; these tests pin the engine-level contract on its own.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"onlinetuner/internal/engine"
+)
+
+func newBatchDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.Open()
+	db.MustExec("CREATE TABLE led (id INT, v INT, PRIMARY KEY (id))")
+	db.MustExec("CREATE TABLE aux (id INT, w INT, PRIMARY KEY (id))")
+	t.Cleanup(func() { _ = db.Close() })
+	return db
+}
+
+func TestExecBatchAppliesAllStatements(t *testing.T) {
+	db := newBatchDB(t)
+	texts := []string{
+		"INSERT INTO led VALUES (1, 10)",
+		"INSERT INTO led VALUES (2, 20)",
+		"SELECT COUNT(*) AS n FROM led",
+		"UPDATE led SET v = 99 WHERE id = 1",
+	}
+	results, infos, applied, err := db.ExecBatch(context.Background(), texts)
+	if err != nil {
+		t.Fatalf("ExecBatch: %v", err)
+	}
+	if applied != len(texts) || len(results) != len(texts) || len(infos) != len(texts) {
+		t.Fatalf("applied=%d results=%d infos=%d, want %d each", applied, len(results), len(infos), len(texts))
+	}
+	// The SELECT inside the batch sees the two inserts that precede it.
+	if got := results[2].Rows[0][0].String(); got != "2" {
+		t.Errorf("mid-batch COUNT(*) = %s, want 2", got)
+	}
+	rs, _, err := db.Exec("SELECT v FROM led WHERE id = 1")
+	if err != nil || len(rs.Rows) != 1 || rs.Rows[0][0].String() != "99" {
+		t.Errorf("post-batch readback = %v (err %v), want v=99", rs.Rows, err)
+	}
+}
+
+func TestExecBatchEmpty(t *testing.T) {
+	db := newBatchDB(t)
+	results, infos, applied, err := db.ExecBatch(context.Background(), nil)
+	if err != nil || applied != 0 || results != nil || infos != nil {
+		t.Fatalf("empty batch: results=%v infos=%v applied=%d err=%v, want all zero", results, infos, applied, err)
+	}
+}
+
+// A parse error anywhere in the batch rejects the whole batch before any
+// statement runs — parsing happens up front, ahead of lock acquisition.
+func TestExecBatchParseErrorRunsNothing(t *testing.T) {
+	db := newBatchDB(t)
+	texts := []string{
+		"INSERT INTO led VALUES (1, 10)",
+		"INSERT INTO syntax error here",
+	}
+	_, _, applied, err := db.ExecBatch(context.Background(), texts)
+	if err == nil {
+		t.Fatal("batch with a parse error succeeded")
+	}
+	if applied != 0 {
+		t.Fatalf("applied = %d, want 0 (parse errors reject before execution)", applied)
+	}
+	rs, _, err := db.Exec("SELECT COUNT(*) AS n FROM led")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0].String(); got != "0" {
+		t.Errorf("led has %s rows after rejected batch, want 0", got)
+	}
+}
+
+// A runtime failure mid-batch stops at that statement: earlier
+// statements stay applied, the applied count says how many completed.
+func TestExecBatchRuntimeErrorIsStatementGranular(t *testing.T) {
+	db := newBatchDB(t)
+	texts := []string{
+		"INSERT INTO led VALUES (1, 10)",
+		"INSERT INTO led VALUES (2, 20)",
+		"SELECT nope FROM led", // parses, then fails at optimize time: a runtime failure
+		"INSERT INTO led VALUES (3, 30)",
+	}
+	results, _, applied, err := db.ExecBatch(context.Background(), texts)
+	if err == nil {
+		t.Fatal("batch with an unknown column succeeded")
+	}
+	if applied != 2 || len(results) != 2 {
+		t.Fatalf("applied=%d results=%d, want 2 (statements before the failure)", applied, len(results))
+	}
+	rs, _, err := db.Exec("SELECT COUNT(*) AS n FROM led")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0].String(); got != "2" {
+		t.Errorf("led has %s rows, want 2 (inserts before the failing statement stay applied)", got)
+	}
+}
+
+func TestExecBatchContextCancel(t *testing.T) {
+	db := newBatchDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, applied, err := db.ExecBatch(ctx, []string{"INSERT INTO led VALUES (1, 10)"})
+	if err == nil {
+		t.Fatal("ExecBatch with canceled context succeeded")
+	}
+	if applied != 0 {
+		t.Fatalf("applied = %d, want 0", applied)
+	}
+}
+
+// DDL participates: CREATE INDEX inside a batch takes the table's write
+// lock through its own lock classification, so a following DROP INDEX in
+// the same batch is covered by the same span.
+func TestExecBatchWithDDL(t *testing.T) {
+	db := newBatchDB(t)
+	for i := 0; i < 50; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO led VALUES (%d, %d)", i, i%7))
+	}
+	texts := []string{
+		"CREATE INDEX b_tmp ON led (v)",
+		"SELECT COUNT(*) AS n FROM led WHERE v = 3",
+		"DROP INDEX b_tmp",
+	}
+	results, _, applied, err := db.ExecBatch(context.Background(), texts)
+	if err != nil {
+		t.Fatalf("DDL batch: %v", err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied = %d, want 3", applied)
+	}
+	if got := results[1].Rows[0][0].String(); got != "7" {
+		t.Errorf("indexed COUNT = %s, want 7", got)
+	}
+	for _, ix := range db.Configuration() {
+		if strings.Contains(ix.String(), "b_tmp") {
+			t.Errorf("index b_tmp survived its own batch's DROP: %s", ix)
+		}
+	}
+}
+
+// None-or-all isolation: each batch inserts one row into led and one
+// into aux under a single union lock span, so a concurrent single
+// statement spanning both tables always sees n rows in each — its cross
+// product is a perfect square k*k. Mid-batch state (k+1 rows in led, k
+// in aux) would give (k+1)*k, never a square for k >= 1.
+func TestExecBatchIsolationUnderConcurrentReads(t *testing.T) {
+	db := newBatchDB(t)
+	const rounds = 40
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs, _, err := db.Exec("SELECT COUNT(*) AS n FROM led, aux WHERE v >= 0 AND w >= 0")
+				if err != nil {
+					fail("cross reader: %v", err)
+					return
+				}
+				var n int
+				if _, err := fmt.Sscanf(rs.Rows[0][0].String(), "%d", &n); err != nil {
+					fail("parse count %q: %v", rs.Rows[0][0].String(), err)
+					return
+				}
+				if !isSquare(n) {
+					fail("cross count %d is not a perfect square: batch visible partially", n)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < rounds; i++ {
+		_, _, applied, err := db.ExecBatch(context.Background(), []string{
+			fmt.Sprintf("INSERT INTO led VALUES (%d, %d)", i, i),
+			fmt.Sprintf("INSERT INTO aux VALUES (%d, %d)", i, i),
+		})
+		if err != nil || applied != 2 {
+			t.Fatalf("batch %d: applied=%d err=%v", i, applied, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// isSquare reports whether n is k*k for some integer k.
+func isSquare(n int) bool {
+	for k := 0; k*k <= n; k++ {
+		if k*k == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"onlinetuner/internal/obs"
+)
+
+// admission gates statement execution behind a token semaphore so the
+// daemon's concurrency is bounded by a budget derived from the engine's
+// one par.Pool, not by how many clients happen to be connected. The
+// pool itself is non-blocking — a statement that gets no extra worker
+// slots simply runs sequentially — so without this gate every connected
+// session would run its statement "in parallel" as a sequential
+// execution, oversubscribing the machine and destroying tail latency.
+// Admission keeps at most `slots` statements executing; up to
+// `queueCap` more may wait, each for at most `timeout`; everything past
+// that is rejected immediately with the typed backpressure error.
+// Nothing queues unboundedly: memory per overload is one waiting
+// goroutine per queue slot, full stop.
+type admission struct {
+	slots    chan struct{}
+	queueCap int64
+	queued   atomic.Int64
+	timeout  time.Duration
+
+	admitted *obs.Counter
+	rejected *obs.Counter
+	waitNS   *obs.Histogram
+	depth    *obs.Gauge
+}
+
+// newAdmission sizes the gate: slots concurrent executions, queueCap
+// waiters, timeout per waiter. Metrics register as server.* cells in
+// reg.
+func newAdmission(slots, queueCap int, timeout time.Duration, reg *obs.Registry) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	a := &admission{
+		slots:    make(chan struct{}, slots),
+		queueCap: int64(queueCap),
+		timeout:  timeout,
+		admitted: reg.Counter("server.admitted"),
+		rejected: reg.Counter("server.rejected"),
+		waitNS:   reg.Histogram("server.queue_wait_ns", obs.DefaultLatencyBuckets),
+		depth:    reg.Gauge("server.queue_depth"),
+	}
+	for i := 0; i < slots; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// errOverloaded is the typed backpressure rejection.
+var errOverloaded = &WireError{Code: CodeOverloaded, Message: "admission queue full; retry with backoff"}
+
+// acquire claims an execution token. The fast path is one channel
+// receive; under contention the caller joins the bounded wait queue.
+// Returns the release func, or the typed overload error when the queue
+// is full or the wait times out, or the typed shutting-down error when
+// ctx (the server's drain context) is cancelled while waiting.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case <-a.slots:
+		a.admitted.Inc()
+		return a.release, nil
+	default:
+	}
+	// Queue admission: reserve a bounded waiter slot or reject now.
+	for {
+		q := a.queued.Load()
+		if q >= a.queueCap {
+			a.rejected.Inc()
+			return nil, errOverloaded
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	a.depth.Add(1)
+	start := time.Now()
+	timer := time.NewTimer(a.timeout)
+	defer func() {
+		timer.Stop()
+		a.queued.Add(-1)
+		a.depth.Add(-1)
+	}()
+	select {
+	case <-a.slots:
+		a.waitNS.Observe(float64(time.Since(start).Nanoseconds()))
+		a.admitted.Inc()
+		return a.release, nil
+	case <-timer.C:
+		a.rejected.Inc()
+		return nil, errOverloaded
+	case <-ctx.Done():
+		a.rejected.Inc()
+		return nil, &WireError{Code: CodeShuttingDown, Message: "server is draining"}
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal synchronous wire-protocol client: one request in
+// flight per connection, responses matched by request ID. It is what
+// the integration tests, the chaos suite, the serve benchmark, and the
+// onlinetuner client shell all speak through — the same bytes a real
+// driver would send.
+type Client struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	nextID   uint64
+	maxFrame int
+	// Timeout bounds one request round trip (write + response read);
+	// zero means no deadline.
+	Timeout time.Duration
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		bw:       bufio.NewWriter(conn),
+		maxFrame: DefaultMaxFrame,
+	}
+}
+
+// Do sends one request (assigning its ID) and reads its response. A
+// response whose ID does not echo the request's is a protocol error —
+// with one exception: the server may send an ID-0 unsolicited error
+// (idle timeout, shutdown refusal), which Do surfaces as that typed
+// error.
+func (c *Client) Do(req *Request) (*Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	body, err := EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if c.Timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	if err := WriteFrame(c.bw, body); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	respBody, err := ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(respBody)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		if resp.ID == 0 && resp.Error != nil {
+			return nil, resp.Error
+		}
+		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// result unwraps a response into its statement result or typed error.
+func result(resp *Response, err error) (*StmtResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != nil {
+		return nil, resp.Error
+	}
+	return &resp.StmtResult, nil
+}
+
+// Query runs a read statement and returns its rows.
+func (c *Client) Query(sqlText string) (*StmtResult, error) {
+	return result(c.Do(&Request{Op: OpQuery, SQL: sqlText}))
+}
+
+// Exec runs a statement and returns its result (affected count for
+// DML). Inside an open transaction the statement is buffered; the
+// returned result is empty and the response's Queued flag was set.
+func (c *Client) Exec(sqlText string) (*StmtResult, error) {
+	return result(c.Do(&Request{Op: OpExec, SQL: sqlText}))
+}
+
+// Explain returns the statement's plan lines without executing it.
+func (c *Client) Explain(sqlText string) ([]string, error) {
+	res, err := result(c.Do(&Request{Op: OpExplain, SQL: sqlText}))
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if len(row) > 0 {
+			lines = append(lines, row[0])
+		}
+	}
+	return lines, nil
+}
+
+// Prepare validates sqlText on the server and names it for
+// ExecPrepared.
+func (c *Client) Prepare(name, sqlText string) error {
+	_, err := result(c.Do(&Request{Op: OpPrepare, Name: name, SQL: sqlText}))
+	return err
+}
+
+// ExecPrepared runs a previously prepared statement.
+func (c *Client) ExecPrepared(name string) (*StmtResult, error) {
+	return result(c.Do(&Request{Op: OpExecPrepared, Name: name}))
+}
+
+// Begin opens a transaction scope on the session.
+func (c *Client) Begin() error {
+	_, err := result(c.Do(&Request{Op: OpBegin}))
+	return err
+}
+
+// Commit executes the buffered scope atomically and returns the
+// per-statement results.
+func (c *Client) Commit() ([]StmtResult, error) {
+	resp, err := c.Do(&Request{Op: OpCommit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != nil {
+		return resp.Results, resp.Error
+	}
+	return resp.Results, nil
+}
+
+// Rollback discards the buffered scope.
+func (c *Client) Rollback() error {
+	_, err := result(c.Do(&Request{Op: OpRollback}))
+	return err
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	_, err := result(c.Do(&Request{Op: OpPing}))
+	return err
+}
+
+// Close ends the session cleanly (best effort) and closes the
+// connection.
+func (c *Client) Close() error {
+	_, _ = c.Do(&Request{Op: OpClose})
+	return c.conn.Close()
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+)
+
+// TestServeSessionTranscript drives one session through every op: the
+// protocol smoke test (and the shape of the README transcript).
+func TestServeSessionTranscript(t *testing.T) {
+	db := engine.Open()
+	db.MustExec("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+	_, addr := startServer(t, db, Config{})
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := c.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil || res.Affected != 1 {
+		t.Fatalf("insert: %v (affected %d)", err, res.Affected)
+	}
+	res, err := c.Query("SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "10" {
+		t.Fatalf("query rows: %v", res.Rows)
+	}
+	// Prepared statements.
+	if err := c.Prepare("get1", "SELECT v FROM kv WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := c.ExecPrepared("get1"); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("exec_prepared: %v %v", err, res)
+	}
+	if _, err := c.ExecPrepared("missing"); !isCode(err, CodeNotPrepared) {
+		t.Fatalf("want not_prepared, got %v", err)
+	}
+	// Explain returns plan lines without running the statement.
+	lines, err := c.Explain("SELECT v FROM kv WHERE k = 1")
+	if err != nil || len(lines) == 0 {
+		t.Fatalf("explain: %v %v", err, lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "kv") {
+		t.Fatalf("plan does not mention the table: %v", lines)
+	}
+	// Transaction scope: statements buffer, commit returns every result.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := c.Exec("INSERT INTO kv VALUES (2, 20)"); err != nil || res.Affected != 0 {
+		t.Fatalf("buffered insert executed eagerly: %v %v", err, res)
+	}
+	if _, err := c.Exec("SELECT v FROM kv WHERE k = 2"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Affected != 1 || len(results[1].Rows) != 1 || results[1].Rows[0][0] != "20" {
+		t.Fatalf("commit results: %+v", results)
+	}
+	// Rollback discards: the insert never happens.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO kv VALUES (3, 30)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := c.Query("SELECT v FROM kv WHERE k = 3"); len(res.Rows) != 0 {
+		t.Fatalf("rolled-back insert visible: %v", res.Rows)
+	}
+	// Typed errors.
+	if _, err := c.Query("SELEC nonsense"); !isCode(err, CodeSQL) {
+		t.Fatalf("want sql error, got %v", err)
+	}
+	if err := c.Rollback(); !isCode(err, CodeTxnState) {
+		t.Fatalf("want txn_state, got %v", err)
+	}
+	resp, err := c.Do(&Request{Op: "frobnicate"})
+	if err != nil {
+		t.Fatalf("unknown op transport error: %v", err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeUnknownOp {
+		t.Fatalf("want unknown_op error, got %+v", resp)
+	}
+}
+
+func isCode(err error, code string) bool {
+	we, ok := err.(*WireError)
+	return ok && we.Code == code
+}
+
+// TestServeIntegrationMultiClient is the headline integration test: 10
+// concurrent TCP clients hammer mixed OLTP point lookups and TPC-H
+// aggregate scans against one daemon while (a) the online tuner builds
+// and drops indexes in the background and (b) a DDL-churn client
+// creates and drops an index in a loop. Every response must be
+// byte-identical to a single-session oracle database holding the same
+// data — physical design changes must never change results, and no
+// session may observe another session's plan state.
+func TestServeIntegrationMultiClient(t *testing.T) {
+	scale := 0.08
+	clients, steps := 10, 40
+	if testing.Short() {
+		scale, clients, steps = 0.05, 8, 15
+	}
+
+	db := engine.Open()
+	loadTPCH(t, db, scale)
+	opts := core.DefaultOptions()
+	opts.Async = true
+	tuner := core.Attach(db, opts)
+
+	oracle := engine.Open()
+	loadTPCH(t, oracle, scale)
+
+	templates := []func(i int) string{
+		func(i int) string {
+			return fmt.Sprintf("SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderkey = %d", 1+i%150)
+		},
+		func(i int) string {
+			return fmt.Sprintf("SELECT c_name, c_acctbal FROM customer WHERE c_custkey = %d", 1+i%100)
+		},
+		func(i int) string {
+			return fmt.Sprintf("SELECT COUNT(*) AS cnt, SUM(l_quantity) AS qty FROM lineitem WHERE l_partkey = %d", 1+i%60)
+		},
+		func(i int) string {
+			return fmt.Sprintf(`SELECT o_orderpriority, COUNT(*) AS c FROM orders, lineitem
+				WHERE l_orderkey = o_orderkey AND o_custkey = %d
+				GROUP BY o_orderpriority ORDER BY o_orderpriority`, 1+i%40)
+		},
+	}
+	// Precompute the oracle answer for every text any client will send.
+	expect := make(map[string]string)
+	for ci := 0; ci < clients; ci++ {
+		for s := 0; s < steps; s++ {
+			q := templates[(ci+s)%len(templates)](ci*31 + s)
+			if _, ok := expect[q]; !ok {
+				expect[q] = oracleKey(t, oracle, q)
+			}
+		}
+	}
+
+	_, addr := startServer(t, db, Config{MaxConns: clients + 4})
+
+	// DDL churn rides alongside: an index is created and dropped through
+	// the wire while the query clients run. Errors are tolerated (the
+	// tuner may race it to the same physical index) — what matters is
+	// that results stay correct underneath.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		cc, err := Dial(addr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer cc.Close()
+		cc.Timeout = 60 * time.Second
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			_, _ = cc.Exec("CREATE INDEX srv_churn ON lineitem (l_partkey)")
+			_, _ = cc.Exec("DROP INDEX srv_churn")
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.Timeout = 60 * time.Second
+			prepared := false
+			for s := 0; s < steps; s++ {
+				q := templates[(ci+s)%len(templates)](ci*31 + s)
+				var res *StmtResult
+				switch {
+				case s%11 == 10:
+					// Exercise the prepared path; the result must still
+					// match the oracle.
+					name := fmt.Sprintf("p%d", ci)
+					if err := c.Prepare(name, q); err != nil {
+						errs <- fmt.Errorf("client %d prepare: %w", ci, err)
+						return
+					}
+					prepared = true
+					res, err = c.ExecPrepared(name)
+				case s%7 == 6:
+					// Explain output depends on the current physical design
+					// and is not oracle-compared; it must only succeed.
+					if _, err := c.Explain(q); err != nil {
+						errs <- fmt.Errorf("client %d explain: %w", ci, err)
+						return
+					}
+					continue
+				default:
+					res, err = c.Query(q)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("client %d step %d: %w", ci, s, err)
+					return
+				}
+				if got := resultKey(t, res); got != expect[q] {
+					errs <- fmt.Errorf("client %d step %d: result diverged from oracle for %q\n got %s\nwant %s",
+						ci, s, q, got, expect[q])
+					return
+				}
+			}
+			_ = prepared
+		}(ci)
+	}
+	wg.Wait()
+	close(churnStop)
+	churnWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// The metrics surface saw the traffic.
+	snap := db.Observability().Reg.Snapshot()
+	if n := snap["server.statements"].(int64); n < int64(clients*steps/2) {
+		t.Fatalf("server.statements = %d, want at least %d", n, clients*steps/2)
+	}
+	t.Logf("tuner events during serving: %d", len(tuner.Events()))
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/core"
+	"onlinetuner/internal/engine"
+)
+
+// TestServeStressRace is the -race stress leg: concurrent sessions mix
+// DDL, DML, and queries against one daemon while the online tuner
+// creates and drops indexes underneath. It asserts two session-level
+// invariants the whole serving design hangs on:
+//
+//  1. Transaction isolation: each writer commits rows in pairs inside a
+//     BEGIN/COMMIT scope, so a concurrent reader must always count an
+//     even number — a half-visible transaction means the commit's union
+//     lock span leaked.
+//
+//  2. No cross-session plan-cache poisoning: every session runs its own
+//     known-answer point query (same SQL shape, different constant) and
+//     prepares a statement under the SAME name as every other session.
+//     A session receiving another session's plan, constants, or
+//     prepared statement returns a provably wrong value.
+func TestServeStressRace(t *testing.T) {
+	writers, readers, rounds := 4, 4, 30
+	if testing.Short() {
+		writers, readers, rounds = 2, 2, 10
+	}
+
+	db := engine.Open()
+	db.MustExec("CREATE TABLE pairs (id INT, w INT, PRIMARY KEY (id))")
+	db.MustExec("CREATE TABLE known (k INT, v INT, PRIMARY KEY (k))")
+	nSessions := writers + readers + 1
+	for k := 0; k < nSessions; k++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO known VALUES (%d, %d)", k, k*10))
+	}
+	opts := core.DefaultOptions()
+	opts.Async = true
+	core.Attach(db, opts)
+
+	_, addr := startServer(t, db, Config{MaxConns: nSessions + 2})
+
+	var trafficWG, ddlWG sync.WaitGroup
+	errs := make(chan error, nSessions)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writers: pairs of inserts inside one transaction scope. id encodes
+	// (writer, round, half) so writers never collide on keys.
+	for w := 0; w < writers; w++ {
+		trafficWG.Add(1)
+		go func(w int) {
+			defer trafficWG.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				fail("writer %d dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			c.Timeout = 60 * time.Second
+			for r := 0; r < rounds; r++ {
+				if err := c.Begin(); err != nil {
+					fail("writer %d begin: %v", w, err)
+					return
+				}
+				base := (w*rounds + r) * 2
+				for h := 0; h < 2; h++ {
+					if _, err := c.Exec(fmt.Sprintf("INSERT INTO pairs VALUES (%d, %d)", base+h, w)); err != nil {
+						fail("writer %d insert: %v", w, err)
+						return
+					}
+				}
+				if _, err := c.Commit(); err != nil {
+					fail("writer %d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: every observation of pairs must be even, and the
+	// session's own known-answer query and shared-name prepared
+	// statement must never leak another session's plan or text.
+	for rd := 0; rd < readers; rd++ {
+		trafficWG.Add(1)
+		go func(rd int) {
+			defer trafficWG.Done()
+			k := writers + rd // this session's known-table key
+			c, err := Dial(addr)
+			if err != nil {
+				fail("reader %d dial: %v", rd, err)
+				return
+			}
+			defer c.Close()
+			c.Timeout = 60 * time.Second
+			// Same prepared name in every session, different statement.
+			if err := c.Prepare("mine", fmt.Sprintf("SELECT v FROM known WHERE k = %d", k)); err != nil {
+				fail("reader %d prepare: %v", rd, err)
+				return
+			}
+			want := fmt.Sprint(k * 10)
+			for r := 0; r < rounds*2; r++ {
+				res, err := c.Query("SELECT COUNT(*) AS n FROM pairs")
+				if err != nil {
+					fail("reader %d count: %v", rd, err)
+					return
+				}
+				var n int
+				fmt.Sscan(res.Rows[0][0], &n)
+				if n%2 != 0 {
+					fail("reader %d: observed %d rows in pairs — a transaction is half-visible", rd, n)
+					return
+				}
+				// Identical SQL shape across sessions, distinct constant:
+				// the sweet spot for a fingerprint-keyed cache to confuse.
+				res, err = c.Query(fmt.Sprintf("SELECT v FROM known WHERE k = %d", k))
+				if err != nil {
+					fail("reader %d known: %v", rd, err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0] != want {
+					fail("reader %d: known-answer query returned %v, want %s — plan cache poisoned across sessions", rd, res.Rows, want)
+					return
+				}
+				res, err = c.ExecPrepared("mine")
+				if err != nil {
+					fail("reader %d prepared: %v", rd, err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0] != want {
+					fail("reader %d: prepared 'mine' returned %v, want %s — prepared namespace leaked", rd, res.Rows, want)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	// DDL churn through the wire, racing the tuner's own index builds.
+	stop := make(chan struct{})
+	ddlWG.Add(1)
+	go func() {
+		defer ddlWG.Done()
+		c, err := Dial(addr)
+		if err != nil {
+			fail("ddl dial: %v", err)
+			return
+		}
+		defer c.Close()
+		c.Timeout = 60 * time.Second
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = c.Exec("CREATE INDEX stress_w ON pairs (w)")
+			_, _ = c.Exec("DROP INDEX stress_w")
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { trafficWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		close(stop)
+		t.Fatal("stress run wedged")
+	}
+	close(stop)
+	ddlWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Final ledger: every writer pair landed exactly once.
+	res, err := dial(t, addr).Query("SELECT COUNT(*) AS n FROM pairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(writers * rounds * 2); res.Rows[0][0] != want {
+		t.Fatalf("pairs has %s rows, want %s", res.Rows[0][0], want)
+	}
+}

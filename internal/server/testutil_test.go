@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+// startServer runs a server over db on an ephemeral port, returning the
+// dial address. Cleanup aborts the server if the test did not already
+// shut it down.
+func startServer(t *testing.T, db *engine.DB, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(db, cfg)
+	addr, errc, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Abort()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("serve loop did not exit")
+		}
+	})
+	return srv, addr.String()
+}
+
+// shutdownAndClose drains the server gracefully and closes the engine.
+func shutdownAndClose(t *testing.T, srv *Server, db *engine.DB) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// loadTPCH loads TPC-H into db at the given scale with the fixed test
+// seed, so two loads produce byte-identical databases.
+func loadTPCH(t *testing.T, db *engine.DB, scale float64) *tpch.Generator {
+	t.Helper()
+	gen := tpch.NewGenerator(tpch.Scale(scale), 1)
+	if err := gen.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// dial connects a test client with a generous per-request timeout.
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Timeout = 60 * time.Second
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// resultKey serializes a result's data (columns, rows, affected —
+// deliberately not cost, which is configuration-dependent and changes
+// as the tuner builds indexes) for byte-for-byte comparison against the
+// oracle.
+func resultKey(t *testing.T, res *StmtResult) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		C []string   `json:"c"`
+		R [][]string `json:"r"`
+		A int        `json:"a"`
+	}{res.Columns, res.Rows, res.Affected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// oracleKey executes q on the oracle database directly (no server, no
+// concurrency) and returns its resultKey.
+func oracleKey(t *testing.T, db *engine.DB, q string) string {
+	t.Helper()
+	rs, info, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("oracle %q: %v", q, err)
+	}
+	return resultKey(t, renderResult(rs, info))
+}

@@ -29,8 +29,8 @@ type LikeMatcher struct {
 }
 
 type likeChunk struct {
-	text    string
-	wild    bool // contains _
+	text string
+	wild bool // contains _
 }
 
 type likeShape uint8
