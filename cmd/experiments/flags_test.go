@@ -15,6 +15,7 @@ func TestParseCommand(t *testing.T) {
 		wantCmd   string
 		wantScale float64
 		wantOut   string
+		wantRules string
 		wantErr   bool
 	}{
 		{name: "no args", args: nil, wantCmd: "all", wantScale: 0.5},
@@ -24,6 +25,10 @@ func TestParseCommand(t *testing.T) {
 		{name: "flags both sides", args: []string{"-scale", "0.2", "tuners", "-out", "x.json"},
 			wantCmd: "tuners", wantScale: 0.2, wantOut: "x.json"},
 		{name: "only flags", args: []string{"-out", "y.json"}, wantCmd: "all", wantScale: 0.5, wantOut: "y.json"},
+		{name: "rules flag after subcommand", args: []string{"rules", "-rules", "topn"},
+			wantCmd: "rules", wantScale: 0.5, wantRules: "topn"},
+		{name: "rules flag before subcommand", args: []string{"-rules", "none", "fig8"},
+			wantCmd: "fig8", wantScale: 0.5, wantRules: "none"},
 		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
 		{name: "unknown flag after subcommand", args: []string{"serve", "-bogus"}, wantErr: true},
 	}
@@ -33,6 +38,7 @@ func TestParseCommand(t *testing.T) {
 			fs.SetOutput(io.Discard)
 			scale := fs.Float64("scale", 0.5, "")
 			out := fs.String("out", "", "")
+			rules := fs.String("rules", "", "")
 			cmd, err := parseCommand(fs, tc.args, "all")
 			if tc.wantErr {
 				if err == nil {
@@ -51,6 +57,9 @@ func TestParseCommand(t *testing.T) {
 			}
 			if *out != tc.wantOut {
 				t.Errorf("out = %q, want %q", *out, tc.wantOut)
+			}
+			if *rules != tc.wantRules {
+				t.Errorf("rules = %q, want %q", *rules, tc.wantRules)
 			}
 		})
 	}

@@ -14,7 +14,9 @@
 // for fault-injection-layer overhead with the injector disabled (the
 // recorded BENCH_fault.json), and wal for WAL durability costs — commit
 // throughput per fsync policy, replay bandwidth, checkpoint pause (the
-// recorded BENCH_wal.json).
+// recorded BENCH_wal.json). rules measures the optimizer rewrite pack
+// cell by cell — all-rules-off vs only-one-rule-on estimated cost,
+// result hashes, and latency (the recorded BENCH_rules.json).
 //
 // Flags scale the TPC-H workload (the defaults reproduce the shapes at
 // laptop scale in minutes):
@@ -24,6 +26,7 @@
 //	-seed    workload seed                            default 1
 //	-updates disruptive update statements (fig7c/d)   default 40
 //	-engine  execution engine: auto|row|vector        default auto
+//	-rules   optimizer rule set (all|none|list)       default all
 //	-procs   override GOMAXPROCS (0 = leave as-is)    default 0
 package main
 
@@ -53,7 +56,9 @@ func main() {
 	verify := flag.String("verify", "", "tuners: verify an existing report file instead of racing")
 	expect := flag.Bool("expect", false, "tuners -verify: also check the headline expectations (full-scale artifacts only)")
 	requests := flag.Int("requests", 60, "serve: requests per client per cell")
-	meta := flag.String("meta", "", "serve: print the canonical metadata of a report file and exit")
+	meta := flag.String("meta", "", "serve/rules: print the canonical metadata of a report file and exit")
+	reps := flag.Int("reps", 9, "rules: repetitions per cell (min-of-k latency)")
+	rules := flag.String("rules", "all", "optimizer rule set: all|none|comma list (unnest,topn,minmax,prune,joindp)")
 	flag.Parse()
 
 	cmd, err := parseCommand(flag.CommandLine, flag.Args(), "all")
@@ -71,6 +76,7 @@ func main() {
 		DisruptCount:   *updates,
 		BudgetFraction: 1.0,
 		ExecEngine:     *engineMode,
+		Rules:          *rules,
 	}
 
 	if cmd == "plancache" {
@@ -113,6 +119,13 @@ func main() {
 			verify:     *verify,
 			expect:     *expect,
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "rules" {
+		if err := rulesProfile(opts, *reps, *out, *verify, *meta); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -177,7 +190,7 @@ func run(cmd string, opts workload.TPCHOptions) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|wal|serve|all)", cmd)
+	return fmt.Errorf("unknown experiment %q (want table1|fig7a|fig7b|fig7c|fig7d|fig8|fig9|ablation|competitive|plancache|obs|fault|exec|wal|serve|rules|all)", cmd)
 }
 
 func table1() error {

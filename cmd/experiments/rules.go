@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"onlinetuner/internal/bench"
+	"onlinetuner/internal/workload"
+)
+
+// rulesProfile runs (or inspects) the optimizer rule-pack benchmark.
+// With -verify FILE it re-checks a committed BENCH_rules.json instead
+// of measuring; with -meta FILE it prints the file's machine-independent
+// metadata (the CI double-run determinism surface) and exits.
+func rulesProfile(opts workload.TPCHOptions, reps int, out, verifyPath, metaPath string) error {
+	if metaPath != "" {
+		data, err := os.ReadFile(metaPath)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.VerifyRulesJSON(data)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Meta())
+		return nil
+	}
+	if verifyPath != "" {
+		data, err := os.ReadFile(verifyPath)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.VerifyRulesJSON(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (%d cells, every rule wins on cost, results byte-identical)\n",
+			verifyPath, len(rep.Cells))
+		return nil
+	}
+	rep, err := bench.Rules(opts.Scale, opts.Seed, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatRules(rep))
+	return writeReportJSON(out, rep)
+}

@@ -34,6 +34,7 @@ func serveMain(args []string) {
 	suspend := fs.Bool("suspend", false, "suspend indexes instead of dropping")
 	throttle := fs.Int("throttle", 1, "run the tuner's analysis every N statements")
 	engineMode := fs.String("engine", "auto", "execution engine: auto|row|vector")
+	rules := fs.String("rules", "all", "optimizer rule set: all|none|comma list (unnest,topn,minmax,prune,joindp)")
 	notuner := fs.Bool("notuner", false, "serve without the online tuner attached")
 	maxConns := fs.Int("max-conns", 0, "connection limit (0 = server default)")
 	admitSlots := fs.Int("admit-slots", 0, "concurrently executing statements (0 = 2x exec workers)")
@@ -44,7 +45,7 @@ func serveMain(args []string) {
 	var err error
 	recovered := false
 	if *dir != "" {
-		db, err = engine.OpenDurable(engine.Config{Dir: *dir, ExecEngine: *engineMode})
+		db, err = engine.OpenDurable(engine.Config{Dir: *dir, ExecEngine: *engineMode, Rules: *rules})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "open durable:", err)
 			os.Exit(1)
@@ -55,7 +56,7 @@ func serveMain(args []string) {
 				*dir, rec.SnapshotSeq, rec.ReplayedRecords, rec.Duration)
 		}
 	} else {
-		db = engine.OpenConfig(engine.Config{ExecEngine: *engineMode})
+		db = engine.OpenConfig(engine.Config{ExecEngine: *engineMode, Rules: *rules})
 	}
 	// Preloads only seed a fresh database; a recovered directory
 	// already holds its schema and data (and re-running the DDL would

@@ -1,0 +1,293 @@
+// Rules benchmark: the cost-based rewrite pack measured rule by rule.
+// Every cell runs one query twice against the same TPC-H-loaded engine
+// — all rules off, then ONLY the cell's rule on — and records the
+// optimizer's estimated costs, the executed result's hash, and min-of-k
+// wall-clock latency. The off/on hashes must match (rules change cost,
+// never rows), every rule must win on estimated cost somewhere, and the
+// TopN rule must also win on the wall clock: that is the honesty
+// contract Verify enforces over the committed BENCH_rules.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/engine"
+	"onlinetuner/internal/tpch"
+)
+
+// RuleCell is one (rule, query) measurement.
+type RuleCell struct {
+	// Rule is the canonical rule name (as EXPLAIN provenance prints it).
+	Rule  string `json:"rule"`
+	Query string `json:"query"`
+	// CostOff/CostOn are the optimizer's estimated plan costs with all
+	// rules off vs only this cell's rule on — deterministic model
+	// outputs, not timings.
+	CostOff   float64 `json:"cost_off"`
+	CostOn    float64 `json:"cost_on"`
+	CostDelta float64 `json:"cost_delta"`
+	// Applied echoes the optimizer's provenance under the on setting.
+	Applied []string `json:"applied"`
+	// Rows and the result hashes are the semantic guard: both settings
+	// must produce byte-identical results in execution order.
+	Rows    int    `json:"rows"`
+	HashOff string `json:"hash_off"`
+	HashOn  string `json:"hash_on"`
+	// Min-of-k wall-clock latencies (machine-dependent; excluded from
+	// Meta).
+	LatencyOffMs float64 `json:"latency_off_ms"`
+	LatencyOnMs  float64 `json:"latency_on_ms"`
+}
+
+// RulesReport is the rule-pack profile, serialized to BENCH_rules.json
+// by cmd/experiments.
+type RulesReport struct {
+	Scale float64    `json:"scale"`
+	Seed  int64      `json:"seed"`
+	Reps  int        `json:"reps"`
+	Cells []RuleCell `json:"cells"`
+}
+
+// ruleQueries maps each rule to the queries its cells measure. The
+// shapes are chosen so the rule actually fires: the unnest cells need
+// the li_ship index for the inner side's index-aware access path, the
+// minmax cells read the same index's endpoints, and the join-dp cell is
+// a 4-table chain where greedy's locally-cheapest first join is
+// globally wrong.
+var ruleQueries = []struct {
+	rule    string // short name, as SetRules accepts
+	canon   string // canonical name, as provenance prints
+	queries []string
+}{
+	{"unnest", "subquery-unnest", []string{
+		"SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_shipdate < DATE '1993-06-01')",
+		"SELECT o_orderpriority, COUNT(*) AS n FROM orders WHERE EXISTS (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND l_shipdate < DATE '1993-06-01') GROUP BY o_orderpriority ORDER BY o_orderpriority",
+	}},
+	{"topn", "topn-pushdown", []string{
+		"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC LIMIT 10",
+		"SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5",
+	}},
+	{"minmax", "minmax-endpoint", []string{
+		"SELECT MIN(l_shipdate) AS lo FROM lineitem",
+		"SELECT MAX(l_shipdate) AS hi FROM lineitem",
+	}},
+	{"prune", "column-prune", []string{
+		"SELECT o_orderdate FROM orders, lineitem WHERE l_orderkey = o_orderkey",
+		"SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey AND o_totalprice > 100",
+	}},
+	{"joindp", "join-dp", []string{
+		"SELECT COUNT(*) AS n FROM supplier, lineitem, orders, nation WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey AND n_nationkey = 3",
+	}},
+}
+
+// rulesDDL prepares the physical design the cells assume.
+var rulesDDL = []string{
+	"CREATE INDEX li_ship ON lineitem (l_shipdate, l_orderkey)",
+}
+
+// hashRows digests a result in execution order, byte for byte.
+func hashRows(rows []datum.Row) string {
+	h := fnv.New64a()
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				h.Write([]byte{'|'})
+			}
+			fmt.Fprintf(h, "%v", v)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// measureRules runs a query under the current rule setting: one
+// measured pass for cost/provenance/hash, then reps-1 more for the
+// min latency.
+func measureRules(db *engine.DB, q string, reps int) (cost float64, applied []string, rows int, hash string, lat time.Duration, err error) {
+	lat = time.Duration(1) << 62
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		rs, info, e := db.Exec(q)
+		d := time.Since(t0)
+		if e != nil {
+			return 0, nil, 0, "", 0, e
+		}
+		if d < lat {
+			lat = d
+		}
+		if i == 0 {
+			cost = info.EstCost
+			applied = info.Result.RulesApplied
+			rows = len(rs.Rows)
+			hash = hashRows(rs.Rows)
+		}
+	}
+	return cost, applied, rows, hash, lat, nil
+}
+
+// Rules measures the rewrite pack cell by cell against one
+// TPC-H-loaded engine.
+func Rules(scale tpch.Scale, seed int64, reps int) (*RulesReport, error) {
+	if reps <= 0 {
+		reps = 9
+	}
+	db := engine.Open()
+	if err := tpch.NewGenerator(scale, seed).Load(db); err != nil {
+		return nil, err
+	}
+	for _, ddl := range rulesDDL {
+		if _, _, err := db.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	rep := &RulesReport{Scale: float64(scale), Seed: seed, Reps: reps}
+	for _, rq := range ruleQueries {
+		for _, q := range rq.queries {
+			if err := db.SetRules("none"); err != nil {
+				return nil, err
+			}
+			costOff, _, rowsOff, hashOff, latOff, err := measureRules(db, q, reps)
+			if err != nil {
+				return nil, fmt.Errorf("rules off, %q: %w", q, err)
+			}
+			if err := db.SetRules(rq.rule); err != nil {
+				return nil, err
+			}
+			costOn, applied, rowsOn, hashOn, latOn, err := measureRules(db, q, reps)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s, %q: %w", rq.rule, q, err)
+			}
+			if rowsOn != rowsOff {
+				return nil, fmt.Errorf("rule %s, %q: row count changed %d -> %d", rq.rule, q, rowsOff, rowsOn)
+			}
+			rep.Cells = append(rep.Cells, RuleCell{
+				Rule:         rq.canon,
+				Query:        q,
+				CostOff:      round3(costOff),
+				CostOn:       round3(costOn),
+				CostDelta:    round3(costOff - costOn),
+				Applied:      applied,
+				Rows:         rowsOn,
+				HashOff:      hashOff,
+				HashOn:       hashOn,
+				LatencyOffMs: round3(float64(latOff) / 1e6),
+				LatencyOnMs:  round3(float64(latOn) / 1e6),
+			})
+		}
+	}
+	if err := db.SetRules("all"); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// JSON serializes the report.
+func (r *RulesReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Meta renders the report's machine-independent identity — rule/query
+// shape, deterministic model costs, row counts and hashes; latencies
+// (the only machine-dependent fields) are omitted. CI compares this
+// across a double run.
+func (r *RulesReport) Meta() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scale=%g seed=%d cells=%d\n", r.Scale, r.Seed, len(r.Cells))
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "rule=%s cost_off=%.3f cost_on=%.3f rows=%d hash=%s applied=%s query=%q\n",
+			c.Rule, c.CostOff, c.CostOn, c.Rows, c.HashOn, strings.Join(c.Applied, ","), c.Query)
+	}
+	return sb.String()
+}
+
+// rulesCanonNames is the full rule pack every report must cover.
+var rulesCanonNames = []string{
+	"subquery-unnest", "topn-pushdown", "minmax-endpoint", "column-prune", "join-dp",
+}
+
+// Verify checks the report's honesty: full rule coverage, every rule
+// winning on estimated cost somewhere, provenance naming the rule it
+// claims, off/on results byte-identical, deltas reconciling, and the
+// TopN rule winning on the wall clock (it is the one rule whose point
+// is execution speed, not just plan cost).
+func (r *RulesReport) Verify() error {
+	var errs []string
+	won := map[string]bool{}
+	covered := map[string]bool{}
+	topnLatWin := false
+	for _, c := range r.Cells {
+		covered[c.Rule] = true
+		if c.HashOff != c.HashOn {
+			errs = append(errs, fmt.Sprintf("%s %q: results diverge off=%s on=%s", c.Rule, c.Query, c.HashOff, c.HashOn))
+		}
+		if d := c.CostDelta - (c.CostOff - c.CostOn); d > 0.01 || d < -0.01 {
+			errs = append(errs, fmt.Sprintf("%s %q: delta %.3f does not reconcile with %.3f-%.3f", c.Rule, c.Query, c.CostDelta, c.CostOff, c.CostOn))
+		}
+		if c.CostOn < c.CostOff {
+			won[c.Rule] = true
+			found := false
+			for _, a := range c.Applied {
+				if a == c.Rule {
+					found = true
+				}
+			}
+			if !found {
+				errs = append(errs, fmt.Sprintf("%s %q: cost fell but provenance %v does not name the rule", c.Rule, c.Query, c.Applied))
+			}
+		}
+		if c.Rule == "topn-pushdown" && c.LatencyOnMs > 0 && c.LatencyOnMs < c.LatencyOffMs {
+			topnLatWin = true
+		}
+	}
+	for _, name := range rulesCanonNames {
+		if !covered[name] {
+			errs = append(errs, fmt.Sprintf("rule %s has no cells", name))
+		} else if !won[name] {
+			errs = append(errs, fmt.Sprintf("rule %s never reduced estimated cost", name))
+		}
+	}
+	if !topnLatWin {
+		errs = append(errs, "topn-pushdown never won on wall-clock latency")
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("rules report verification failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// VerifyRulesJSON parses and verifies a serialized report — the CI
+// honesty guard's entry point for the committed BENCH_rules.json.
+func VerifyRulesJSON(data []byte) (*RulesReport, error) {
+	var rep RulesReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("rules report: bad JSON: %w", err)
+	}
+	if err := rep.Verify(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// FormatRules renders the human-readable per-rule table.
+func FormatRules(r *RulesReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Optimizer rule pack: all-off baseline vs single-rule-on (scale %.2g, seed %d, min of %d runs)\n\n",
+		r.Scale, r.Seed, r.Reps)
+	fmt.Fprintf(&sb, "%-16s %12s %12s %10s %9s %9s %6s  %s\n",
+		"rule", "cost off", "cost on", "delta", "off ms", "on ms", "rows", "query")
+	for _, c := range r.Cells {
+		q := c.Query
+		if len(q) > 60 {
+			q = q[:57] + "..."
+		}
+		fmt.Fprintf(&sb, "%-16s %12.1f %12.1f %10.1f %9.3f %9.3f %6d  %s\n",
+			c.Rule, c.CostOff, c.CostOn, c.CostDelta, c.LatencyOffMs, c.LatencyOnMs, c.Rows, q)
+	}
+	sb.WriteString("\nCosts are the optimizer's deterministic estimates; identical off/on row\nhashes are the proof that rules change cost, never results.\n")
+	return sb.String()
+}

@@ -20,6 +20,7 @@ type Model struct {
 	SortTup  float64 // per-tuple-comparison sort constant
 	WritePg  float64 // page write (index build, DML)
 	IdxTup   float64 // per-tuple index maintenance (DML)
+	WidthTup float64 // per-tuple-per-column materialization width charge
 }
 
 // DefaultModel returns the cost constants used throughout the system.
@@ -38,7 +39,35 @@ func DefaultModel() Model {
 		SortTup:  0.012,
 		WritePg:  2.0,
 		IdxTup:   0.15,
+		WidthTup: 0.0005,
 	}
+}
+
+// RowWidth is the cost of materializing rows tuples of cols columns into
+// a join input (hash table build, sort run, probe stream copy). It is
+// deliberately CPU-scale — far below the page costs — so it rewards
+// column pruning without flipping I/O-driven access choices.
+func (m Model) RowWidth(rows float64, cols int) float64 {
+	if cols <= 0 || rows <= 0 {
+		return 0
+	}
+	return rows * float64(cols) * m.WidthTup
+}
+
+// TopN is the cost of keeping the k smallest of rows tuples with a
+// bounded heap: one comparison-ish pass with log(k) heap maintenance,
+// versus Sort's full rows*log(rows).
+func (m Model) TopN(rows, k float64) float64 {
+	if rows < 2 {
+		return 0
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > rows {
+		k = rows
+	}
+	return rows * math.Log2(k) * m.SortTup
 }
 
 // HeapScan is the cost of scanning a heap (or clustered index) of the

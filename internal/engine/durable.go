@@ -74,7 +74,7 @@ func OpenDurable(cfg Config) (*DB, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	db := OpenConfig(Config{ExecWorkers: cfg.ExecWorkers, ExecEngine: cfg.ExecEngine})
+	db := OpenConfig(Config{ExecWorkers: cfg.ExecWorkers, ExecEngine: cfg.ExecEngine, Rules: cfg.Rules})
 	db.walDir = cfg.Dir
 	db.resumeBuilds = cfg.ResumeBuilds
 	info := &RecoveryInfo{}

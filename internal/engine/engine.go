@@ -114,6 +114,13 @@ type Config struct {
 	// its speed) changes. Invalid values fall back to "auto".
 	ExecEngine string
 
+	// Rules selects the optimizer's cost-based rewrite rules: "all"
+	// (default, also the empty string), "none", or a comma list of
+	// unnest,topn,minmax,prune,joindp. Every rule is result-preserving;
+	// toggling changes plan shape and cost, never statement output.
+	// Invalid values fall back to "all".
+	Rules string
+
 	// Dir is the durable directory holding WAL segments and checkpoint
 	// snapshots. Used by OpenDurable (which recovers an existing
 	// directory); ignored by OpenConfig.
@@ -164,6 +171,9 @@ func OpenConfig(cfg Config) *DB {
 	if m, err := executor.ParseEngineMode(cfg.ExecEngine); err == nil {
 		db.Exe.SetEngineMode(m)
 	}
+	if r, err := optimizer.ParseRules(cfg.Rules); err == nil {
+		db.Opt.SetRules(r)
+	}
 	return db
 }
 
@@ -195,6 +205,23 @@ func (db *DB) SetExecEngine(mode string) error {
 
 // ExecEngine returns the configured execution engine mode.
 func (db *DB) ExecEngine() string { return db.Exe.Engine().String() }
+
+// SetRules reconfigures the optimizer's rewrite-rule set at runtime:
+// "all", "none", or a comma list of unnest,topn,minmax,prune,joindp.
+// The rule set participates in the plan-cache key, so cached plans from
+// the previous setting are never served after a toggle. In-flight
+// statements finish on the rules they resolved at start.
+func (db *DB) SetRules(s string) error {
+	r, err := optimizer.ParseRules(s)
+	if err != nil {
+		return err
+	}
+	db.Opt.SetRules(r)
+	return nil
+}
+
+// Rules returns the configured optimizer rule set.
+func (db *DB) Rules() string { return db.Opt.Rules().String() }
 
 // SetFaults installs a fault injector on the storage layer; the engine,
 // executor and WAL writer consult the same injector. Pass nil to remove
@@ -522,6 +549,9 @@ func (db *DB) execExplain(s *sql.Explain) (*executor.ResultSet, *QueryInfo, erro
 	}
 	rs := &executor.ResultSet{Columns: []string{"plan"}}
 	rs.Rows = append(rs.Rows, datum.Row{datum.NewString(cacheMarker(res))})
+	for _, line := range ruleMarkers(res) {
+		rs.Rows = append(rs.Rows, datum.Row{datum.NewString(line)})
+	}
 	for _, line := range strings.Split(strings.TrimRight(plan.Explain(res.Plan), "\n"), "\n") {
 		rs.Rows = append(rs.Rows, datum.Row{datum.NewString(line)})
 	}
@@ -550,7 +580,11 @@ func (db *DB) ExplainString(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return cacheMarker(res) + "\n" + plan.Explain(res.Plan), nil
+	head := cacheMarker(res)
+	for _, line := range ruleMarkers(res) {
+		head += "\n" + line
+	}
+	return head + "\n" + plan.Explain(res.Plan), nil
 }
 
 // CreateIndex registers and materializes a secondary index, returning an

@@ -453,7 +453,7 @@ func TestExplainStatement(t *testing.T) {
 	for _, r := range rs.Rows {
 		text += r[0].Str() + "\n"
 	}
-	for _, want := range []string{"Limit 3", "Sort", "SeqScan R"} {
+	for _, want := range []string{"TopN 3", "SeqScan R"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("plan missing %q:\n%s", want, text)
 		}

@@ -68,6 +68,7 @@ type planEntry struct {
 	cfgVersion int64
 	statsEpoch int64
 	sizeSig    uint64
+	rules      optimizer.Rules
 }
 
 type planShard struct {
@@ -203,7 +204,7 @@ func (pc *planCache) storeStmt(e *stmtEntry) {
 // return a shallow copy of the cached Result flagged FromCache; in
 // CacheRebind mode a Generic entry additionally serves different
 // bindings through Optimizer.Rebind.
-func (db *DB) lookupPlan(fp *sql.Fingerprint, mode CacheMode, cfgV, statsE int64, sizeSig uint64) *optimizer.Result {
+func (db *DB) lookupPlan(fp *sql.Fingerprint, mode CacheMode, cfgV, statsE int64, sizeSig uint64, rules optimizer.Rules) *optimizer.Result {
 	pc := db.pc
 	sh := &pc.plans[fp.Hash%planShards]
 	sh.mu.Lock()
@@ -219,7 +220,9 @@ func (db *DB) lookupPlan(fp *sql.Fingerprint, mode CacheMode, cfgV, statsE int64
 		pc.misses.Inc()
 		return nil
 	}
-	if e.cfgVersion != cfgV || e.statsEpoch != statsE {
+	// The rule set is part of the plan-cache key: a plan optimized under
+	// one setting must never serve a statement running under another.
+	if e.cfgVersion != cfgV || e.statsEpoch != statsE || e.rules != rules {
 		sh.ll.Remove(el)
 		delete(sh.byHash, fp.Hash)
 		sh.mu.Unlock()
@@ -346,17 +349,19 @@ func (db *DB) optimizeMaybeCached(stmt sql.Statement, fpp **sql.Fingerprint) (*o
 	cfgV := db.Mgr.ConfigVersion()
 	statsE := db.Stats.Epoch()
 	sizeSig := db.sizeSigFor(stmt)
-	if res := db.lookupPlan(fp, mode, cfgV, statsE, sizeSig); res != nil {
+	rules := db.Opt.Rules()
+	if res := db.lookupPlan(fp, mode, cfgV, statsE, sizeSig, rules); res != nil {
 		return res, nil
 	}
 	res, err := db.Opt.Optimize(stmt)
 	if err != nil {
 		return nil, err
 	}
-	// Store only when no physical or statistics change raced with the
-	// optimization: both counters are monotonic, so equality means the
-	// Result still describes the state the validity tokens name.
-	if db.Mgr.ConfigVersion() == cfgV && db.Stats.Epoch() == statsE {
+	// Store only when no physical, statistics or rule-set change raced
+	// with the optimization: the counters are monotonic, so equality
+	// means the Result still describes the state the validity tokens
+	// name.
+	if db.Mgr.ConfigVersion() == cfgV && db.Stats.Epoch() == statsE && db.Opt.Rules() == rules {
 		db.pc.storePlan(&planEntry{
 			hash:       fp.Hash,
 			template:   fp.Template,
@@ -366,6 +371,7 @@ func (db *DB) optimizeMaybeCached(stmt sql.Statement, fpp **sql.Fingerprint) (*o
 			cfgVersion: cfgV,
 			statsEpoch: statsE,
 			sizeSig:    sizeSig,
+			rules:      rules,
 		})
 	}
 	return res, nil
@@ -382,4 +388,14 @@ func cacheMarker(res *optimizer.Result) string {
 	default:
 		return "-- plan: fresh"
 	}
+}
+
+// ruleMarkers renders one "-- rule: <name>" provenance line per rewrite
+// rule the optimizer applied to this plan, in canonical rule order.
+func ruleMarkers(res *optimizer.Result) []string {
+	out := make([]string, 0, len(res.RulesApplied))
+	for _, name := range res.RulesApplied {
+		out = append(out, "-- rule: "+name)
+	}
+	return out
 }

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRulesExplainProvenance: an applied rule announces itself as a
+// "-- rule:" header line, and disabling the rule set removes both the
+// lines and the rewritten operators — without changing the rows.
+func TestRulesExplainProvenance(t *testing.T) {
+	db := openRS(t, 500)
+	const q = "SELECT id, a FROM R WHERE a < 50 ORDER BY a DESC, id LIMIT 10"
+
+	on, err := db.ExplainString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(on, "-- rule: topn-pushdown") {
+		t.Fatalf("rules-on EXPLAIN missing provenance:\n%s", on)
+	}
+	if !strings.Contains(on, "TopN") {
+		t.Fatalf("rules-on EXPLAIN missing TopN:\n%s", on)
+	}
+	rowsOn := db.MustExec(q)
+
+	if err := db.SetRules("none"); err != nil {
+		t.Fatal(err)
+	}
+	off, err := db.ExplainString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off, "-- rule:") {
+		t.Fatalf("rules-off EXPLAIN still has provenance:\n%s", off)
+	}
+	if !strings.Contains(off, "Sort") || !strings.Contains(off, "Limit") {
+		t.Fatalf("rules-off EXPLAIN should fall back to Sort+Limit:\n%s", off)
+	}
+	rowsOff := db.MustExec(q)
+
+	got, want := fmt.Sprint(rowsOn.Rows), fmt.Sprint(rowsOff.Rows)
+	if got != want {
+		t.Fatalf("rule toggle changed results:\non:  %s\noff: %s", got, want)
+	}
+}
+
+// TestRulesPartOfPlanCacheKey: toggling the rule set must invalidate
+// cached plans — a plan built under one rule set must never serve a
+// session running another.
+func TestRulesPartOfPlanCacheKey(t *testing.T) {
+	db := openRS(t, 500)
+	const q = "SELECT id, a FROM R WHERE a < 50 ORDER BY a DESC, id LIMIT 10"
+
+	wantMarker(t, db, q, "-- plan: fresh")
+	wantMarker(t, db, q, "-- plan: cached (exact)")
+
+	before := db.PlanCacheStats()
+	if err := db.SetRules("none"); err != nil {
+		t.Fatal(err)
+	}
+	wantMarker(t, db, q, "-- plan: fresh")
+	if s := db.PlanCacheStats(); s.Invalidations <= before.Invalidations {
+		t.Fatalf("rule change did not invalidate: %+v -> %+v", before, s)
+	}
+	wantMarker(t, db, q, "-- plan: cached (exact)")
+
+	if err := db.SetRules("all"); err != nil {
+		t.Fatal(err)
+	}
+	wantMarker(t, db, q, "-- plan: fresh")
+	wantMarker(t, db, q, "-- plan: cached (exact)")
+}
+
+// TestRulesConfigRoundTrip: the Rules accessor reflects SetRules and
+// the Config field, and invalid specs are rejected without changing
+// the active set.
+func TestRulesConfigRoundTrip(t *testing.T) {
+	db := openRS(t, 10)
+	if got := db.Rules(); got != "all" {
+		t.Fatalf("default rules = %q, want all", got)
+	}
+	if err := db.SetRules("topn,minmax"); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Rules()
+	if !strings.Contains(got, "topn") || !strings.Contains(got, "minmax") || strings.Contains(got, "unnest") {
+		t.Fatalf("rules after SetRules(topn,minmax) = %q", got)
+	}
+	if err := db.SetRules("bogus-rule"); err == nil {
+		t.Fatal("invalid rule spec accepted")
+	}
+	if db.Rules() != got {
+		t.Fatalf("failed SetRules changed active set to %q", db.Rules())
+	}
+	db2 := OpenConfig(Config{Rules: "none"})
+	defer db2.Close()
+	if got := db2.Rules(); got != "none" {
+		t.Fatalf("Config.Rules=none → %q", got)
+	}
+}

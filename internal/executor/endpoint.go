@@ -1,0 +1,97 @@
+package executor
+
+import (
+	"fmt"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/fault"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/storage"
+)
+
+// indexEndpoint answers a MIN/MAX aggregate with at most two positioned
+// reads of an index: the smallest non-NULL entry after the equality
+// prefix (NULLs sort first, so MIN skips the leading NULL run) and/or
+// the last entry of the prefix group (which holds the maximum value —
+// all-NULL groups surface their NULL row and the aggregate above folds
+// it to NULL, exactly as a scan-based aggregate would). Emitted rows are
+// full heap rows, deduplicated by RID when both endpoints coincide.
+func (e *run) indexEndpoint(n *plan.IndexEndpoint, c *Collector) ([]datum.Row, error) {
+	pi := e.mgr.Index(n.Index.ID())
+	if pi == nil || pi.State() != storage.StateActive {
+		return nil, fmt.Errorf("executor: index %s: %w", n.Index.Name, ErrStaleIndex)
+	}
+	if err := e.faults.Hit(fault.PageRead); err != nil {
+		return nil, fmt.Errorf("executor: endpoint seek on index %s: %w", n.Index.Name, err)
+	}
+	markEngine(c, n, false)
+	h := e.mgr.Heap(n.Index.Table)
+	eq := n.EqVals
+	inGroup := func(key datum.Row) bool {
+		if len(key) <= len(eq) {
+			return false
+		}
+		for i, v := range eq {
+			if key[i].Compare(v) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var rids []storage.RID
+	var scanned, keyBytes int64
+	if n.WantMin {
+		// Position past the prefix's NULL run: (eq..., NULL) inclusive is
+		// the group's first entry, and the bounded iterator never leaves
+		// the group.
+		lo := append(append(datum.Row{}, eq...), datum.Null)
+		var hi datum.Row
+		if len(eq) > 0 {
+			hi = eq
+		}
+		for it := pi.Tree().Seek(lo, true, hi, true); it.Valid(); it.Next() {
+			ent := it.Entry()
+			scanned++
+			keyBytes += int64(ent.Key.Width())
+			if !inGroup(ent.Key) {
+				break
+			}
+			if ent.Key[len(eq)].IsNull() {
+				continue
+			}
+			rids = append(rids, ent.RID)
+			break
+		}
+	}
+	if n.WantMax {
+		if ent, ok := pi.Tree().LastLE(eq); ok {
+			scanned++
+			keyBytes += int64(ent.Key.Width())
+			if inGroup(ent.Key) {
+				dup := false
+				for _, r := range rids {
+					if r == ent.RID {
+						dup = true
+					}
+				}
+				if !dup {
+					rids = append(rids, ent.RID)
+				}
+			}
+		}
+	}
+	out := make([]datum.Row, 0, len(rids))
+	for _, rid := range rids {
+		row := h.Get(rid)
+		if row == nil {
+			return nil, fmt.Errorf("executor: dangling rid %d in index %s", rid, n.Index.Name)
+		}
+		out = append(out, row)
+	}
+	if c != nil {
+		st := c.at(n)
+		st.addScanned(scanned)
+		st.addPages(storage.PagesFor(keyBytes) + int64(len(out)))
+	}
+	return out, nil
+}

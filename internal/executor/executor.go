@@ -219,6 +219,8 @@ func (e *run) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
 		return e.indexScan(n, c)
 	case *plan.IndexSeek:
 		return e.indexSeek(n, c)
+	case *plan.IndexEndpoint:
+		return e.indexEndpoint(n, c)
 	case *plan.Filter:
 		return e.filter(n, c)
 	case *plan.Project:
@@ -227,10 +229,14 @@ func (e *run) execNode(p plan.Node, c *Collector) ([]datum.Row, error) {
 		return e.sortNode(n, c)
 	case *plan.Limit:
 		return e.limit(n, c)
+	case *plan.TopN:
+		return e.topN(n, c)
 	case *plan.Distinct:
 		return e.distinct(n, c)
 	case *plan.HashJoin:
 		return e.hashJoin(n, c)
+	case *plan.HashSemiJoin:
+		return e.hashSemiJoin(n, c)
 	case *plan.MergeJoin:
 		return e.mergeJoin(n, c)
 	case *plan.CrossJoin:
@@ -267,55 +273,65 @@ func (e *run) seqScan(n *plan.SeqScan, c *Collector) ([]datum.Row, error) {
 		}
 	}
 	var scanned atomic.Int64
-	var out []datum.Row
-	err = runMorsels(e, "seqscan "+n.Table, chunkBounds(slots),
-		func(i int) (*datum.Batch, error) {
-			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
-				return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, ferr)
+	work := func(i int) (*datum.Batch, error) {
+		if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
+			return nil, fmt.Errorf("executor: scan of %s: %w", n.Table, ferr)
+		}
+		b := datum.NewBatch(0)
+		if useVec {
+			// Columnar emission: pull the whole morsel's live rows in
+			// one lock round, then filter with the predicate kernels.
+			w := getVecWork()
+			rows := h.ScanRangeRows(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
+				w.rows[:0])
+			scanned.Add(int64(len(rows)))
+			for _, k := range vf.vecApply(&w.s, rows) {
+				b.Append(rows[k])
 			}
-			b := datum.NewBatch(0)
-			if useVec {
-				// Columnar emission: pull the whole morsel's live rows in
-				// one lock round, then filter with the predicate kernels.
-				w := getVecWork()
-				rows := h.ScanRangeRows(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
-					w.rows[:0])
-				scanned.Add(int64(len(rows)))
-				for _, k := range vf.vecApply(&w.s, rows) {
-					b.Append(rows[k])
+			// The batch copied the surviving row headers; only the
+			// buffer (not the rows it points at) is recycled.
+			w.rows = rows
+			putVecWork(w)
+			return b, nil
+		}
+		var sc int64
+		var werr error
+		h.ScanRange(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
+			func(_ storage.RID, r datum.Row) bool {
+				sc++
+				ok, perr := pred(r)
+				if perr != nil {
+					werr = perr
+					return false
 				}
-				// The batch copied the surviving row headers; only the
-				// buffer (not the rows it points at) is recycled.
-				w.rows = rows
-				putVecWork(w)
-				return b, nil
-			}
-			var sc int64
-			var werr error
-			h.ScanRange(storage.RID(i*morselRows), storage.RID((i+1)*morselRows),
-				func(_ storage.RID, r datum.Row) bool {
-					sc++
-					ok, perr := pred(r)
-					if perr != nil {
-						werr = perr
-						return false
-					}
-					if ok {
-						b.Append(r)
-					}
-					return true
-				})
-			scanned.Add(sc)
-			return b, werr
-		},
-		func(_ int, b *datum.Batch) error {
-			out = append(out, b.Rows()...)
-			return nil
-		})
+				if ok {
+					b.Append(r)
+				}
+				return true
+			})
+		scanned.Add(sc)
+		return b, werr
+	}
+	chunks := chunkBounds(slots)
+	visited := chunks
+	var out []datum.Row
+	if n.Stop > 0 {
+		out, visited, err = e.runStopped(chunks, n.Stop, work)
+	} else {
+		err = runMorsels(e, "seqscan "+n.Table, chunks, work,
+			func(_ int, b *datum.Batch) error {
+				out = append(out, b.Rows()...)
+				return nil
+			})
+	}
 	if c != nil {
 		st := c.at(n)
 		st.addScanned(scanned.Load())
-		st.addPages(h.Pages()) // a full scan reads the whole heap
+		pages := h.Pages() // a full scan reads the whole heap
+		if visited < chunks && chunks > 0 {
+			pages = pages * int64(visited) / int64(chunks)
+		}
+		st.addPages(pages)
 	}
 	if err != nil {
 		return nil, err
@@ -358,51 +374,60 @@ func (e *run) indexScan(n *plan.IndexScan, c *Collector) ([]datum.Row, error) {
 		}
 	}
 	var scanned atomic.Int64
-	var out []datum.Row
-	err = runMorsels(e, "indexscan "+n.Index.Name, len(shards),
-		func(i int) (*datum.Batch, error) {
-			if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
-				return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, ferr)
-			}
-			b := datum.NewBatch(0)
-			it := shards[i].It
-			if useVec {
-				w := getVecWork()
-				rows := w.rows[:0]
-				for k := 0; k < shards[i].N; k++ {
-					rows = append(rows, it.Entry().Key)
-					it.Next()
-				}
-				for _, k := range vf.vecApply(&w.s, rows) {
-					b.Append(rows[k])
-				}
-				scanned.Add(int64(shards[i].N))
-				w.rows = rows
-				putVecWork(w)
-				return b, nil
-			}
+	work := func(i int) (*datum.Batch, error) {
+		if ferr := e.faults.HitKeyed(fault.PageRead, morselKey(ord, i)); ferr != nil {
+			return nil, fmt.Errorf("executor: scan of index %s: %w", n.Index.Name, ferr)
+		}
+		b := datum.NewBatch(0)
+		it := shards[i].It
+		if useVec {
+			w := getVecWork()
+			rows := w.rows[:0]
 			for k := 0; k < shards[i].N; k++ {
-				row := it.Entry().Key
+				rows = append(rows, it.Entry().Key)
 				it.Next()
-				ok, perr := pred(row)
-				if perr != nil {
-					return nil, perr
-				}
-				if ok {
-					b.Append(row)
-				}
+			}
+			for _, k := range vf.vecApply(&w.s, rows) {
+				b.Append(rows[k])
 			}
 			scanned.Add(int64(shards[i].N))
+			w.rows = rows
+			putVecWork(w)
 			return b, nil
-		},
-		func(_ int, b *datum.Batch) error {
-			out = append(out, b.Rows()...)
-			return nil
-		})
+		}
+		for k := 0; k < shards[i].N; k++ {
+			row := it.Entry().Key
+			it.Next()
+			ok, perr := pred(row)
+			if perr != nil {
+				return nil, perr
+			}
+			if ok {
+				b.Append(row)
+			}
+		}
+		scanned.Add(int64(shards[i].N))
+		return b, nil
+	}
+	visited := len(shards)
+	var out []datum.Row
+	if n.Stop > 0 {
+		out, visited, err = e.runStopped(len(shards), n.Stop, work)
+	} else {
+		err = runMorsels(e, "indexscan "+n.Index.Name, len(shards), work,
+			func(_ int, b *datum.Batch) error {
+				out = append(out, b.Rows()...)
+				return nil
+			})
+	}
 	if c != nil {
 		st := c.at(n)
 		st.addScanned(scanned.Load())
-		st.addPages(pi.Pages()) // a full scan reads the whole index
+		pages := pi.Pages() // a full scan reads the whole index
+		if visited < len(shards) && len(shards) > 0 {
+			pages = pages * int64(visited) / int64(len(shards))
+		}
+		st.addPages(pages)
 	}
 	if err != nil {
 		return nil, err
@@ -479,6 +504,9 @@ func (e *run) indexSeek(n *plan.IndexSeek, c *Collector) ([]datum.Row, error) {
 		}
 		if ok {
 			out = append(out, row)
+			if n.Stop > 0 && int64(len(out)) >= n.Stop {
+				break
+			}
 		}
 	}
 	if c != nil {

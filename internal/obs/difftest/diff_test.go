@@ -292,6 +292,73 @@ func TestDifferentialVectorized(t *testing.T) {
 	}
 }
 
+// replayRules is replayAt with an explicit optimizer rule set and the
+// count of statements on which at least one rewrite rule fired.
+func replayRules(t *testing.T, workers int, rules string, stmts []string) ([]string, []obs.Decision, int) {
+	t.Helper()
+	db := engine.OpenConfig(engine.Config{ExecWorkers: workers, Rules: rules})
+	db.SetPlanCacheMode(engine.CacheOff)
+	if err := tpch.NewGenerator(scale, dataSeed).Load(db); err != nil {
+		t.Fatal(err)
+	}
+	tn := core.Attach(db, core.DefaultOptions())
+	out := make([]string, len(stmts))
+	applied := 0
+	for i, s := range stmts {
+		rs, info, err := db.Exec(s)
+		if err != nil {
+			t.Fatalf("rules %s stmt %d %q: %v", rules, i, s, err)
+		}
+		if info.Result != nil && len(info.Result.RulesApplied) > 0 {
+			applied++
+		}
+		out[i] = canon(rs.Rows, rs.Affected)
+	}
+	return out, tn.Decisions(), applied
+}
+
+// TestDifferentialRules replays the TPC-H workload — whose Q4, Q18 and
+// Q22 templates carry IN / EXISTS / NOT EXISTS subqueries, and whose
+// templates end in ORDER BY ... LIMIT — with the full rewrite pack on
+// vs every rule off, at 1 and 4 workers. The rewrite pack is a cost
+// optimization: per-statement results must be byte-identical in
+// execution order under every setting. (Tuner decisions are NOT
+// compared: the rules legitimately change estimated costs and what-if
+// candidates, which is their point.)
+func TestDifferentialRules(t *testing.T) {
+	g := tpch.NewGenerator(scale, 29)
+	var stmts []string
+	for r := 0; r < 2; r++ {
+		stmts = append(stmts, g.Batch()...)
+		stmts = append(stmts, g.DisruptiveUpdates(4)...)
+		stmts = append(stmts, g.RefreshInsert(2)...)
+	}
+
+	refRes, _, refApplied := replayRules(t, 1, "none", stmts)
+	if refApplied != 0 {
+		t.Fatalf("rules=none still applied rewrites on %d statements", refApplied)
+	}
+	for _, c := range []struct {
+		workers int
+		rules   string
+	}{
+		{1, "all"}, {4, "all"}, {4, "none"}, {1, "topn,minmax"},
+	} {
+		name := fmt.Sprintf("rules=%s workers=%d", c.rules, c.workers)
+		res, _, applied := replayRules(t, c.workers, c.rules, stmts)
+		for i := range stmts {
+			if res[i] != refRes[i] {
+				t.Fatalf("%s stmt %d %q differs from rules-off/sequential:\n%s\nvs\n%s",
+					name, i, stmts[i], res[i], refRes[i])
+			}
+		}
+		// The comparison only means something if the pack actually fired.
+		if c.rules == "all" && applied == 0 {
+			t.Errorf("%s: no statement had a rewrite rule applied", name)
+		}
+	}
+}
+
 // analyzeProbes runs EXPLAIN ANALYZE for each probe statement.
 func analyzeProbes(t *testing.T, db *engine.DB, probes []string) []*engine.Analysis {
 	t.Helper()

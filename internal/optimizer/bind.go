@@ -339,6 +339,13 @@ func walkColumns(e sql.Expr, fn func(*sql.ColumnRef)) {
 		if x.Arg != nil {
 			walkColumns(x.Arg, fn)
 		}
+	case *sql.InSubquery:
+		// Only the outer-side probe expression is visible to the outer
+		// binder; the subquery has its own scope.
+		walkColumns(x.Left, fn)
+	case *sql.ExistsExpr:
+		// EXISTS contributes no outer columns directly; its correlation
+		// predicates are resolved by the unnesting rule.
 	}
 }
 
@@ -359,6 +366,11 @@ func hasAggregate(e sql.Expr) bool {
 			walk(x.Inner)
 		case *sql.LikeExpr:
 			walk(x.Expr)
+		case *sql.InSubquery:
+			// Aggregates inside the subquery belong to its own scope.
+			walk(x.Left)
+		case *sql.ExistsExpr:
+			// Nothing: subquery scope.
 		}
 	}
 	walk(e)

@@ -1,0 +1,214 @@
+package optimizer
+
+import (
+	"math"
+	"math/bits"
+	"strings"
+
+	"onlinetuner/internal/datum"
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+)
+
+// tryJoinDP runs an exhaustive bushy join-order DP (hash joins only,
+// connected subsets only) over small join graphs and adopts its plan
+// when it beats the greedy left-deep order on estimated cost. The rule
+// only fires on order-safe queries — aggregate output provably
+// independent of intermediate row order — so toggling it can change
+// plan shape and cost but never the rows a statement returns.
+func (o *Optimizer) tryJoinDP(bq *boundQuery, paths []*accessPath, st *joinState, rules Rules, applied map[string]bool) {
+	n := len(bq.tables)
+	if !rules.Has(RuleJoinDP) || n < 3 || n > 7 {
+		return
+	}
+	if !orderSafeForDP(bq) {
+		return
+	}
+	m := o.env.Model
+
+	full := (1 << n) - 1
+	width := make([]int, 1<<n)
+	rows := make([]float64, 1<<n)
+	cost := make([]float64, 1<<n)
+	split := make([]int, 1<<n)
+
+	// Per-subset width and cardinality. Cardinality mirrors the greedy
+	// estimator: product of access-path rows times one selectivity per
+	// join predicate internal to the subset, clamped at one row.
+	for s := 1; s <= full; s++ {
+		cost[s] = math.Inf(1)
+		r := 1.0
+		for i := 0; i < n; i++ {
+			if s&(1<<i) != 0 {
+				r *= paths[i].rows
+				width[s] += len(paths[i].node.Schema())
+			}
+		}
+		for _, jp := range bq.joins {
+			if s&(1<<jp.lt) != 0 && s&(1<<jp.rt) != 0 {
+				r *= 1 / math.Max(1, math.Max(
+					o.distinctOf(bq.tables[jp.lt].ref.Table, jp.lc),
+					o.distinctOf(bq.tables[jp.rt].ref.Table, jp.rc)))
+			}
+		}
+		rows[s] = math.Max(1, r)
+	}
+	for i := 0; i < n; i++ {
+		cost[1<<i] = paths[i].cost
+		rows[1<<i] = paths[i].rows
+	}
+
+	for s := 1; s <= full; s++ {
+		if bits.OnesCount(uint(s)) < 2 {
+			continue
+		}
+		for a := (s - 1) & s; a > 0; a = (a - 1) & s {
+			b := s &^ a
+			if b == 0 || math.IsInf(cost[a], 1) || math.IsInf(cost[b], 1) {
+				continue
+			}
+			// Hash joins only between connected subsets: a predicate must
+			// span the split (no cross products inside the DP).
+			connected := false
+			for _, jp := range bq.joins {
+				la, ra := a&(1<<jp.lt) != 0, a&(1<<jp.rt) != 0
+				lb, rb := b&(1<<jp.lt) != 0, b&(1<<jp.rt) != 0
+				if (la && rb) || (ra && lb) {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			// A probes, B builds — the same cost shape joinChoiceFor
+			// charges for its hash join, width terms included.
+			c := cost[a] + cost[b] + m.HashJoin(rows[b], rows[a]) +
+				m.RowWidth(rows[a], width[a]) + m.RowWidth(rows[b], width[b])
+			if c < cost[s] {
+				cost[s] = c
+				split[s] = a
+			}
+		}
+	}
+	if math.IsInf(cost[full], 1) || cost[full] >= st.cost-1e-9 {
+		return
+	}
+
+	var build func(s int) plan.Node
+	build = func(s int) plan.Node {
+		if bits.OnesCount(uint(s)) == 1 {
+			return paths[bits.TrailingZeros(uint(s))].node
+		}
+		a := split[s]
+		b := s &^ a
+		left, right := build(a), build(b)
+		var lk, rk []sql.Expr
+		for _, jp := range bq.joins {
+			lt, rt, lc, rc := jp.lt, jp.rt, jp.lc, jp.rc
+			if a&(1<<rt) != 0 && b&(1<<lt) != 0 {
+				lt, rt, lc, rc = rt, lt, rc, lc
+			}
+			if a&(1<<lt) != 0 && b&(1<<rt) != 0 {
+				lk = append(lk, &sql.ColumnRef{Table: bq.tables[lt].name(), Column: lc})
+				rk = append(rk, &sql.ColumnRef{Table: bq.tables[rt].name(), Column: rc})
+			}
+		}
+		hj := &plan.HashJoin{Left: left, Right: right, LeftKeys: lk, RightKeys: rk}
+		hj.Out = append(append([]plan.ColRef(nil), left.Schema()...), right.Schema()...)
+		hj.Cost = cost[s]
+		hj.Rows = rows[s]
+		return hj
+	}
+	st.node = build(full)
+	st.cost = cost[full]
+	st.rows = rows[full]
+	st.order = nil
+	applied["join-dp"] = true
+}
+
+// orderSafeForDP reports whether the query's final output is provably
+// independent of intermediate row order: aggregate-only output with
+// order-insensitive accumulators, and — when grouping — a total output
+// order imposed by ORDER BY on every group key (hash aggregation emits
+// groups in input-first-appearance order, so without that pin a join
+// reorder would reorder the output).
+func orderSafeForDP(bq *boundQuery) bool {
+	sel := bq.sel
+	if sel.Distinct {
+		return false
+	}
+	if !bq.hasAggs && len(sel.GroupBy) == 0 {
+		return false
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			return false
+		}
+		fe, ok := it.Expr.(*sql.FuncExpr)
+		if !ok {
+			// A scalar item evaluates on each group's first row: safe only
+			// when it is itself a group key (constant within the group).
+			if !exprInList(it.Expr, sel.GroupBy) {
+				return false
+			}
+			continue
+		}
+		switch fe.Name {
+		case "COUNT", "MIN", "MAX":
+		case "SUM":
+			// Integer SUM accumulates exactly in any order; float SUM (and
+			// AVG's float accumulator) are order-sensitive.
+			cr, ok := fe.Arg.(*sql.ColumnRef)
+			if !ok {
+				return false
+			}
+			ti, col, err := bq.resolve(cr)
+			if err != nil {
+				return false
+			}
+			t := bq.tables[ti].tbl
+			if t.Columns[t.ColumnIndex(col)].Kind != datum.KInt {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if len(sel.GroupBy) == 0 {
+		return true
+	}
+	// Every group key must be pinned by ORDER BY so the output order is
+	// total regardless of hash-aggregation emission order.
+	for _, g := range sel.GroupBy {
+		found := false
+		for _, oi := range sel.OrderBy {
+			e := oi.Expr
+			if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
+				for _, it := range sel.Items {
+					if !it.Star && strings.EqualFold(it.Alias, cr.Column) {
+						e = it.Expr
+					}
+				}
+			}
+			if e.String() == g.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// exprInList reports structural (string-form) membership.
+func exprInList(e sql.Expr, list []sql.Expr) bool {
+	for _, g := range list {
+		if g.String() == e.String() {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"onlinetuner/internal/catalog"
 	"onlinetuner/internal/datum"
@@ -14,12 +15,23 @@ import (
 
 // Optimizer plans statements against the current physical configuration.
 type Optimizer struct {
-	env *whatif.Env
+	env   *whatif.Env
+	rules atomic.Uint32
 }
 
 // New returns an optimizer over the given what-if environment (catalog,
-// statistics, storage and cost model).
-func New(env *whatif.Env) *Optimizer { return &Optimizer{env: env} }
+// statistics, storage and cost model). All rewrite rules start enabled.
+func New(env *whatif.Env) *Optimizer {
+	o := &Optimizer{env: env}
+	o.rules.Store(uint32(DefaultRules))
+	return o
+}
+
+// SetRules atomically swaps the rewrite-rule bitset.
+func (o *Optimizer) SetRules(r Rules) { o.rules.Store(uint32(r)) }
+
+// Rules returns the active rewrite-rule bitset.
+func (o *Optimizer) Rules() Rules { return Rules(o.rules.Load()) }
 
 // Result is an optimized statement: the physical plan, its estimated
 // cost/cardinality, and the AND/OR request tree captured during
@@ -42,6 +54,11 @@ type Result struct {
 	// plan (generic-plan reuse) rather than matching exactly.
 	FromCache bool
 	Rebound   bool
+
+	// RulesApplied lists the canonical names of the rewrite rules that
+	// actually fired on this plan, in canonical bit order (EXPLAIN
+	// provenance: "-- rule: <name>").
+	RulesApplied []string
 }
 
 // Requests returns all requests in the result's tree.
@@ -72,9 +89,36 @@ type joinState struct {
 }
 
 func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
+	rules := o.Rules()
+	applied := map[string]bool{}
+
+	// Subquery conjuncts (IN/EXISTS and negations) are split off before
+	// binding: the outer query binds without them and each becomes a hash
+	// semi-join on top of the join tree. Unnesting itself is unconditional
+	// — it is the only way this engine executes subqueries — while the
+	// RuleUnnest bit gates only the inner side's index-aware access path
+	// and its request capture.
+	outerSel, subqs := stripSubqueries(sel)
+	if err := rejectSubqueries(outerSel); err != nil {
+		return nil, err
+	}
+	sel = outerSel
+
 	bq, err := bind(o.env.Cat, sel)
 	if err != nil {
 		return nil, err
+	}
+
+	// Analyze subqueries up front: their outer probe/correlation columns
+	// must be in the required sets before access paths are chosen, or a
+	// covering index scan could omit them.
+	semis := make([]*semiSpec, 0, len(subqs))
+	for _, e := range subqs {
+		sp, err := o.analyzeSubquery(bq, e)
+		if err != nil {
+			return nil, err
+		}
+		semis = append(semis, sp)
 	}
 
 	// Column-name sort hints for single-table queries feed the requests.
@@ -98,6 +142,14 @@ func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
 			sc = sortCols
 		}
 		paths[i] = o.chooseAccess(bt, sc)
+	}
+
+	// MIN/MAX endpoint rule: may replace the single-table access path and
+	// captures the endpoint request whenever the shape matches (semi-joins
+	// above would filter rows the endpoint seek never produced, so the
+	// rule stands down when subqueries are present).
+	if len(semis) == 0 {
+		o.tryMinMaxEndpoint(bq, paths, rules, applied)
 	}
 
 	// Per-table OR groups of requests.
@@ -153,6 +205,11 @@ func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
 		st.joined[bestIdx] = true
 	}
 
+	// Bushy join-order DP over small, order-safe join graphs. Runs after
+	// the greedy loop so all greedy-captured requests (including INLJ
+	// alternatives) are already in the tree.
+	o.tryJoinDP(bq, paths, st, rules, applied)
+
 	// Multi-table residual predicates.
 	if len(bq.resid) > 0 {
 		rows := st.rows * math.Pow(0.5, float64(len(bq.resid)))
@@ -165,7 +222,24 @@ func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
 		st.rows = rows
 	}
 
-	if err := o.finishSelect(bq, st); err != nil {
+	// Semi-joins from unnested subqueries sit on top of the join tree:
+	// they filter the probe stream in order, so their placement cannot
+	// perturb the outer row order between rule settings.
+	var extraGroups []*whatif.Node
+	for _, sp := range semis {
+		g := o.applySemiJoin(st, sp, rules, applied)
+		if g != nil {
+			extraGroups = append(extraGroups, g)
+		}
+	}
+
+	// Column pruning below joins: inserts order-preserving narrowing
+	// projections only, so row content and order are untouched.
+	if rules.Has(RulePrune) && len(bq.tables) > 1 && !hasStar(sel) {
+		o.pruneColumns(bq, st, semis, applied)
+	}
+
+	if err := o.finishSelect(bq, st, rules, applied); err != nil {
 		return nil, err
 	}
 
@@ -173,8 +247,23 @@ func (o *Optimizer) planSelect(sel *sql.Select) (*Result, error) {
 	for _, g := range orGroups {
 		groups = append(groups, g)
 	}
+	groups = append(groups, extraGroups...)
 	tree := whatif.NewAnd(groups...)
-	return &Result{Plan: st.node, Tree: tree, Cost: st.cost, Rows: st.rows, Generic: genericPreds(bq)}, nil
+	return &Result{
+		Plan: st.node, Tree: tree, Cost: st.cost, Rows: st.rows,
+		Generic:      genericPreds(bq) && len(semis) == 0,
+		RulesApplied: appliedNames(applied),
+	}, nil
+}
+
+// hasStar reports whether any select item is a star.
+func hasStar(sel *sql.Select) bool {
+	for _, it := range sel.Items {
+		if it.Star {
+			return true
+		}
+	}
+	return false
 }
 
 // genericPreds reports whether the bound query's plan shape is
@@ -256,12 +345,19 @@ func (o *Optimizer) joinChoiceFor(bq *boundQuery, st *joinState, j int, path *ac
 
 	outSchema := append(append([]plan.ColRef(nil), st.node.Schema()...), plan.TableSchema(bt.tbl, bt.name())...)
 
+	// Both join inputs are materialized (hash table, merge run or cross
+	// buffer): charge the width-aware term so narrowing projections from
+	// the column-prune rule have a cost to save. The term is charged in
+	// every rule setting — only the projections depend on the rule bit —
+	// so access and join-order choices stay rule-independent.
+	widthTerm := m.RowWidth(st.rows, len(st.node.Schema())) + m.RowWidth(path.rows, len(path.node.Schema()))
+
 	if len(outerKeys) == 0 {
 		// Cross join fallback.
 		rows := st.rows * path.rows
 		n := &plan.CrossJoin{Left: st.node, Right: path.node}
 		n.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), path.node.Schema()...)
-		n.Cost = st.cost + path.cost + rows*m.CPUTuple
+		n.Cost = st.cost + path.cost + rows*m.CPUTuple + widthTerm
 		n.Rows = rows
 		return &joinChoice{node: n, cost: n.Cost, rows: rows}
 	}
@@ -275,7 +371,7 @@ func (o *Optimizer) joinChoiceFor(bq *boundQuery, st *joinState, j int, path *ac
 	// result (preserving its order).
 	hj := &plan.HashJoin{Left: st.node, Right: path.node, LeftKeys: outerKeys, RightKeys: innerKeys}
 	hj.Out = append(append([]plan.ColRef(nil), st.node.Schema()...), path.node.Schema()...)
-	hjCost := st.cost + path.cost + m.HashJoin(path.rows, st.rows)
+	hjCost := st.cost + path.cost + m.HashJoin(path.rows, st.rows) + widthTerm
 	hj.Cost = hjCost
 	hj.Rows = rowsOut
 	best := &joinChoice{node: hj, cost: hjCost, rows: rowsOut, order: st.order}
@@ -327,6 +423,8 @@ func (o *Optimizer) joinChoiceFor(bq *boundQuery, st *joinState, j int, path *ac
 		}
 		preds := allPreds(bt)
 		c += st.rows * matchRows * float64(len(preds)) * m.CPUPred
+		// Only the outer stream is materialized through an INLJ.
+		c += m.RowWidth(st.rows, len(st.node.Schema()))
 		if bestINLJ == nil || c < bestINLJ.cost {
 			inlj := &plan.INLJoin{
 				Outer:     st.node,
@@ -353,7 +451,7 @@ func (o *Optimizer) joinChoiceFor(bq *boundQuery, st *joinState, j int, path *ac
 	// hash join).
 	leftSorted := orderPrefixMatches(st.order, outerKeys)
 	rightSorted := pathOrderMatches(path.order, innerCols, bt.name())
-	mjCost := st.cost + path.cost + m.MergeJoinExtra(st.rows, path.rows)
+	mjCost := st.cost + path.cost + m.MergeJoinExtra(st.rows, path.rows) + widthTerm
 	if !leftSorted {
 		mjCost += m.Sort(st.rows)
 	}
@@ -449,7 +547,7 @@ func indexOfOther(bq *boundQuery, jp joinPred, j int) int {
 }
 
 // finishSelect places aggregation, distinct, sort, limit and projection.
-func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState) error {
+func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState, rules Rules, applied map[string]bool) error {
 	sel := bq.sel
 	m := o.env.Model
 
@@ -466,6 +564,25 @@ func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState) error {
 	}
 
 	aggregated := bq.hasAggs || len(sel.GroupBy) > 0
+
+	// Stop pushdown (RuleTopN): a LIMIT over a single access node whose
+	// order requirement is already satisfied (or absent) stops the scan
+	// after N passing rows. The Limit node above stays for exactness —
+	// the stop is a pure early-exit, so results are byte-identical.
+	if rules.Has(RuleTopN) && sel.Limit > 0 && !aggregated && !sel.Distinct {
+		satisfied := len(sel.OrderBy) == 0
+		if !satisfied {
+			satisfied = orderSatisfiedBy(st.order, orderKeys(sel, false, false))
+		}
+		if satisfied && setScanStop(st.node, sel.Limit) {
+			if lim := float64(sel.Limit); st.rows > lim && st.rows > 0 {
+				st.cost *= lim / st.rows
+				st.rows = lim
+				updateBase(st.node, st.cost, st.rows)
+			}
+			applied["topn-pushdown"] = true
+		}
+	}
 	if aggregated {
 		// HashAgg evaluates the whole select list: aggregates accumulate,
 		// scalars evaluate on each group's first row.
@@ -567,41 +684,39 @@ func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState) error {
 		st.order = nil
 	}
 
+	limitHandled := false
 	if len(sel.OrderBy) > 0 {
-		// Rewrite alias references in ORDER BY to their select expressions
-		// (pre-projection sorting), unless the select list has already
-		// been produced (aggregation or DISTINCT), in which case sort keys
-		// reference the output's names.
-		keys := make([]plan.SortKey, len(sel.OrderBy))
-		for i, oi := range sel.OrderBy {
-			e := oi.Expr
-			if !aggregated && !projected {
-				if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
-					for j, it := range sel.Items {
-						if strings.EqualFold(it.Alias, cr.Column) && !it.Star {
-							e = sel.Items[j].Expr
-						}
-					}
-				}
-			}
-			keys[i] = plan.SortKey{Expr: e, Desc: oi.Desc}
-		}
+		keys := orderKeys(sel, aggregated, projected)
 		if !orderSatisfiedBy(st.order, keys) {
 			if aggregated {
 				project() // no-op for agg, kept for symmetry
 			}
-			s := &plan.Sort{Child: st.node, Keys: keys}
-			s.Out = st.node.Schema()
-			s.Cost = st.cost + m.Sort(st.rows)
-			s.Rows = st.rows
-			st.node = s
-			st.cost = s.Cost
+			if rules.Has(RuleTopN) && sel.Limit >= 0 {
+				// TopN pushdown: ORDER BY + LIMIT keeps only the N best rows
+				// in a bounded heap instead of a full sort.
+				t := &plan.TopN{Child: st.node, Keys: keys, N: sel.Limit}
+				t.Out = st.node.Schema()
+				t.Cost = st.cost + m.TopN(st.rows, float64(sel.Limit))
+				t.Rows = math.Min(st.rows, float64(sel.Limit))
+				st.node = t
+				st.cost = t.Cost
+				st.rows = t.Rows
+				limitHandled = true
+				applied["topn-pushdown"] = true
+			} else {
+				s := &plan.Sort{Child: st.node, Keys: keys}
+				s.Out = st.node.Schema()
+				s.Cost = st.cost + m.Sort(st.rows)
+				s.Rows = st.rows
+				st.node = s
+				st.cost = s.Cost
+			}
 		}
 	}
 
 	project()
 
-	if sel.Limit >= 0 {
+	if sel.Limit >= 0 && !limitHandled {
 		l := &plan.Limit{Child: st.node, N: sel.Limit}
 		l.Out = st.node.Schema()
 		l.Cost = st.cost
@@ -610,6 +725,57 @@ func (o *Optimizer) finishSelect(bq *boundQuery, st *joinState) error {
 		st.rows = l.Rows
 	}
 	return nil
+}
+
+// orderKeys builds the ORDER BY sort keys, rewriting alias references to
+// their select expressions unless the select list has already been
+// produced (aggregation or DISTINCT), in which case sort keys reference
+// the output's names.
+func orderKeys(sel *sql.Select, aggregated, projected bool) []plan.SortKey {
+	keys := make([]plan.SortKey, len(sel.OrderBy))
+	for i, oi := range sel.OrderBy {
+		e := oi.Expr
+		if !aggregated && !projected {
+			if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
+				for j, it := range sel.Items {
+					if strings.EqualFold(it.Alias, cr.Column) && !it.Star {
+						e = sel.Items[j].Expr
+					}
+				}
+			}
+		}
+		keys[i] = plan.SortKey{Expr: e, Desc: oi.Desc}
+	}
+	return keys
+}
+
+// setScanStop pushes a stop row count into a direct access node; any
+// other node shape refuses the pushdown.
+func setScanStop(n plan.Node, limit int64) bool {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		x.Stop = limit
+	case *plan.IndexScan:
+		x.Stop = limit
+	case *plan.IndexSeek:
+		x.Stop = limit
+	default:
+		return false
+	}
+	return true
+}
+
+// updateBase rewrites a direct access node's cached estimates after a
+// stop pushdown scaled them.
+func updateBase(n plan.Node, cost, rows float64) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		x.Cost, x.Rows = cost, rows
+	case *plan.IndexScan:
+		x.Cost, x.Rows = cost, rows
+	case *plan.IndexSeek:
+		x.Cost, x.Rows = cost, rows
+	}
 }
 
 // orderSatisfiedBy reports whether the current physical order satisfies

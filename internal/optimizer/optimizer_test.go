@@ -354,11 +354,26 @@ func TestGroupByEstimate(t *testing.T) {
 
 func TestExplainStable(t *testing.T) {
 	_, o := testEnv(t, 100)
+	// Default rules: ORDER BY + LIMIT becomes a bounded-heap TopN.
 	res, err := o.Optimize(parse(t, "SELECT a FROM R WHERE a < 10 ORDER BY b LIMIT 3"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	expl := plan.Explain(res.Plan)
+	for _, want := range []string{"TopN 3", "Project"} {
+		if !strings.Contains(expl, want) {
+			t.Errorf("explain missing %s:\n%s", want, expl)
+		}
+	}
+
+	// Rules off: the classical Sort + Limit shape.
+	o.SetRules(0)
+	defer o.SetRules(DefaultRules)
+	res, err = o.Optimize(parse(t, "SELECT a FROM R WHERE a < 10 ORDER BY b LIMIT 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl = plan.Explain(res.Plan)
 	for _, want := range []string{"Limit 3", "Project", "Sort"} {
 		if !strings.Contains(expl, want) {
 			t.Errorf("explain missing %s:\n%s", want, expl)

@@ -1,0 +1,169 @@
+package optimizer
+
+import (
+	"onlinetuner/internal/plan"
+	"onlinetuner/internal/sql"
+)
+
+// This file implements column pruning through projections: narrowing,
+// order-preserving Project nodes are inserted below join inputs so that
+// only columns referenced above each input are materialized through hash
+// tables, merge runs and probe streams. Access paths and join order are
+// chosen identically in both rule settings — the width term in the cost
+// model is charged unconditionally — so toggling the rule changes only
+// how much data flows through joins, never which rows come out or in
+// what order.
+
+// needCol is one referenced column; an empty table matches any source.
+type needCol struct {
+	table, col string
+}
+
+type needSet []needCol
+
+func (ns needSet) has(c plan.ColRef) bool {
+	for _, n := range ns {
+		if c.Matches(n.table, n.col) {
+			return true
+		}
+	}
+	return false
+}
+
+// colsOf extends a need set (copy-on-write) with every column the given
+// expressions reference.
+func colsOf(set needSet, exprs ...sql.Expr) needSet {
+	out := append(needSet{}, set...)
+	for _, e := range exprs {
+		walkColumns(e, func(cr *sql.ColumnRef) {
+			out = append(out, needCol{table: cr.Table, col: cr.Column})
+		})
+	}
+	return out
+}
+
+// pruneColumns walks the join tree inserting narrowing projections where
+// the width saving beats the projection's own per-row cost, and adjusts
+// the cached costs of every ancestor by the accumulated saving.
+func (o *Optimizer) pruneColumns(bq *boundQuery, st *joinState, semis []*semiSpec, applied map[string]bool) {
+	sel := bq.sel
+	need := needSet{}
+	collect := func(exprs ...sql.Expr) {
+		need = colsOf(need, exprs...)
+	}
+	for _, it := range sel.Items {
+		if !it.Star {
+			collect(it.Expr)
+		}
+	}
+	collect(sel.GroupBy...)
+	for _, oi := range sel.OrderBy {
+		collect(oi.Expr)
+	}
+	collect(bq.resid...)
+	for _, sp := range semis {
+		collect(sp.probe...)
+	}
+
+	p := &pruner{o: o}
+	saved := p.walk(st.node, need)
+	if p.wraps > 0 {
+		st.cost -= saved
+		applied["column-prune"] = true
+	}
+}
+
+type pruner struct {
+	o     *Optimizer
+	wraps int
+}
+
+// walk descends through filters, semi-joins and joins, accumulating the
+// columns each level needs, wraps join inputs in projections when
+// profitable, and returns the total saving so ancestors can adjust their
+// cached costs.
+func (p *pruner) walk(n plan.Node, need needSet) float64 {
+	switch x := n.(type) {
+	case *plan.Filter:
+		s := p.walk(x.Child, colsOf(need, x.Preds...))
+		x.Out = x.Child.Schema()
+		x.Cost -= s
+		return s
+	case *plan.HashSemiJoin:
+		// Only the probe side carries columns upward; the build side was
+		// planned independently with its own minimal required set.
+		s := p.walk(x.Left, colsOf(need, x.LeftKeys...))
+		x.Out = x.Left.Schema()
+		x.Cost -= s
+		return s
+	case *plan.HashJoin:
+		leftNeed := colsOf(need, x.LeftKeys...)
+		rightNeed := colsOf(need, x.RightKeys...)
+		s := p.walk(x.Left, leftNeed) + p.walk(x.Right, rightNeed)
+		x.Left, s = p.wrap(x.Left, leftNeed, s)
+		x.Right, s = p.wrap(x.Right, rightNeed, s)
+		x.Out = append(append([]plan.ColRef(nil), x.Left.Schema()...), x.Right.Schema()...)
+		x.Cost -= s
+		return s
+	case *plan.MergeJoin:
+		leftNeed := colsOf(need, x.LeftKeys...)
+		rightNeed := colsOf(need, x.RightKeys...)
+		s := p.walk(x.Left, leftNeed) + p.walk(x.Right, rightNeed)
+		x.Left, s = p.wrap(x.Left, leftNeed, s)
+		x.Right, s = p.wrap(x.Right, rightNeed, s)
+		x.Out = append(append([]plan.ColRef(nil), x.Left.Schema()...), x.Right.Schema()...)
+		x.Cost -= s
+		return s
+	case *plan.CrossJoin:
+		s := p.walk(x.Left, need) + p.walk(x.Right, need)
+		x.Left, s = p.wrap(x.Left, need, s)
+		x.Right, s = p.wrap(x.Right, need, s)
+		x.Out = append(append([]plan.ColRef(nil), x.Left.Schema()...), x.Right.Schema()...)
+		x.Cost -= s
+		return s
+	}
+	// Leaves and INLJ subtrees are left untouched: an INLJ's inner lookup
+	// needs the row shape it was planned with.
+	return 0
+}
+
+// wrap inserts a narrowing projection over child when the width term it
+// saves exceeds the projection's own per-row cost; it threads the
+// accumulated saving through.
+func (p *pruner) wrap(child plan.Node, need needSet, s float64) (plan.Node, float64) {
+	m := p.o.env.Model
+	sch := child.Schema()
+	if len(sch) == 0 {
+		return child, s
+	}
+	var keep []plan.ColRef
+	for _, c := range sch {
+		if need.has(c) {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == 0 {
+		keep = append(keep, sch[0])
+	}
+	removed := len(sch) - len(keep)
+	if removed == 0 {
+		return child, s
+	}
+	rows := child.EstRows()
+	save := m.RowWidth(rows, removed) - rows*m.CPUTuple
+	if save <= 0 {
+		return child, s
+	}
+	exprs := make([]sql.Expr, len(keep))
+	names := make([]string, len(keep))
+	for i, c := range keep {
+		exprs[i] = &sql.ColumnRef{Table: c.Table, Column: c.Column}
+		names[i] = c.Column
+	}
+	pr := &plan.Project{Child: child, Exprs: exprs, Names: names}
+	pr.Out = append([]plan.ColRef(nil), keep...)
+	pr.Cost = child.EstCost() + rows*m.CPUTuple
+	pr.Rows = rows
+	p.wraps++
+	return pr, s + save
+}

@@ -148,6 +148,46 @@ func (rb *rebinder) node(n plan.Node) (plan.Node, bool) {
 		c := *x
 		c.Child = ch
 		return &c, true
+	case *plan.TopN:
+		ch, ok := rb.node(x.Child)
+		if !ok {
+			return nil, false
+		}
+		c := *x
+		c.Child = ch
+		keys := make([]plan.SortKey, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = plan.SortKey{Expr: rb.expr(k.Expr), Desc: k.Desc}
+		}
+		c.Keys = keys
+		return &c, true
+	case *plan.IndexEndpoint:
+		// Endpoint cost is two bounded seeks regardless of the equality
+		// bindings, so only the bound values need substitution.
+		if len(x.EqLits) != len(x.EqVals) {
+			return nil, false
+		}
+		c := *x
+		eq := make([]datum.Datum, len(x.EqVals))
+		for i, old := range x.EqVals {
+			eq[i] = rb.val(x.EqLits[i], old)
+		}
+		c.EqVals = eq
+		return &c, true
+	case *plan.HashSemiJoin:
+		l, ok := rb.node(x.Left)
+		if !ok {
+			return nil, false
+		}
+		r, ok := rb.node(x.Right)
+		if !ok {
+			return nil, false
+		}
+		c := *x
+		c.Left, c.Right = l, r
+		c.LeftKeys = rb.exprs(x.LeftKeys)
+		c.RightKeys = rb.exprs(x.RightKeys)
+		return &c, true
 	case *plan.Distinct:
 		ch, ok := rb.node(x.Child)
 		if !ok {

@@ -67,18 +67,21 @@ func (b *Base) EstCost() float64 { return b.Cost }
 func (b *Base) EstRows() float64 { return b.Rows }
 
 // SeqScan reads every live row of a table's heap, applying pushed
-// predicates.
+// predicates. Stop > 0 caps output: the scan halts once that many rows
+// have passed its predicates (LIMIT pushed into the access path; only
+// legal when no order-sensitive operator sits between scan and limit).
 type SeqScan struct {
 	Base
 	Table string
 	Alias string
 	Preds []sql.Expr
+	Stop  int64
 }
 
 func (n *SeqScan) Children() []Node { return nil }
 
 func (n *SeqScan) Label() string {
-	return fmt.Sprintf("SeqScan %s%s%s", n.Table, aliasSuffix(n.Alias, n.Table), predSuffix(n.Preds))
+	return fmt.Sprintf("SeqScan %s%s%s%s", n.Table, aliasSuffix(n.Alias, n.Table), stopSuffix(n.Stop), predSuffix(n.Preds))
 }
 
 // IndexScan sequentially reads a covering secondary index, applying
@@ -88,13 +91,14 @@ type IndexScan struct {
 	Index *catalog.Index
 	Alias string
 	Preds []sql.Expr
+	Stop  int64 // see SeqScan.Stop
 }
 
 func (n *IndexScan) Children() []Node { return nil }
 
 func (n *IndexScan) Label() string {
-	return fmt.Sprintf("IndexScan %s on %s%s%s", n.Index.Name, n.Index.Table,
-		aliasSuffix(n.Alias, n.Index.Table), predSuffix(n.Preds))
+	return fmt.Sprintf("IndexScan %s on %s%s%s%s", n.Index.Name, n.Index.Table,
+		aliasSuffix(n.Alias, n.Index.Table), stopSuffix(n.Stop), predSuffix(n.Preds))
 }
 
 // IndexSeek performs a single range/equality seek with constant bounds.
@@ -112,6 +116,7 @@ type IndexSeek struct {
 	HiInc  bool
 	Fetch  bool
 	Preds  []sql.Expr // residual predicates evaluated after the seek
+	Stop   int64      // see SeqScan.Stop
 
 	// Literal provenance for plan-cache rebinding: the statement literals
 	// each seek bound was copied from (nil entries mean the bound did not
@@ -132,8 +137,40 @@ func (n *IndexSeek) Label() string {
 	if n.Fetch {
 		mode = "fetch"
 	}
-	return fmt.Sprintf("IndexSeek %s on %s%s (%s, %s)%s", n.Index.Name, n.Index.Table,
-		aliasSuffix(n.Alias, n.Index.Table), bound, mode, predSuffix(n.Preds))
+	return fmt.Sprintf("IndexSeek %s on %s%s (%s, %s)%s%s", n.Index.Name, n.Index.Table,
+		aliasSuffix(n.Alias, n.Index.Table), bound, mode, stopSuffix(n.Stop), predSuffix(n.Preds))
+}
+
+// IndexEndpoint answers MIN/MAX over an index column with at most two
+// single seeks: the smallest non-NULL entry after the equality prefix
+// (WantMin) and/or the largest entry (WantMax). It emits at most two
+// full heap rows — deduplicated when both endpoints are the same row —
+// and an unchanged HashAgg above reduces them to the aggregate answer,
+// so the zero-rows → NULL semantics stay exactly the aggregate's own.
+type IndexEndpoint struct {
+	Base
+	Index   *catalog.Index
+	Alias   string
+	Col     string        // the MIN/MAX column (next index column after EqVals)
+	EqVals  []datum.Datum // equality prefix bindings, in index column order
+	WantMin bool
+	WantMax bool
+
+	EqLits []*sql.Literal // literal provenance (see IndexSeek)
+}
+
+func (n *IndexEndpoint) Children() []Node { return nil }
+
+func (n *IndexEndpoint) Label() string {
+	var ends []string
+	if n.WantMin {
+		ends = append(ends, "min")
+	}
+	if n.WantMax {
+		ends = append(ends, "max")
+	}
+	return fmt.Sprintf("IndexEndpoint %s on %s%s (%s(%s), eq=%d)", n.Index.Name, n.Index.Table,
+		aliasSuffix(n.Alias, n.Index.Table), strings.Join(ends, "+"), n.Col, len(n.EqVals))
 }
 
 // Filter applies residual predicates.
@@ -202,6 +239,30 @@ func (n *Limit) Children() []Node { return []Node{n.Child} }
 
 func (n *Limit) Label() string { return fmt.Sprintf("Limit %d", n.N) }
 
+// TopN replaces Sort+Limit: it keeps only the N smallest rows under Keys
+// (with the input ordinal as final tiebreak, making it exactly equal to
+// a stable full sort truncated to N) using a bounded heap instead of a
+// full materialize-and-sort.
+type TopN struct {
+	Base
+	Child Node
+	Keys  []SortKey
+	N     int64
+}
+
+func (n *TopN) Children() []Node { return []Node{n.Child} }
+
+func (n *TopN) Label() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("TopN %d [%s]", n.N, strings.Join(parts, ", "))
+}
+
 // Distinct removes duplicate rows.
 type Distinct struct {
 	Base
@@ -228,6 +289,39 @@ func (n *HashJoin) Label() string {
 		parts[i] = n.LeftKeys[i].String() + "=" + n.RightKeys[i].String()
 	}
 	return "HashJoin [" + strings.Join(parts, ", ") + "]"
+}
+
+// HashSemiJoin emits each Left row at most once depending on whether its
+// key exists in the Right-side build set: semi (exists) or, when Anti,
+// anti (not exists). NullAware selects NOT IN semantics for the anti
+// form: any NULL in the build set suppresses all output, and a NULL
+// probe key passes only when the build set is empty. Without NullAware,
+// NULL probe keys simply never match (IN / EXISTS / NOT EXISTS treat
+// them as non-matching).
+type HashSemiJoin struct {
+	Base
+	Left, Right Node
+	LeftKeys    []sql.Expr
+	RightKeys   []sql.Expr
+	Anti        bool
+	NullAware   bool
+}
+
+func (n *HashSemiJoin) Children() []Node { return []Node{n.Left, n.Right} }
+
+func (n *HashSemiJoin) Label() string {
+	parts := make([]string, len(n.LeftKeys))
+	for i := range n.LeftKeys {
+		parts[i] = n.LeftKeys[i].String() + "=" + n.RightKeys[i].String()
+	}
+	kind := "HashSemiJoin"
+	if n.Anti {
+		kind = "HashAntiJoin"
+	}
+	if n.NullAware {
+		kind += " null-aware"
+	}
+	return kind + " [" + strings.Join(parts, ", ") + "]"
 }
 
 // INLJoin is an index-nested-loop join: for each outer row, seek the
@@ -364,6 +458,13 @@ func aliasSuffix(alias, table string) string {
 		return ""
 	}
 	return " " + alias
+}
+
+func stopSuffix(stop int64) string {
+	if stop <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" stop=%d", stop)
 }
 
 func predSuffix(preds []sql.Expr) string {

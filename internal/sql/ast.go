@@ -118,6 +118,37 @@ func (f *FuncExpr) String() string {
 	return f.Name + "(" + f.Arg.String() + ")"
 }
 
+// InSubquery is `expr [NOT] IN (SELECT ...)`. The subquery is a full
+// Select; the optimizer's unnesting rule flattens it into a (null-aware,
+// for NOT IN) hash semi-join.
+type InSubquery struct {
+	Left  Expr
+	Query *Select
+	Not   bool
+}
+
+func (*InSubquery) expr() {}
+
+func (i *InSubquery) String() string {
+	op := " IN ("
+	if i.Not {
+		op = " NOT IN ("
+	}
+	return i.Left.String() + op + i.Query.String() + ")"
+}
+
+// ExistsExpr is `EXISTS (SELECT ...)`. NOT EXISTS parses as
+// NotExpr{ExistsExpr}. Correlated subqueries reference outer columns in
+// their WHERE clause; the optimizer flattens them to semi/anti-joins on
+// the correlation equality keys.
+type ExistsExpr struct {
+	Query *Select
+}
+
+func (*ExistsExpr) expr() {}
+
+func (e *ExistsExpr) String() string { return "EXISTS (" + e.Query.String() + ")" }
+
 // SelectItem is one projection in a SELECT list.
 type SelectItem struct {
 	Expr  Expr

@@ -287,6 +287,22 @@ func (w *fpWriter) expr(e Expr) {
 			w.expr(x.Arg)
 		}
 		w.str(")")
+	case *InSubquery:
+		// Subquery literals are lifted too: the inner SELECT is rendered
+		// through selectStmt, so its constants become bindings in the same
+		// syntactic order Rebind walks them.
+		w.expr(x.Left)
+		if x.Not {
+			w.str(" NOT IN (")
+		} else {
+			w.str(" IN (")
+		}
+		w.selectStmt(x.Query)
+		w.str(")")
+	case *ExistsExpr:
+		w.str("EXISTS (")
+		w.selectStmt(x.Query)
+		w.str(")")
 	default:
 		w.str(fmt.Sprintf("%T:%s", e, e.String()))
 	}
@@ -418,6 +434,10 @@ func (rb *rebinder) expr(e Expr) Expr {
 			out.Arg = rb.expr(x.Arg)
 		}
 		return out
+	case *InSubquery:
+		return &InSubquery{Left: rb.expr(x.Left), Query: rb.selectStmt(x.Query), Not: x.Not}
+	case *ExistsExpr:
+		return &ExistsExpr{Query: rb.selectStmt(x.Query)}
 	default:
 		if rb.err == nil {
 			rb.err = fmt.Errorf("sql: rebind: unsupported expression %T", e)
@@ -450,7 +470,37 @@ func MapLiterals(e Expr, fn func(*Literal) Expr) Expr {
 			out.Arg = MapLiterals(x.Arg, fn)
 		}
 		return out
+	case *InSubquery:
+		return &InSubquery{Left: MapLiterals(x.Left, fn), Query: mapLiteralsSelect(x.Query, fn), Not: x.Not}
+	case *ExistsExpr:
+		return &ExistsExpr{Query: mapLiteralsSelect(x.Query, fn)}
 	default:
 		return e
 	}
+}
+
+// mapLiteralsSelect clones a subquery Select, applying MapLiterals to
+// every expression position in the same order fpWriter renders them.
+func mapLiteralsSelect(s *Select, fn func(*Literal) Expr) *Select {
+	out := &Select{Distinct: s.Distinct, From: s.From, Limit: s.Limit}
+	for _, it := range s.Items {
+		nit := SelectItem{Alias: it.Alias, Star: it.Star}
+		if it.Expr != nil {
+			nit.Expr = MapLiterals(it.Expr, fn)
+		}
+		out.Items = append(out.Items, nit)
+	}
+	for _, j := range s.Joins {
+		out.Joins = append(out.Joins, JoinClause{Right: j.Right, On: MapLiterals(j.On, fn)})
+	}
+	if s.Where != nil {
+		out.Where = MapLiterals(s.Where, fn)
+	}
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, MapLiterals(g, fn))
+	}
+	for _, o := range s.OrderBy {
+		out.OrderBy = append(out.OrderBy, OrderItem{Expr: MapLiterals(o.Expr, fn), Desc: o.Desc})
+	}
+	return out
 }

@@ -29,6 +29,14 @@ func FuzzParse(f *testing.F) {
 		"SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY a DESC LIMIT 3",
 		"SELECT * FROM r, s WHERE r.id = s.id AND r.a IS NOT NULL",
 		"SELECT 'it''s' FROM r",
+		"SELECT id FROM r WHERE id IN (SELECT id FROM s WHERE x < 10)",
+		"SELECT id FROM r WHERE id NOT IN (SELECT id FROM s)",
+		"SELECT id FROM r WHERE EXISTS (SELECT * FROM s WHERE s.id = r.id AND x > 5)",
+		"SELECT id FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.id = r.id)",
+		"SELECT MIN(a) FROM r",
+		"SELECT MAX(b), MIN(b) FROM r WHERE a = 17",
+		"SELECT a FROM r ORDER BY a DESC, id LIMIT 10",
+		"SELECT a FROM r WHERE a IN (SELECT x FROM s) ORDER BY a LIMIT 0",
 		"select\t\na -- comment\nfrom r",
 		"SELECT a FROM r WHERE s = 'unterminated",
 		"((((((((((", "SELECT", "", "\x00\xff'\"",
@@ -63,6 +71,10 @@ func FuzzFingerprint(f *testing.F) {
 		"SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY a DESC LIMIT 3",
 		"SELECT * FROM r, s WHERE r.id = s.id AND r.a IS NOT NULL",
 		"SELECT 'it''s' FROM r",
+		"SELECT id FROM r WHERE id IN (SELECT id FROM s WHERE x < 10)",
+		"SELECT id FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.id = r.id)",
+		"SELECT MAX(b), MIN(b) FROM r WHERE a = 17",
+		"SELECT a FROM r ORDER BY a DESC, id LIMIT 10",
 	} {
 		f.Add(s)
 	}

@@ -59,7 +59,7 @@ var keywords = map[string]bool{
 	"IN": true, "NULL": true, "INT": true, "FLOAT": true, "VARCHAR": true,
 	"DATE": true, "BOOL": true, "COUNT": true, "SUM": true, "AVG": true,
 	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true, "IS": true,
-	"LIKE": true, "EXPLAIN": true,
+	"LIKE": true, "EXPLAIN": true, "EXISTS": true,
 }
 
 // Lex tokenizes the input. It returns an error with position information

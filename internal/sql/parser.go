@@ -636,6 +636,16 @@ func (p *parser) parseComparison() (Expr, error) {
 			if err := p.expectSymbol("("); err != nil {
 				return nil, err
 			}
+			if p.peek().Kind == TKeyword && p.peek().Text == "SELECT" {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &InSubquery{Left: left, Query: q}, nil
+			}
 			var or Expr
 			for {
 				v, err := p.parseAdditive()
@@ -667,12 +677,23 @@ func (p *parser) parseComparison() (Expr, error) {
 			p.next()
 			return p.parseLikeTail(left, false)
 		case "NOT":
-			// Infix NOT only introduces NOT LIKE here (prefix NOT is
-			// handled by parseNot); NOT BETWEEN / NOT IN stay unsupported.
+			// Infix NOT introduces NOT LIKE and NOT IN (SELECT ...) here
+			// (prefix NOT is handled by parseNot); NOT BETWEEN and NOT IN
+			// over a literal list stay unsupported.
 			save := p.pos
 			p.next()
 			if p.keyword("LIKE") {
 				return p.parseLikeTail(left, true)
+			}
+			if p.keyword("IN") && p.symbol("(") && p.peek().Kind == TKeyword && p.peek().Text == "SELECT" {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &InSubquery{Left: left, Query: q, Not: true}, nil
 			}
 			p.pos = save
 		}
@@ -795,6 +816,19 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, p.errorf("%v", err)
 			}
 			return &Literal{Value: d}, nil
+		case "EXISTS":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Query: q}, nil
 		case "COUNT", "SUM", "AVG", "MIN", "MAX":
 			p.next()
 			if err := p.expectSymbol("("); err != nil {

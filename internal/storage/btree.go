@@ -422,6 +422,41 @@ func (t *BTree) Seek(lo datum.Row, loInc bool, hi datum.Row, hiInc bool) *Iterat
 	return it
 }
 
+// LastLE returns the last entry (in key order) whose key prefix is <=
+// bound, comparing on the first len(bound) key components; an empty
+// bound selects the tree's rightmost entry. Because prefix order is
+// monotone along the tree's full key order, the qualifying entries form
+// a contiguous lower range and the result is found with one root-to-leaf
+// descent (separator keys are lower bounds of their subtree, so a
+// sibling fallback is taken only when a subtree proves empty of
+// qualifying entries).
+func (t *BTree) LastLE(bound datum.Row) (Entry, bool) {
+	return lastLE(t.root, bound)
+}
+
+func lastLE(n *node, bound datum.Row) (Entry, bool) {
+	if n.leaf {
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if prefixCompare(n.entries[i].Key, bound) <= 0 {
+				return n.entries[i], true
+			}
+		}
+		return Entry{}, false
+	}
+	// Child ci's entries are all >= keys[ci-1]; skip children whose whole
+	// subtree is past the bound, then probe right-to-left.
+	ci := len(n.children) - 1
+	for ci > 0 && prefixCompare(n.keys[ci-1].Key, bound) > 0 {
+		ci--
+	}
+	for ; ci >= 0; ci-- {
+		if e, ok := lastLE(n.children[ci], bound); ok {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
 // Shard is one contiguous slice of a tree's key order, produced by
 // Shards: an iterator positioned at the shard's first entry plus the
 // exact number of entries the shard holds.

@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"onlinetuner/internal/datum"
+)
+
+// TestBTreeLastLE checks LastLE against a linear-scan oracle on a
+// multi-level tree of composite (a, id) keys, including NULL entries
+// (which sort first) and bounds that miss every group.
+func TestBTreeLastLE(t *testing.T) {
+	tr := NewBTree()
+	rid := RID(0)
+	var all []Entry
+	ins := func(key datum.Row) {
+		e := Entry{Key: key, RID: rid}
+		rid++
+		if err := tr.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, e)
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, i := range r.Perm(500) {
+		ins(intKey(int64(i/10), int64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		ins(datum.Row{datum.Null, datum.NewInt(int64(1000 + i))})
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("want a multi-level tree, height = %d", tr.Height())
+	}
+
+	oracle := func(bound datum.Row) (Entry, bool) {
+		var best Entry
+		found := false
+		for it := tr.Scan(); it.Valid(); it.Next() {
+			if prefixCompare(it.Entry().Key, bound) <= 0 {
+				best = it.Entry()
+				found = true
+			}
+		}
+		return best, found
+	}
+	check := func(name string, bound datum.Row) {
+		t.Helper()
+		wantE, wantOK := oracle(bound)
+		gotE, gotOK := tr.LastLE(bound)
+		if gotOK != wantOK {
+			t.Fatalf("%s: ok = %v, want %v", name, gotOK, wantOK)
+		}
+		if gotOK && gotE.RID != wantE.RID {
+			t.Fatalf("%s: got key %v rid %d, want key %v rid %d",
+				name, gotE.Key, gotE.RID, wantE.Key, wantE.RID)
+		}
+	}
+
+	for a := int64(-2); a <= 51; a++ {
+		check("prefix", intKey(a))
+	}
+	check("exact pair", intKey(25, 255))
+	check("between pairs", intKey(25, 254))
+	check("below pair range", intKey(25, -1))
+	check("null prefix", datum.Row{datum.Null})
+	check("empty bound", datum.Row{})
+
+	// Empty tree.
+	empty := NewBTree()
+	if _, ok := empty.LastLE(intKey(1)); ok {
+		t.Error("LastLE on empty tree reported an entry")
+	}
+}

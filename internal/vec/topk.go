@@ -1,0 +1,122 @@
+package vec
+
+import (
+	"math"
+
+	"onlinetuner/internal/datum"
+)
+
+// TopK is a streaming candidate filter for bounded TopN execution. It
+// tracks the k best raw values seen so far in a bounded heap; Prune
+// returns the positions of a chunk whose value could still place in the
+// top k. The result is a superset of the true top-k positions — ties and
+// ordinal ranking are resolved by the caller's exact (key, ordinal) heap
+// — so the filter is sound by construction. Chunks it cannot compare
+// exactly (NULLs, strings, NaN floats, mixed or changing kinds) pass
+// through whole and never tighten the threshold.
+type TopK struct {
+	k    int
+	desc bool
+	// class locks the value representation once the first chunk prunes:
+	// KInt for the int-payload kinds, KFloat for floats. KNull = unset.
+	class datum.Kind
+	hi    []int64
+	hf    []float64
+}
+
+// NewTopK returns a filter for the k smallest (desc: largest) values.
+func NewTopK(k int, desc bool) *TopK { return &TopK{k: k, desc: desc} }
+
+// Prune appends to out the chunk positions that may still reach the top
+// k, updating the internal threshold with the chunk's values. A chunk
+// the filter cannot handle exactly is passed through in full.
+func (t *TopK) Prune(c *Column, out Sel) Sel {
+	out = out[:0]
+	n := c.Len()
+	if t.k <= 0 {
+		return out
+	}
+	pass := func() Sel {
+		for i := 0; i < n; i++ {
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	if !c.Uniform || c.HasNulls || c.Kind == datum.KString || c.Kind == datum.KNull {
+		return pass()
+	}
+	class := datum.KInt
+	if c.Kind == datum.KFloat {
+		class = datum.KFloat
+		// IEEE NaN breaks the heap invariant the prune relies on; a chunk
+		// containing one is passed through untouched.
+		for _, v := range c.F {
+			if math.IsNaN(v) {
+				return pass()
+			}
+		}
+	}
+	if t.class == datum.KNull {
+		t.class = class
+	} else if t.class != class {
+		return pass()
+	}
+	if class == datum.KFloat {
+		return pruneChunk(&t.hf, t.k, t.desc, c.F, out)
+	}
+	return pruneChunk(&t.hi, t.k, t.desc, c.I, out)
+}
+
+// pruneChunk runs the bounded heap over one chunk. The heap root is the
+// worst value currently kept; a position is a candidate when the heap is
+// not yet full or its value is at least as good as the root (ties kept —
+// the exact heap downstream settles them by ordinal).
+func pruneChunk[T int64 | float64](h *[]T, k int, desc bool, vals []T, out Sel) Sel {
+	worse := func(a, b T) bool { return a > b }
+	if desc {
+		worse = func(a, b T) bool { return a < b }
+	}
+	hp := *h
+	for i, v := range vals {
+		if len(hp) < k {
+			out = append(out, int32(i))
+			hp = append(hp, v)
+			// Sift up.
+			for j := len(hp) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !worse(hp[j], hp[p]) {
+					break
+				}
+				hp[j], hp[p] = hp[p], hp[j]
+				j = p
+			}
+			continue
+		}
+		if worse(v, hp[0]) {
+			continue
+		}
+		out = append(out, int32(i))
+		if v == hp[0] {
+			continue
+		}
+		// Strictly better than the worst kept value: replace and sift down.
+		hp[0] = v
+		for j := 0; ; {
+			l, r := 2*j+1, 2*j+2
+			w := j
+			if l < len(hp) && worse(hp[l], hp[w]) {
+				w = l
+			}
+			if r < len(hp) && worse(hp[r], hp[w]) {
+				w = r
+			}
+			if w == j {
+				break
+			}
+			hp[j], hp[w] = hp[w], hp[j]
+			j = w
+		}
+	}
+	*h = hp
+	return out
+}

@@ -1,0 +1,134 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"onlinetuner/internal/datum"
+)
+
+// topkOracle returns the positions the exact TopN operator would select
+// from vals: the k least (desc: greatest) by (value, position).
+func topkOracle(vals []float64, k int, desc bool) map[int]bool {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if vals[idx[a]] != vals[idx[b]] {
+			if desc {
+				return vals[idx[a]] > vals[idx[b]]
+			}
+			return vals[idx[a]] < vals[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make(map[int]bool, k)
+	for _, i := range idx[:k] {
+		out[i] = true
+	}
+	return out
+}
+
+// TestTopKSuperset is the kernel's soundness contract: streaming chunks
+// through Prune must keep every position the exact operator would
+// select, for int and float payloads, both directions, and k from 1 to
+// larger than the input.
+func TestTopKSuperset(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n, chunk = 4096, 256
+	for _, kind := range []datum.Kind{datum.KInt, datum.KFloat} {
+		rows := make([]datum.Row, n)
+		vals := make([]float64, n)
+		for i := range rows {
+			v := float64(r.Intn(200) - 100) // tie-heavy
+			vals[i] = v
+			if kind == datum.KInt {
+				rows[i] = datum.Row{datum.NewInt(int64(v))}
+			} else {
+				rows[i] = datum.Row{datum.NewFloat(v)}
+			}
+		}
+		for _, k := range []int{1, 5, 32, 5000} {
+			for _, desc := range []bool{false, true} {
+				tk := NewTopK(k, desc)
+				kept := make(map[int]bool)
+				var col Column
+				var sel Sel
+				for base := 0; base < n; base += chunk {
+					col.Gather(rows[base:base+chunk], 0, nil)
+					sel = tk.Prune(&col, sel)
+					for _, p := range sel {
+						kept[base+int(p)] = true
+					}
+				}
+				for want := range topkOracle(vals, k, desc) {
+					if !kept[want] {
+						t.Fatalf("kind=%v k=%d desc=%v: position %d (val %g) pruned but belongs to top-k",
+							kind, k, desc, want, vals[want])
+					}
+				}
+				// The kernel must actually prune once the threshold is set
+				// (a pass-everything implementation is sound but useless).
+				if k <= 32 && len(kept) >= n {
+					t.Errorf("kind=%v k=%d desc=%v: no pruning at all", kind, k, desc)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKPassesUnprunableChunks: NULLs, strings, NaN floats, and
+// kind changes mid-stream must pass through whole and not poison the
+// threshold for later chunks.
+func TestTopKPassesUnprunableChunks(t *testing.T) {
+	var col Column
+	var sel Sel
+
+	gather := func(ds ...datum.Datum) *Column {
+		rows := make([]datum.Row, len(ds))
+		for i, d := range ds {
+			rows[i] = datum.Row{d}
+		}
+		col.Gather(rows, 0, nil)
+		return &col
+	}
+
+	tk := NewTopK(2, false)
+	// Chunk with a NULL: passes whole.
+	sel = tk.Prune(gather(datum.NewInt(1), datum.Null, datum.NewInt(100)), sel)
+	if len(sel) != 3 {
+		t.Fatalf("null chunk kept %d of 3", len(sel))
+	}
+	// String chunk: passes whole.
+	sel = tk.Prune(gather(datum.NewString("a"), datum.NewString("b")), sel)
+	if len(sel) != 2 {
+		t.Fatalf("string chunk kept %d of 2", len(sel))
+	}
+	// NaN float chunk: passes whole.
+	sel = tk.Prune(gather(datum.NewFloat(math.NaN()), datum.NewFloat(1)), sel)
+	if len(sel) != 2 {
+		t.Fatalf("NaN chunk kept %d of 2", len(sel))
+	}
+	// Clean int chunk establishes a threshold: {1,2} fill the k=2 heap
+	// and 50 is already prunable within the same chunk.
+	sel = tk.Prune(gather(datum.NewInt(1), datum.NewInt(2), datum.NewInt(50)), sel)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 1 {
+		t.Fatalf("first clean chunk sel=%v, want [0 1]", sel)
+	}
+	// ...that prunes values worse than the kept {1,2}.
+	sel = tk.Prune(gather(datum.NewInt(99), datum.NewInt(0)), sel)
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("threshold did not prune: sel=%v", sel)
+	}
+	// A float chunk after the int class is locked: passes whole.
+	sel = tk.Prune(gather(datum.NewFloat(999)), sel)
+	if len(sel) != 1 {
+		t.Fatalf("class-switch chunk kept %d of 1", len(sel))
+	}
+}

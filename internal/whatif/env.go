@@ -197,6 +197,28 @@ func implCostPages(e *Env, r *Request, ix *catalog.Index, pages float64) float64
 		return math.Inf(1)
 	}
 
+	if r.Kind == KindEndpoint {
+		// The index must consume every equality column as its leading
+		// prefix and then lead with the endpoint column; it then answers
+		// MIN/MAX with at most two single-row descents.
+		matched := 0
+		for _, col := range ix.Columns {
+			if i := indexOfFold(r.EqCols, col); i >= 0 && matched < len(r.EqCols) {
+				matched++
+				continue
+			}
+			if matched == len(r.EqCols) && strings.EqualFold(col, r.RangeCol) {
+				c := 2 * e.Model.IndexSeek(pages, 1, 1)
+				if !ix.Primary {
+					c += e.Model.RIDLookups(2, r.TablePages)
+				}
+				return c
+			}
+			break
+		}
+		return math.Inf(1)
+	}
+
 	// Walk the index columns: consume leading equality columns in any
 	// order, then optionally one range column. The primary index takes
 	// the same path: it covers every column and seeks on its key prefix,

@@ -27,6 +27,12 @@ const (
 	KindScan Kind = iota
 	KindSeek
 	KindUpdate
+	// KindEndpoint asks for MIN/MAX of one column (stored in RangeCol)
+	// under an equality prefix: an index leading with EqCols then the
+	// endpoint column answers it in one or two single-row seeks. Emitted
+	// by the optimizer's minmax-endpoint rule even when no such index
+	// exists — that is exactly the what-if traffic the tuner bids on.
+	KindEndpoint
 )
 
 func (k Kind) String() string {
@@ -37,6 +43,8 @@ func (k Kind) String() string {
 		return "seek"
 	case KindUpdate:
 		return "update"
+	case KindEndpoint:
+		return "endpoint"
 	}
 	return "?"
 }
@@ -237,7 +245,9 @@ func GetBestIndex(cat *catalog.Catalog, r *Request) *catalog.Index {
 		cols = append(cols, c)
 	}
 	switch r.Kind {
-	case KindSeek:
+	case KindSeek, KindEndpoint:
+		// An endpoint request wants exactly a seek-shaped index: the
+		// equality prefix, then the endpoint column (RangeCol).
 		for _, c := range r.EqCols {
 			add(c)
 		}

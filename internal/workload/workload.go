@@ -170,6 +170,9 @@ type TPCHOptions struct {
 	// "auto" (default), "row", or "vector". Results are byte-identical
 	// under every mode.
 	ExecEngine string
+	// Rules selects the optimizer rewrite-rule set for replay databases
+	// ("" = all). Like ExecEngine, toggling it never changes results.
+	Rules string
 }
 
 // DefaultTPCH matches the Figure 7(a)/(b) setup at laptop scale. The
@@ -204,7 +207,7 @@ func TPCH(o TPCHOptions) *Workload {
 		w.Statements = append(w.Statements, b...)
 	}
 	w.NewDB = func() *engine.DB {
-		db := engine.OpenConfig(engine.Config{ExecEngine: o.ExecEngine})
+		db := engine.OpenConfig(engine.Config{ExecEngine: o.ExecEngine, Rules: o.Rules})
 		loader := tpch.NewGenerator(o.Scale, o.Seed)
 		if err := loader.Load(db); err != nil {
 			panic(err)
